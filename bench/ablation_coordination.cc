@@ -1,0 +1,150 @@
+// Ablation: which parts of the checkpoint design buy transparency?
+//
+// The same iperf scenario (1 Gbps shaped link, one checkpoint mid-stream)
+// under four strategies:
+//   scheduled     — the paper's design: clock-scheduled suspend, barrier,
+//                   synchronized resume, delay-node capture;
+//   immediate     — event-driven "checkpoint now" notifications: skew is
+//                   bounded by network/processing jitter instead of clock
+//                   error (Section 4.3's rejected-by-default alternative);
+//   uncoordinated — each node checkpoints on its own (staggered by up to
+//                   250 ms) and resumes as soon as its own save completes:
+//                   the classical non-coordinated checkpoint (Section 3.2);
+//   baseline-time — coordinated, but without time virtualization: the guest
+//                   sees the downtime (non-transparent local checkpoints).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/iperf.h"
+#include "src/emulab/experiment.h"
+#include "src/emulab/experiment_spec.h"
+#include "src/emulab/testbed.h"
+#include "src/sim/simulator.h"
+
+namespace tcsim {
+namespace {
+
+enum class Mode { kScheduled, kImmediate, kUncoordinated, kBaselineTime };
+
+struct Outcome {
+  double skew_us = 0;
+  double max_gap_us = 0;
+  double mean_gap_us = 0;
+  uint64_t retransmits = 0;
+  uint64_t timeouts = 0;
+  uint64_t dup_acks = 0;
+  bool completed = false;
+};
+
+Outcome Run(Mode mode) {
+  Simulator sim;
+  TestbedConfig cfg;
+  if (mode == Mode::kBaselineTime) {
+    cfg.checkpoint_policy.transparent_time = false;
+    cfg.checkpoint_policy.live_precopy = false;  // make the leak worst-case
+  }
+  Testbed testbed(&sim, 42, cfg);
+  ExperimentSpec spec("pair");
+  spec.AddNode("client");
+  spec.AddNode("server");
+  spec.AddLink("client", "server", 1'000'000'000, 200 * kMicrosecond);
+  Experiment* experiment = testbed.CreateExperiment(spec);
+  experiment->SwapIn(true, nullptr);
+  sim.RunUntil(sim.Now() + 10 * kSecond);
+
+  IperfApp::Params params;
+  params.total_bytes = 512ull * 1024 * 1024;
+  IperfApp iperf(experiment->node("client"), experiment->node("server"), params);
+  bool done = false;
+  iperf.Start([&] { done = true; });
+
+  Outcome out;
+  sim.Schedule(kSecond, [&] {
+    switch (mode) {
+      case Mode::kScheduled:
+      case Mode::kBaselineTime:
+        experiment->coordinator().CheckpointScheduled(
+            200 * kMillisecond, [&](const DistributedCheckpointRecord& rec) {
+              out.skew_us = ToMicroseconds(rec.SuspendSkew());
+            });
+        break;
+      case Mode::kImmediate:
+        experiment->coordinator().CheckpointImmediate(
+            [&](const DistributedCheckpointRecord& rec) {
+              out.skew_us = ToMicroseconds(rec.SuspendSkew());
+            });
+        break;
+      case Mode::kUncoordinated: {
+        // Staggered, independent checkpoints; each resumes on its own.
+        auto start = [&](CheckpointParticipant* p, SimTime stagger) {
+          sim.Schedule(stagger, [&sim, p] {
+            p->CheckpointAtLocal(p->clock().LocalNow(),
+                                 [&sim, p](const LocalCheckpointRecord&) {
+                                   p->ResumeAtLocal(p->clock().LocalNow());
+                                 });
+          });
+        };
+        start(experiment->engine("client"), 0);
+        start(experiment->engine("server"), 250 * kMillisecond);
+        start(experiment->delay_participant(0), 120 * kMillisecond);
+        // Skew is the stagger itself.
+        out.skew_us = 250'000;
+        break;
+      }
+    }
+  });
+
+  while (!done && sim.Now() < 300 * kSecond) {
+    sim.RunUntil(sim.Now() + kSecond);
+  }
+  out.completed = done;
+
+  const Samples gaps = iperf.InterPacketGapsUs();
+  out.max_gap_us = gaps.Summarize().max;
+  out.mean_gap_us = gaps.Summarize().mean;
+  out.retransmits = iperf.sender_stats().retransmits;
+  out.timeouts = iperf.sender_stats().timeouts;
+  out.dup_acks = iperf.sender_stats().dup_acks_received;
+  return out;
+}
+
+void Print(const char* name, const Outcome& o) {
+  std::printf("%-14s skew %9.1f us   max-gap %10.1f us   mean-gap %6.2f us   "
+              "retx %4lu  timeouts %3lu  dupacks %5lu  completed %d\n",
+              name, o.skew_us, o.max_gap_us, o.mean_gap_us,
+              static_cast<unsigned long>(o.retransmits),
+              static_cast<unsigned long>(o.timeouts),
+              static_cast<unsigned long>(o.dup_acks), o.completed);
+}
+
+void RunAll() {
+  PrintHeader("Ablation", "checkpoint coordination strategies (iperf, one checkpoint)");
+  const Outcome scheduled = Run(Mode::kScheduled);
+  const Outcome immediate = Run(Mode::kImmediate);
+  const Outcome uncoordinated = Run(Mode::kUncoordinated);
+  const Outcome baseline = Run(Mode::kBaselineTime);
+
+  PrintSection("results");
+  Print("scheduled", scheduled);
+  Print("immediate", immediate);
+  Print("uncoordinated", uncoordinated);
+  Print("baseline-time", baseline);
+
+  PrintSection("reading");
+  PrintNote("scheduled: skew bounded by NTP error; smallest boundary gap.");
+  PrintNote("immediate: skew grows to notification propagation + processing jitter.");
+  PrintNote("uncoordinated: the boundary gap inflates to the stagger (packet delays");
+  PrintNote("  and in-flight buildup of Section 3.2).");
+  PrintNote("baseline-time: downtime leaks into guest clocks; RTO state is no longer");
+  PrintNote("  aligned with the stream, risking spurious retransmissions.");
+}
+
+}  // namespace
+}  // namespace tcsim
+
+int main() {
+  tcsim::RunAll();
+  return 0;
+}

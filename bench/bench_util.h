@@ -1,0 +1,56 @@
+// Shared output helpers for the figure/table reproduction harnesses.
+//
+// Every binary in bench/ regenerates one table or figure from the paper's
+// evaluation (Section 7) and prints (a) the paper's reported values, (b) the
+// values measured in this reproduction, in a stable plain-text format that
+// EXPERIMENTS.md quotes.
+
+#ifndef TCSIM_BENCH_BENCH_UTIL_H_
+#define TCSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace tcsim {
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintSection(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline void PrintRow(const std::string& label, double paper, double measured,
+                     const std::string& unit) {
+  std::printf("%-44s paper: %10.3f %-8s measured: %10.3f %s\n", label.c_str(), paper,
+              unit.c_str(), measured, unit.c_str());
+}
+
+inline void PrintValue(const std::string& label, double value, const std::string& unit) {
+  std::printf("%-44s %10.3f %s\n", label.c_str(), value, unit.c_str());
+}
+
+inline void PrintNote(const std::string& note) { std::printf("note: %s\n", note.c_str()); }
+
+// Prints a (time, value) series downsampled to at most `max_points` rows —
+// the data behind a figure, reproducible with any plotting tool.
+inline void PrintSeries(const std::string& name, const TimeSeries& series,
+                        size_t max_points = 40) {
+  std::printf("\nseries %s (t_seconds value), %zu points", name.c_str(), series.size());
+  const size_t stride = series.size() > max_points ? series.size() / max_points : 1;
+  std::printf(stride > 1 ? ", downsampled x%zu:\n" : ":\n", stride);
+  for (size_t i = 0; i < series.size(); i += stride) {
+    std::printf("  %9.3f  %10.4f\n", ToSeconds(series.points()[i].time),
+                series.points()[i].value);
+  }
+}
+
+}  // namespace tcsim
+
+#endif  // TCSIM_BENCH_BENCH_UTIL_H_

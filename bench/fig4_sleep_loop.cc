@@ -1,0 +1,98 @@
+// Figure 4: periodic checkpointing of a microbenchmark executing a 10 ms
+// sleep in a loop.
+//
+// Paper setup: usleep(10ms) in a loop (nominal 20 ms per iteration due to
+// timer-tick quantization), 6000 iterations, one transparent checkpoint
+// every 5 seconds. Paper results: during normal intra-checkpoint execution
+// 97% of iterations are timer-accurate to within 28 us; a checkpoint briefly
+// increases measurement error to ~80 us.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/microbench.h"
+#include "src/checkpoint/local_checkpoint.h"
+#include "src/guest/node.h"
+#include "src/sim/simulator.h"
+
+namespace tcsim {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 4", "periodic checkpointing of a 10 ms usleep loop");
+
+  Simulator sim;
+  NodeConfig cfg;
+  cfg.name = "pc1";
+  cfg.id = 1;
+  ExperimentNode node(&sim, Rng(3), cfg);
+  LocalCheckpointEngine engine(&sim, &node, CheckpointPolicy{});
+
+  SleepLoopApp::Params params;
+  params.iterations = 6000;
+  SleepLoopApp app(&node, params);
+  bool done = false;
+  app.Start([&] { done = true; });
+
+  std::function<void()> periodic = [&] {
+    if (!engine.in_progress()) {
+      engine.CheckpointNow(nullptr);
+    }
+    sim.Schedule(5 * kSecond, periodic);
+  };
+  sim.Schedule(5 * kSecond, periodic);
+
+  while (!done && sim.Now() < 600 * kSecond) {
+    sim.RunUntil(sim.Now() + kSecond);
+  }
+
+  const Samples& iters = app.iteration_times_ms();
+  const Summary s = iters.Summarize();
+
+  // Split iterations into those near a checkpoint and the rest.
+  Samples near_ckpt;
+  Samples normal;
+  size_t trace_i = 0;
+  const auto& records = app.trace().records();
+  for (size_t i = 0; i < records.size(); ++i) {
+    bool near = false;
+    for (const LocalCheckpointRecord& rec : engine.history()) {
+      // Guest-visible instant of the checkpoint = virtual time at suspension.
+      if (std::abs(records[i].virtual_time -
+                   (rec.suspended_at - (rec.resumed_at - rec.saved_at))) < 100 * kMillisecond) {
+        near = true;
+        break;
+      }
+    }
+    (near ? near_ckpt : normal).Add(records[i].value);
+    (void)trace_i;
+  }
+
+  PrintSection("iteration time");
+  PrintRow("nominal iteration", 20.0, s.mean, "ms");
+  PrintRow("fraction within 28 us of nominal (normal)", 0.97,
+           normal.FractionWithin(normal.Percentile(50), 0.028), "frac");
+  PrintSection("checkpoint impact");
+  PrintValue("checkpoints taken", static_cast<double>(engine.history().size()), "");
+  const double max_err_ms =
+      std::max(std::abs(near_ckpt.Summarize().max - 20.0),
+               std::abs(near_ckpt.Summarize().min - 20.0));
+  PrintRow("max timer error at a checkpoint", 0.080, max_err_ms, "ms");
+  PrintNote("paper: spikes at checkpoints briefly raise timer error to ~80 us —");
+  PrintNote("the empirical limit of local checkpoint time-transparency.");
+
+  TimeSeries series;
+  for (size_t i = 0; i < records.size(); ++i) {
+    series.Add(records[i].virtual_time, records[i].value);
+  }
+  PrintSeries("fig4.iteration_time_ms", series);
+}
+
+}  // namespace
+}  // namespace tcsim
+
+int main() {
+  tcsim::Run();
+  return 0;
+}

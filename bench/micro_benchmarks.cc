@@ -1,0 +1,114 @@
+// Micro-benchmarks of the simulator substrate (google-benchmark).
+//
+// These do not reproduce paper results; they bound the cost of the
+// simulation machinery itself (events, RNG, TCP, the branching store, and a
+// full local checkpoint cycle) so regressions in the substrate are visible.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/checkpoint/local_checkpoint.h"
+#include "src/guest/node.h"
+#include "src/net/stack.h"
+#include "src/net/tcp.h"
+#include "src/net/timer_host.h"
+#include "src/net/wire.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/storage/branch_store.h"
+#include "src/storage/disk.h"
+
+namespace tcsim {
+namespace {
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(i, [] {});
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventScheduleAndRun);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Normal(0.0, 1.0));
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_TcpBulkTransfer(benchmark::State& state) {
+  const uint64_t bytes = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    PhysicalTimerHost timers(&sim);
+    NetworkStack a(&sim, &timers, 1);
+    NetworkStack b(&sim, &timers, 2);
+    Nic* nic_a = a.AddNic();
+    Nic* nic_b = b.AddNic();
+    Rng rng(7);
+    Wire ab(&sim, rng.Fork(), 1'000'000'000, 100 * kMicrosecond, 0.0, nic_b);
+    Wire ba(&sim, rng.Fork(), 1'000'000'000, 100 * kMicrosecond, 0.0, nic_a);
+    nic_a->ConnectTx(&ab);
+    nic_b->ConnectTx(&ba);
+    uint64_t delivered = 0;
+    b.ListenTcp(80, [&](TcpConnection* conn) {
+      conn->SetDeliveryCallback([&](uint64_t n) { delivered += n; });
+    });
+    TcpConnection* conn = a.ConnectTcp(2, 80, {}, nullptr);
+    conn->Send(bytes);
+    sim.Run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_TcpBulkTransfer)->Arg(1 << 20)->Arg(8 << 20);
+
+void BM_BranchStoreWrite(benchmark::State& state) {
+  Simulator sim;
+  Disk disk(&sim, DiskParams{});
+  BranchStore store(&disk, 1 << 22);
+  uint64_t block = 0;
+  for (auto _ : state) {
+    store.Write(block, {block}, nullptr);
+    block = (block + 1) % (1 << 22);
+    if (block % 1024 == 0) {
+      sim.Run();  // drain the disk queue
+    }
+  }
+  sim.Run();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchStoreWrite);
+
+void BM_LocalCheckpointCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    NodeConfig cfg;
+    cfg.name = "pc1";
+    cfg.id = 1;
+    ExperimentNode node(&sim, Rng(1), cfg);
+    LocalCheckpointEngine engine(&sim, &node, CheckpointPolicy{});
+    node.domain().TouchMemory(64 << 20);
+    bool done = false;
+    sim.Schedule(kSecond, [&] {
+      engine.CheckpointNow([&](const LocalCheckpointRecord&) { done = true; });
+    });
+    while (!done && sim.Now() < 60 * kSecond) {
+      sim.RunUntil(sim.Now() + kSecond);
+    }
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_LocalCheckpointCycle);
+
+}  // namespace
+}  // namespace tcsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,198 @@
+#include "src/apps/diskbench.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace tcsim {
+
+// --- BonnieApp -----------------------------------------------------------------
+
+void BonnieApp::Run(std::function<void(const Results&)> done) {
+  done_ = std::move(done);
+  StartPhase(Phase::kBlockWrite);
+}
+
+void BonnieApp::StartPhase(Phase phase) {
+  if (phase == Phase::kDone) {
+    if (done_) {
+      done_(results_);
+    }
+    return;
+  }
+  Step(phase, 0, node_->kernel().GetTimeOfDay());
+}
+
+void BonnieApp::Step(Phase phase, uint64_t block, SimTime phase_start) {
+  const uint64_t total_blocks = params_.file_bytes / kBlockSize;
+  if (block >= total_blocks) {
+    FinishPhase(phase, phase_start);
+    return;
+  }
+  GuestKernel& kernel = node_->kernel();
+  BlockFrontend& dev = kernel.block();
+  const uint64_t base = params_.start_block + block;
+  kernel.TouchMemory(4096);
+
+  switch (phase) {
+    case Phase::kBlockWrite: {
+      const uint32_t n = params_.block_op_blocks;
+      dev.Write(base, std::vector<uint64_t>(n, 0xB10C + block),
+                [this, phase, block, n, phase_start] {
+                  Step(phase, block + n, phase_start);
+                });
+      break;
+    }
+    case Phase::kCharWrite: {
+      // Character I/O is CPU-bound putc() looping, then a 4 KB block write.
+      kernel.RunCpu(params_.char_op_cpu, [this, phase, block, base, phase_start] {
+        node_->kernel().block().Write(base, {0xC4A6 + block},
+                                      [this, phase, block, phase_start] {
+                                        Step(phase, block + 1, phase_start);
+                                      });
+      });
+      break;
+    }
+    case Phase::kRewrite: {
+      const uint32_t n = params_.block_op_blocks;
+      dev.Read(base, n, [this, phase, block, base, n, phase_start](std::vector<uint64_t>) {
+        node_->kernel().block().Write(base, std::vector<uint64_t>(n, 0x4E57 + block),
+                                      [this, phase, block, n, phase_start] {
+                                        Step(phase, block + n, phase_start);
+                                      });
+      });
+      break;
+    }
+    case Phase::kBlockRead: {
+      const uint32_t n = params_.block_op_blocks;
+      dev.Read(base, n, [this, phase, block, n, phase_start](std::vector<uint64_t>) {
+        Step(phase, block + n, phase_start);
+      });
+      break;
+    }
+    case Phase::kCharRead: {
+      kernel.RunCpu(params_.char_op_cpu, [this, phase, block, base, phase_start] {
+        node_->kernel().block().Read(base, 1,
+                                     [this, phase, block, phase_start](std::vector<uint64_t>) {
+                                       Step(phase, block + 1, phase_start);
+                                     });
+      });
+      break;
+    }
+    case Phase::kDone:
+      break;
+  }
+}
+
+void BonnieApp::FinishPhase(Phase phase, SimTime phase_start) {
+  const SimTime elapsed = node_->kernel().GetTimeOfDay() - phase_start;
+  const double mbs =
+      static_cast<double>(params_.file_bytes) / (1024.0 * 1024.0) / ToSeconds(elapsed);
+  switch (phase) {
+    case Phase::kBlockWrite:
+      results_.block_write_mbs = mbs;
+      StartPhase(Phase::kCharWrite);
+      break;
+    case Phase::kCharWrite:
+      results_.char_write_mbs = mbs;
+      StartPhase(Phase::kRewrite);
+      break;
+    case Phase::kRewrite:
+      results_.rewrite_mbs = mbs;
+      StartPhase(Phase::kBlockRead);
+      break;
+    case Phase::kBlockRead:
+      results_.block_read_mbs = mbs;
+      StartPhase(Phase::kCharRead);
+      break;
+    case Phase::kCharRead:
+      results_.char_read_mbs = mbs;
+      StartPhase(Phase::kDone);
+      break;
+    case Phase::kDone:
+      break;
+  }
+}
+
+// --- FileCopyApp ----------------------------------------------------------------
+
+void FileCopyApp::Start(std::function<void()> done) {
+  done_ = std::move(done);
+  started_ = node_->kernel().GetTimeOfDay();
+  WriteNext(0);
+}
+
+void FileCopyApp::WriteNext(uint64_t offset_blocks) {
+  const uint64_t total_blocks = params_.total_bytes / kBlockSize;
+  if (offset_blocks >= total_blocks) {
+    finished_ = node_->kernel().GetTimeOfDay();
+    if (done_) {
+      done_();
+    }
+    return;
+  }
+  const uint32_t n = params_.chunk_blocks;
+  node_->kernel().TouchMemory(n * kBlockSize);
+  node_->kernel().block().Write(
+      params_.start_block + offset_blocks, std::vector<uint64_t>(n, 0xF17E + offset_blocks),
+      [this, offset_blocks, n] {
+        meter_.Add(node_->kernel().GetTimeOfDay(), static_cast<uint64_t>(n) * kBlockSize);
+        WriteNext(offset_blocks + n);
+      });
+}
+
+// --- KernelBuildApp --------------------------------------------------------------
+
+KernelBuildApp::KernelBuildApp(ExperimentNode* node, Params params)
+    : node_(node), params_(params), fs_(&node->kernel().block()) {
+  // The free-block plugin snoops bitmap writes below the guest and feeds the
+  // swap-out filter (Section 5.1).
+  node_->store().SetFreeBlockFilter(
+      [plugin = fs_.plugin()](uint64_t block) { return plugin->IsFree(block); });
+}
+
+void KernelBuildApp::Run(std::function<void()> done) {
+  // "make": object-file churn plus persistent outputs.
+  WriteChurn(params_.churn_bytes, [this, done = std::move(done)]() mutable {
+    fs_.WriteFile("vmlinux", params_.persistent_bytes,
+                  [this, done = std::move(done)]() mutable {
+                    // "make clean": delete every object file.
+                    DeleteChurn(0, std::move(done));
+                  });
+  });
+}
+
+void KernelBuildApp::WriteChurn(uint64_t remaining, std::function<void()> then) {
+  if (remaining == 0) {
+    then();
+    return;
+  }
+  const uint64_t bytes = std::min<uint64_t>(remaining, params_.file_bytes);
+  const std::string name = "obj" + std::to_string(churn_files_++);
+  node_->kernel().TouchMemory(64 * 1024);
+  fs_.WriteFile(name, bytes, [this, remaining, bytes, then = std::move(then)]() mutable {
+    WriteChurn(remaining - bytes, std::move(then));
+  });
+}
+
+void KernelBuildApp::DeleteChurn(size_t index, std::function<void()> then) {
+  if (index >= churn_files_) {
+    then();
+    return;
+  }
+  fs_.DeleteFile("obj" + std::to_string(index),
+                 [this, index, then = std::move(then)]() mutable {
+                   DeleteChurn(index + 1, std::move(then));
+                 });
+}
+
+uint64_t KernelBuildApp::DeltaBytesWithoutElimination() const {
+  return node_->store().current_delta_blocks() * kBlockSize;
+}
+
+uint64_t KernelBuildApp::DeltaBytesWithElimination() const {
+  return node_->store().LiveDeltaBlocks() * kBlockSize;
+}
+
+}  // namespace tcsim

@@ -1,0 +1,119 @@
+// Disk workloads: a Bonnie++-style benchmark (Figure 8), a large sequential
+// file copy (Figure 9), and a kernel-build churn workload (the free-block
+// elimination result of Section 5.1).
+
+#ifndef TCSIM_SRC_APPS_DISKBENCH_H_
+#define TCSIM_SRC_APPS_DISKBENCH_H_
+
+#include <functional>
+#include <string>
+
+#include "src/guest/node.h"
+#include "src/sim/stats.h"
+#include "src/storage/ext3_model.h"
+
+namespace tcsim {
+
+// Bonnie++-style sequential I/O benchmark, measured in guest virtual time.
+class BonnieApp {
+ public:
+  struct Params {
+    uint64_t file_bytes = 512ull * 1024 * 1024;  // 2x guest memory, per paper
+    uint64_t start_block = 8192;                 // working area offset
+    uint32_t block_op_blocks = 16;               // 64 KB "block" operations
+    SimTime char_op_cpu = 60 * kMicrosecond;     // putc-loop CPU per 4 KB
+  };
+
+  struct Results {
+    double block_write_mbs = 0;
+    double char_write_mbs = 0;
+    double rewrite_mbs = 0;
+    double block_read_mbs = 0;
+    double char_read_mbs = 0;
+  };
+
+  BonnieApp(ExperimentNode* node, Params params) : node_(node), params_(params) {}
+
+  // Runs all five phases back to back.
+  void Run(std::function<void(const Results&)> done);
+
+ private:
+  enum class Phase { kBlockWrite, kCharWrite, kRewrite, kBlockRead, kCharRead, kDone };
+
+  void StartPhase(Phase phase);
+  void Step(Phase phase, uint64_t block, SimTime phase_start);
+  void FinishPhase(Phase phase, SimTime phase_start);
+
+  ExperimentNode* node_;
+  Params params_;
+  Results results_;
+  std::function<void(const Results&)> done_;
+};
+
+// Sequential writer of a large file; per-second write throughput as observed
+// by the guest — the foreground workload of Figure 9.
+class FileCopyApp {
+ public:
+  struct Params {
+    uint64_t total_bytes = 1ull * 1024 * 1024 * 1024;
+    uint64_t start_block = 262144;
+    uint32_t chunk_blocks = 16;  // 64 KB writes
+    SimTime bucket = 1 * kSecond;
+  };
+
+  FileCopyApp(ExperimentNode* node, Params params)
+      : node_(node), params_(params), meter_(params.bucket) {}
+
+  void Start(std::function<void()> done = nullptr);
+
+  TimeSeries ThroughputSeries() const { return meter_.Bucketize(); }
+  SimTime elapsed() const { return finished_ - started_; }
+  bool finished() const { return finished_ != 0; }
+
+ private:
+  void WriteNext(uint64_t offset_blocks);
+
+  ExperimentNode* node_;
+  Params params_;
+  ThroughputMeter meter_;
+  SimTime started_ = 0;
+  SimTime finished_ = 0;
+  std::function<void()> done_;
+};
+
+// make + make clean on an ext3 filesystem: writes a large object-file churn
+// plus a small persistent output, then deletes the churn. Demonstrates
+// free-block elimination shrinking the swap-out delta.
+class KernelBuildApp {
+ public:
+  struct Params {
+    uint64_t churn_bytes = 454ull * 1024 * 1024;      // object files (deleted)
+    uint64_t persistent_bytes = 36ull * 1024 * 1024;  // build outputs (kept)
+    uint64_t file_bytes = 1 * 1024 * 1024;            // size of each object file
+  };
+
+  KernelBuildApp(ExperimentNode* node, Params params);
+
+  // Runs make (writes) then make clean (deletes); `done` fires at the end.
+  void Run(std::function<void()> done);
+
+  Ext3Model& fs() { return fs_; }
+
+  // Delta sizes (bytes) with and without free-block elimination, as a
+  // swap-out at this instant would ship them.
+  uint64_t DeltaBytesWithoutElimination() const;
+  uint64_t DeltaBytesWithElimination() const;
+
+ private:
+  void WriteChurn(uint64_t remaining, std::function<void()> then);
+  void DeleteChurn(size_t index, std::function<void()> then);
+
+  ExperimentNode* node_;
+  Params params_;
+  Ext3Model fs_;
+  size_t churn_files_ = 0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_APPS_DISKBENCH_H_

@@ -1,0 +1,66 @@
+#include "src/apps/microbench.h"
+
+#include <cmath>
+#include <utility>
+
+namespace tcsim {
+
+void SleepLoopApp::Start(std::function<void()> done) {
+  done_ = std::move(done);
+  last_wakeup_ = node_->kernel().GetTimeOfDay();
+  Iterate(params_.iterations);
+}
+
+void SleepLoopApp::Iterate(size_t remaining) {
+  if (remaining == 0) {
+    if (done_) {
+      done_();
+    }
+    return;
+  }
+  GuestKernel& kernel = node_->kernel();
+  // usleep(): the kernel rounds the wakeup up to the next timer tick after
+  // sleep expiry, then delivers with a small dispatch latency.
+  const SimTime vnow = kernel.GetTimeOfDay();
+  const SimTime expiry = vnow + params_.sleep;
+  const SimTime tick = params_.timer_tick;
+  const SimTime quantized = ((expiry / tick) + 1) * tick;
+  // Wakeup dispatch is never instantaneous: floor the latency at 1 us.
+  const SimTime jitter = std::max<SimTime>(
+      kMicrosecond, std::abs(static_cast<SimTime>(rng_.Normal(
+                        0.0, static_cast<double>(params_.dispatch_jitter)))));
+  kernel.Usleep(quantized - vnow + jitter, [this, remaining] {
+    const SimTime now = node_->kernel().GetTimeOfDay();
+    const double iteration_ms = ToMilliseconds(now - last_wakeup_);
+    iterations_ms_.Add(iteration_ms);
+    trace_.Record(now, "iter", iteration_ms);
+    last_wakeup_ = now;
+    Iterate(remaining - 1);
+  });
+}
+
+void CpuLoopApp::Start(std::function<void()> done) {
+  done_ = std::move(done);
+  Iterate(params_.iterations);
+}
+
+void CpuLoopApp::Iterate(size_t remaining) {
+  if (remaining == 0) {
+    if (done_) {
+      done_();
+    }
+    return;
+  }
+  GuestKernel& kernel = node_->kernel();
+  const SimTime start = kernel.GetTimeOfDay();
+  kernel.TouchMemory(params_.touched_bytes_per_iteration);
+  kernel.RunCpu(params_.work, [this, start, remaining] {
+    const SimTime now = node_->kernel().GetTimeOfDay();
+    const double iteration_ms = ToMilliseconds(now - start);
+    iterations_ms_.Add(iteration_ms);
+    trace_.Record(now, "cpu-iter", iteration_ms);
+    Iterate(remaining - 1);
+  });
+}
+
+}  // namespace tcsim

@@ -1,0 +1,165 @@
+#include "src/checkpoint/coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tcsim {
+
+SimTime DistributedCheckpointRecord::SuspendSkew() const {
+  if (locals.empty()) {
+    return 0;
+  }
+  SimTime lo = locals.front().suspended_at;
+  SimTime hi = lo;
+  for (const LocalCheckpointRecord& rec : locals) {
+    lo = std::min(lo, rec.suspended_at);
+    hi = std::max(hi, rec.suspended_at);
+  }
+  return hi - lo;
+}
+
+SimTime DistributedCheckpointRecord::TotalFrozenSpan() const {
+  if (locals.empty()) {
+    return 0;
+  }
+  SimTime first_suspend = locals.front().suspended_at;
+  SimTime last_save = locals.front().saved_at;
+  for (const LocalCheckpointRecord& rec : locals) {
+    first_suspend = std::min(first_suspend, rec.suspended_at);
+    last_save = std::max(last_save, rec.saved_at);
+  }
+  return last_save - first_suspend;
+}
+
+uint64_t DistributedCheckpointRecord::TotalImageBytes() const {
+  uint64_t total = 0;
+  for (const LocalCheckpointRecord& rec : locals) {
+    total += rec.image_bytes;
+  }
+  return total;
+}
+
+DistributedCoordinator::DistributedCoordinator(Simulator* sim, NotificationBus* bus,
+                                               HardwareClock* boss_clock)
+    : sim_(sim), bus_(bus), boss_clock_(boss_clock) {
+  bus_->SetServerHandler([this](const CheckpointControlMessage& msg) {
+    if (msg.type == CheckpointControlMessage::Type::kDone) {
+      OnDone(msg.record);
+    }
+  });
+  expected_ = bus_->subscriber_count();
+}
+
+void DistributedCoordinator::CheckpointScheduled(
+    SimTime lead, std::function<void(const DistributedCheckpointRecord&)> done) {
+  assert(!in_progress_);
+  in_progress_ = true;
+  hold_ = false;
+  current_ = DistributedCheckpointRecord{};
+  done_cb_ = std::move(done);
+  if (expected_ == 0) {
+    expected_ = bus_->subscriber_count();
+  }
+
+  auto msg = std::make_shared<CheckpointControlMessage>();
+  msg->type = CheckpointControlMessage::Type::kCheckpointAt;
+  msg->local_time = boss_clock_->LocalNow() + lead;
+  current_.scheduled_local_time = msg->local_time;
+  bus_->Publish(std::move(msg));
+}
+
+void DistributedCoordinator::CheckpointImmediate(
+    std::function<void(const DistributedCheckpointRecord&)> done) {
+  assert(!in_progress_);
+  in_progress_ = true;
+  hold_ = false;
+  current_ = DistributedCheckpointRecord{};
+  done_cb_ = std::move(done);
+  if (expected_ == 0) {
+    expected_ = bus_->subscriber_count();
+  }
+
+  auto msg = std::make_shared<CheckpointControlMessage>();
+  msg->type = CheckpointControlMessage::Type::kCheckpointNow;
+  bus_->Publish(std::move(msg));
+}
+
+void DistributedCoordinator::OnDone(const LocalCheckpointRecord& record) {
+  if (!in_progress_) {
+    return;
+  }
+  current_.locals.push_back(record);
+  if (current_.locals.size() >= expected_) {
+    FinishRound();
+  }
+}
+
+void DistributedCoordinator::CheckpointScheduledAndHold(
+    SimTime lead, std::function<void(const DistributedCheckpointRecord&)> saved) {
+  assert(!in_progress_);
+  in_progress_ = true;
+  hold_ = true;
+  held_ = false;
+  current_ = DistributedCheckpointRecord{};
+  done_cb_ = std::move(saved);
+  if (expected_ == 0) {
+    expected_ = bus_->subscriber_count();
+  }
+
+  auto msg = std::make_shared<CheckpointControlMessage>();
+  msg->type = CheckpointControlMessage::Type::kCheckpointAt;
+  msg->local_time = boss_clock_->LocalNow() + lead;
+  current_.scheduled_local_time = msg->local_time;
+  bus_->Publish(std::move(msg));
+}
+
+void DistributedCoordinator::ResumeAll(std::function<void()> resumed) {
+  assert(held_);
+  held_ = false;
+  current_.resume_local_time = boss_clock_->LocalNow() + resume_margin_;
+  auto msg = std::make_shared<CheckpointControlMessage>();
+  msg->type = CheckpointControlMessage::Type::kResumeAt;
+  msg->local_time = current_.resume_local_time;
+  bus_->Publish(std::move(msg));
+
+  boss_clock_->ScheduleAtLocal(current_.resume_local_time + kMillisecond,
+                               [this, resumed = std::move(resumed)] {
+                                 in_progress_ = false;
+                                 history_.push_back(current_);
+                                 if (resumed) {
+                                   resumed();
+                                 }
+                               });
+}
+
+void DistributedCoordinator::FinishRound() {
+  if (hold_) {
+    // Stateful swap-out: leave everything suspended; the caller resumes
+    // later (possibly much later) via ResumeAll.
+    held_ = true;
+    if (done_cb_) {
+      auto cb = std::move(done_cb_);
+      cb(current_);
+    }
+    return;
+  }
+  // Barrier complete: schedule the synchronized resume.
+  current_.resume_local_time = boss_clock_->LocalNow() + resume_margin_;
+  auto msg = std::make_shared<CheckpointControlMessage>();
+  msg->type = CheckpointControlMessage::Type::kResumeAt;
+  msg->local_time = current_.resume_local_time;
+  bus_->Publish(std::move(msg));
+
+  // Report shortly after the resume instant, once everyone is running again.
+  boss_clock_->ScheduleAtLocal(current_.resume_local_time + kMillisecond, [this] {
+    in_progress_ = false;
+    history_.push_back(current_);
+    if (done_cb_) {
+      auto cb = std::move(done_cb_);
+      cb(history_.back());
+    }
+  });
+}
+
+}  // namespace tcsim

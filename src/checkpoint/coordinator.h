@@ -1,0 +1,104 @@
+// The distributed coordinated checkpoint (Section 4.3).
+//
+// Scheduled mode: the coordinator publishes "checkpoint at time t", chosen
+// far enough ahead for the notification to propagate; each participant
+// suspends when its *own NTP-disciplined clock* reads t, so suspension skew
+// is bounded by residual clock error rather than by network jitter.
+// Event-driven mode publishes "checkpoint now"; skew is then bounded by
+// notification propagation and processing jitter (measurably worse — the
+// reason the paper prefers scheduled checkpoints).
+//
+// After all participants report their state saved (the barrier), the
+// coordinator publishes a synchronized "resume at time r" so everyone
+// resumes near-simultaneously.
+
+#ifndef TCSIM_SRC_CHECKPOINT_COORDINATOR_H_
+#define TCSIM_SRC_CHECKPOINT_COORDINATOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/checkpoint/notification_bus.h"
+#include "src/checkpoint/participant.h"
+#include "src/clock/hardware_clock.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace tcsim {
+
+// Outcome of one distributed checkpoint.
+struct DistributedCheckpointRecord {
+  SimTime scheduled_local_time = 0;  // 0 for event-driven checkpoints
+  SimTime resume_local_time = 0;
+  std::vector<LocalCheckpointRecord> locals;
+
+  // Spread of actual suspension instants across participants — the
+  // coordinated checkpoint's precision.
+  SimTime SuspendSkew() const;
+
+  // Latest save completion minus earliest suspension: the span during which
+  // at least one participant was frozen.
+  SimTime TotalFrozenSpan() const;
+
+  uint64_t TotalImageBytes() const;
+};
+
+class DistributedCoordinator {
+ public:
+  // `boss_clock` is the coordinator's own synchronized clock; notifications
+  // go out through `bus`.
+  DistributedCoordinator(Simulator* sim, NotificationBus* bus, HardwareClock* boss_clock);
+
+  DistributedCoordinator(const DistributedCoordinator&) = delete;
+  DistributedCoordinator& operator=(const DistributedCoordinator&) = delete;
+
+  // Number of participants expected at the barrier (== bus subscribers that
+  // act on checkpoint notifications).
+  void SetExpectedParticipants(size_t n) { expected_ = n; }
+
+  // Publishes "checkpoint at now + lead" and, once the barrier completes,
+  // "resume at <barrier + margin>". `done` fires after the resume time.
+  void CheckpointScheduled(SimTime lead,
+                           std::function<void(const DistributedCheckpointRecord&)> done);
+
+  // Event-driven variant: "checkpoint now" on receipt.
+  void CheckpointImmediate(std::function<void(const DistributedCheckpointRecord&)> done);
+
+  // Like CheckpointScheduled, but the experiment is left suspended after the
+  // barrier (stateful swap-out uses this); `saved` fires once every
+  // participant has captured its state.
+  void CheckpointScheduledAndHold(
+      SimTime lead, std::function<void(const DistributedCheckpointRecord&)> saved);
+
+  // Resumes a held checkpoint: publishes a synchronized resume. `resumed`
+  // fires shortly after the resume instant.
+  void ResumeAll(std::function<void()> resumed = nullptr);
+
+  // Slack between barrier completion and the synchronized resume instant.
+  void set_resume_margin(SimTime margin) { resume_margin_ = margin; }
+
+  const std::vector<DistributedCheckpointRecord>& history() const { return history_; }
+  bool in_progress() const { return in_progress_; }
+
+ private:
+  void OnDone(const LocalCheckpointRecord& record);
+  void FinishRound();
+
+  Simulator* sim_;
+  NotificationBus* bus_;
+  HardwareClock* boss_clock_;
+  size_t expected_ = 0;
+  SimTime resume_margin_ = 5 * kMillisecond;
+
+  bool in_progress_ = false;
+  bool hold_ = false;
+  bool held_ = false;
+  DistributedCheckpointRecord current_;
+  std::function<void(const DistributedCheckpointRecord&)> done_cb_;
+  std::vector<DistributedCheckpointRecord> history_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_CHECKPOINT_COORDINATOR_H_

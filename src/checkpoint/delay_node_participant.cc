@@ -1,0 +1,32 @@
+#include "src/checkpoint/delay_node_participant.h"
+
+#include <utility>
+
+namespace tcsim {
+
+void DelayNodeParticipant::CheckpointAtLocal(
+    SimTime local_time, std::function<void(const LocalCheckpointRecord&)> saved) {
+  node_->clock().ScheduleAtLocal(local_time, [this, saved = std::move(saved)] {
+    current_ = LocalCheckpointRecord{};
+    current_.participant = node_->name();
+    current_.request_time = sim_->Now();
+    current_.suspended_at = sim_->Now();
+    node_->Suspend();
+    // Serialize the pipe hierarchy non-destructively.
+    const auto image = node_->SaveState();
+    current_.image_bytes = image.size();
+    sim_->Schedule(serialize_time_, [this, saved] {
+      current_.saved_at = sim_->Now();
+      saved(current_);
+    });
+  });
+}
+
+void DelayNodeParticipant::ResumeAtLocal(SimTime local_time) {
+  node_->clock().ScheduleAtLocal(local_time, [this] {
+    current_.resumed_at = sim_->Now();
+    node_->Resume();
+  });
+}
+
+}  // namespace tcsim

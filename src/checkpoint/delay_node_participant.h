@@ -1,0 +1,46 @@
+// Checkpoint participation for delay nodes (Section 4.4).
+//
+// Instead of running delay nodes as virtual machines, the paper implements a
+// dedicated live-checkpoint mechanism inside Dummynet: suspend the shaping
+// engine, serialize the pipe/queue hierarchy non-destructively, and on
+// resume virtualize time so queued packets keep their remaining delays.
+// This participant wraps a DelayNode with that protocol so the distributed
+// coordinator can schedule it like any experiment node.
+
+#ifndef TCSIM_SRC_CHECKPOINT_DELAY_NODE_PARTICIPANT_H_
+#define TCSIM_SRC_CHECKPOINT_DELAY_NODE_PARTICIPANT_H_
+
+#include <functional>
+
+#include "src/checkpoint/participant.h"
+#include "src/dummynet/delay_node.h"
+#include "src/sim/simulator.h"
+
+namespace tcsim {
+
+class DelayNodeParticipant : public CheckpointParticipant {
+ public:
+  // `serialize_time` models walking and serializing the pipe hierarchy.
+  DelayNodeParticipant(Simulator* sim, DelayNode* node,
+                       SimTime serialize_time = 300 * kMicrosecond)
+      : sim_(sim), node_(node), serialize_time_(serialize_time) {}
+
+  const std::string& name() const override { return node_->name(); }
+  HardwareClock& clock() override { return node_->clock(); }
+
+  void CheckpointAtLocal(SimTime local_time,
+                         std::function<void(const LocalCheckpointRecord&)> saved) override;
+  void ResumeAtLocal(SimTime local_time) override;
+
+  DelayNode* node() { return node_; }
+
+ private:
+  Simulator* sim_;
+  DelayNode* node_;
+  SimTime serialize_time_;
+  LocalCheckpointRecord current_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_CHECKPOINT_DELAY_NODE_PARTICIPANT_H_

@@ -1,0 +1,142 @@
+#include "src/checkpoint/local_checkpoint.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tcsim {
+
+LocalCheckpointEngine::LocalCheckpointEngine(Simulator* sim, ExperimentNode* node,
+                                             CheckpointPolicy policy)
+    : sim_(sim),
+      node_(node),
+      policy_(policy),
+      saver_(sim, &node->hypervisor(), policy.saver),
+      rng_(0x9E3779B9u ^ node->id()) {
+  node_->kernel().SetResumeTimerLatency(policy_.resume_timer_latency,
+                                        0xC0FFEEull ^ node->id());
+}
+
+void LocalCheckpointEngine::CheckpointNow(
+    std::function<void(const LocalCheckpointRecord&)> done) {
+  assert(!in_progress_);
+  in_progress_ = true;
+  hold_after_save_ = false;
+  saved_cb_ = std::move(done);
+  current_ = LocalCheckpointRecord{};
+  current_.participant = node_->name();
+  current_.request_time = sim_->Now();
+  BeginPreCopy(/*suspend_at_physical=*/-1);
+}
+
+void LocalCheckpointEngine::CheckpointAtLocal(
+    SimTime local_time, std::function<void(const LocalCheckpointRecord&)> saved) {
+  assert(!in_progress_);
+  in_progress_ = true;
+  hold_after_save_ = true;
+  saved_cb_ = std::move(saved);
+  current_ = LocalCheckpointRecord{};
+  current_.participant = node_->name();
+  current_.request_time = sim_->Now();
+  BeginPreCopy(node_->clock().PhysicalAt(local_time));
+}
+
+void LocalCheckpointEngine::BeginPreCopy(SimTime suspend_at_physical) {
+  if (policy_.live_precopy) {
+    // For a scheduled checkpoint the suspend event fires at the appointed
+    // instant; pre-copy merely shrinks the dirty set before it.
+    saver_.PreCopy([this, suspend_at_physical](uint64_t /*residual*/) {
+      if (suspend_at_physical < 0) {
+        AtomicSuspend();
+      }
+    });
+    if (suspend_at_physical >= 0) {
+      sim_->ScheduleAt(suspend_at_physical, [this] { AtomicSuspend(); });
+    }
+    return;
+  }
+  // Non-live baseline: the whole dirty set is stop-copied during downtime.
+  saver_.ResetImage();
+  if (suspend_at_physical >= 0) {
+    sim_->ScheduleAt(suspend_at_physical, [this] { AtomicSuspend(); });
+  } else {
+    AtomicSuspend();
+  }
+}
+
+void LocalCheckpointEngine::AtomicSuspend() {
+  assert(in_progress_);
+  current_.suspended_at = sim_->Now();
+
+  // The instant the suspend thread (outside the firewall) commits the
+  // suspension: every inside activity stops, the time page freezes, the TSC
+  // is restricted, runstate accounting pauses, and the NICs begin logging.
+  node_->kernel().StopInsideActivities();
+  if (policy_.transparent_time) {
+    node_->domain().FreezeTime();
+  }
+  node_->domain().SuspendRunstateAccounting();
+  node_->experimental_nic()->Suspend();
+  node_->control_nic()->Suspend();
+
+  residual_dirty_ = node_->domain().DirtyBytes();
+  DrainAndSave();
+}
+
+void LocalCheckpointEngine::DrainAndSave() {
+  // Block IRQ handlers run outside the firewall so queued disk requests can
+  // complete before device connections are torn down.
+  node_->kernel().block().Quiesce([this] {
+    saver_.StopCopy(residual_dirty_, [this] {
+      sim_->Schedule(policy_.device_serialize_time, [this] { OnStateSaved(); });
+    });
+  });
+}
+
+void LocalCheckpointEngine::OnStateSaved() {
+  current_.saved_at = sim_->Now();
+  current_.image_bytes = saver_.last_image_bytes() + node_->kernel().StateSizeBytes();
+  if (hold_after_save_) {
+    held_ = true;
+    if (saved_cb_) {
+      saved_cb_(current_);
+    }
+    return;
+  }
+  AtomicResume();
+}
+
+void LocalCheckpointEngine::ResumeAtLocal(SimTime local_time) {
+  node_->clock().ScheduleAtLocal(local_time, [this] { ResumeNow(); });
+}
+
+void LocalCheckpointEngine::ResumeNow() {
+  assert(held_);
+  held_ = false;
+  AtomicResume();
+}
+
+void LocalCheckpointEngine::AtomicResume() {
+  // Mirror image of AtomicSuspend. With transparent time the virtual TSC is
+  // compensated by exactly the downtime; otherwise the guest sees the jump.
+  node_->domain().UnfreezeTime(/*compensate=*/policy_.transparent_time);
+  node_->domain().ResumeRunstateAccounting();
+  node_->kernel().ResumeInsideActivities();
+  node_->kernel().block().Unquiesce();
+  node_->experimental_nic()->Resume();
+  node_->control_nic()->Resume();
+
+  current_.resumed_at = sim_->Now();
+  history_.push_back(current_);
+  in_progress_ = false;
+
+  // Flush the captured image to the snapshot disk in the background; the
+  // Dom0 CPU and disk activity is the post-checkpoint perturbation the
+  // paper observes in Figures 5 and 6.
+  saver_.BackgroundWriteback(current_.image_bytes, nullptr);
+
+  if (!hold_after_save_ && saved_cb_) {
+    saved_cb_(history_.back());
+  }
+}
+
+}  // namespace tcsim

@@ -1,0 +1,110 @@
+// The local (single-node) transparent live checkpoint (Section 4.1-4.2).
+//
+// Timeline of one checkpoint of an experiment node:
+//
+//   request ──► pre-copy (guest running; Dom0 steals some CPU)
+//           ──► ATOMIC SUSPEND at the scheduled instant:
+//                 engage temporal firewall, stop threads & timers,
+//                 freeze virtual time & runstate accounting, suspend NICs
+//           ──► drain in-flight block requests (block IRQs outside firewall)
+//           ──► stop-and-copy residual dirty memory + serialize device state
+//                 (this interval is the checkpoint downtime)
+//           ──► [hold for coordinator barrier, if distributed]
+//           ──► ATOMIC RESUME:
+//                 compensate virtual TSC (transparent) or not (baseline),
+//                 unfreeze time & runstate, reopen devices, replay NIC log,
+//                 disengage firewall
+//           ──► background writeback of the image to the snapshot disk
+//                 (Dom0 activity; the residual perturbation of Figs. 5-6).
+
+#ifndef TCSIM_SRC_CHECKPOINT_LOCAL_CHECKPOINT_H_
+#define TCSIM_SRC_CHECKPOINT_LOCAL_CHECKPOINT_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/checkpoint/participant.h"
+#include "src/guest/node.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/xen/hypervisor.h"
+
+namespace tcsim {
+
+// Knobs controlling checkpoint behaviour; the defaults are the paper's
+// transparent configuration, the alternatives are evaluation baselines.
+struct CheckpointPolicy {
+  // Freeze guest time during the checkpoint and compensate the virtual TSC
+  // at resume. Disabling this yields the non-transparent baseline: the guest
+  // observes the downtime as lost time.
+  bool transparent_time = true;
+
+  // Use iterative pre-copy while running (live checkpoint). Disabling it
+  // stop-copies the entire dirty set during the downtime.
+  bool live_precopy = true;
+
+  // Fixed cost of the suspend handshake and device-state serialization
+  // (XenBus round trips, virtual device teardown).
+  SimTime device_serialize_time = 2 * kMillisecond;
+
+  // Mean extra latency frozen timers experience through the resume path
+  // (suspend/resume bookkeeping). Bounded per checkpoint, it does not
+  // accumulate — the empirical transparency limit of Figure 4 (~80 us).
+  SimTime resume_timer_latency = 40 * kMicrosecond;
+
+  LiveMemorySaver::Params saver;
+};
+
+// Drives local checkpoints of one ExperimentNode. Also implements
+// CheckpointParticipant so the distributed coordinator can schedule it.
+class LocalCheckpointEngine : public CheckpointParticipant {
+ public:
+  LocalCheckpointEngine(Simulator* sim, ExperimentNode* node, CheckpointPolicy policy);
+
+  // --- Standalone use (single-node checkpoints, Figures 4 and 5) -------------
+
+  // Runs a complete checkpoint, resuming immediately after the state is
+  // saved. `done` (optional) receives the record.
+  void CheckpointNow(std::function<void(const LocalCheckpointRecord&)> done = nullptr);
+
+  // --- CheckpointParticipant ---------------------------------------------------
+
+  const std::string& name() const override { return node_->name(); }
+  HardwareClock& clock() override { return node_->clock(); }
+  void CheckpointAtLocal(SimTime local_time,
+                         std::function<void(const LocalCheckpointRecord&)> saved) override;
+  void ResumeAtLocal(SimTime local_time) override;
+
+  // Immediately resumes a held (saved but suspended) checkpoint.
+  void ResumeNow();
+
+  const std::vector<LocalCheckpointRecord>& history() const { return history_; }
+  const CheckpointPolicy& policy() const { return policy_; }
+  bool in_progress() const { return in_progress_; }
+
+ private:
+  // Phase entry points.
+  void BeginPreCopy(SimTime suspend_at_physical);
+  void AtomicSuspend();
+  void DrainAndSave();
+  void OnStateSaved();
+  void AtomicResume();
+
+  Simulator* sim_;
+  ExperimentNode* node_;
+  CheckpointPolicy policy_;
+  LiveMemorySaver saver_;
+  Rng rng_;
+
+  bool in_progress_ = false;
+  bool hold_after_save_ = false;
+  bool held_ = false;
+  uint64_t residual_dirty_ = 0;
+  LocalCheckpointRecord current_;
+  std::function<void(const LocalCheckpointRecord&)> saved_cb_;
+  std::vector<LocalCheckpointRecord> history_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_CHECKPOINT_LOCAL_CHECKPOINT_H_

@@ -1,0 +1,77 @@
+#include "src/checkpoint/notification_bus.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tcsim {
+
+namespace {
+// Approximate wire size of a bus notification.
+constexpr uint32_t kNotificationBytes = 128;
+}  // namespace
+
+NotificationBus::NotificationBus(NetworkStack* boss_stack, uint16_t port)
+    : stack_(boss_stack), port_(port) {
+  stack_->BindUdp(port_, [this](const Packet& pkt) {
+    auto* msg = dynamic_cast<CheckpointControlMessage*>(pkt.payload.get());
+    if (msg != nullptr && handler_) {
+      handler_(*msg);
+    }
+  });
+}
+
+void NotificationBus::Publish(std::shared_ptr<CheckpointControlMessage> msg) {
+  for (NodeId daemon : subscribers_) {
+    stack_->SendUdp(daemon, kCheckpointDaemonPort, port_, kNotificationBytes, msg);
+  }
+}
+
+CheckpointDaemon::CheckpointDaemon(NetworkStack* stack, NodeId boss_addr,
+                                   CheckpointParticipant* participant, uint16_t port,
+                                   uint16_t bus_port)
+    : stack_(stack),
+      boss_addr_(boss_addr),
+      participant_(participant),
+      port_(port),
+      bus_port_(bus_port),
+      processing_jitter_rng_(0xDAE11077ull ^ stack->addr()) {
+  stack_->BindUdp(port_, [this](const Packet& pkt) { OnMessage(pkt); });
+}
+
+void CheckpointDaemon::OnMessage(const Packet& pkt) {
+  auto* msg = dynamic_cast<CheckpointControlMessage*>(pkt.payload.get());
+  if (msg == nullptr) {
+    return;
+  }
+  switch (msg->type) {
+    case CheckpointControlMessage::Type::kCheckpointAt:
+      participant_->CheckpointAtLocal(
+          msg->local_time, [this](const LocalCheckpointRecord& rec) { SendDone(rec); });
+      break;
+    case CheckpointControlMessage::Type::kCheckpointNow: {
+      // Event-driven mode acts on receipt; suspension skew inherits the
+      // daemon's stack-processing and scheduling jitter (hundreds of us to
+      // milliseconds), which the scheduled mode's lead time absorbs.
+      const SimTime jitter =
+          static_cast<SimTime>(processing_jitter_rng_.Uniform(0.2e6, 3.0e6));
+      participant_->CheckpointAtLocal(
+          participant_->clock().LocalNow() + jitter,
+          [this](const LocalCheckpointRecord& rec) { SendDone(rec); });
+      break;
+    }
+    case CheckpointControlMessage::Type::kResumeAt:
+      participant_->ResumeAtLocal(msg->local_time);
+      break;
+    case CheckpointControlMessage::Type::kDone:
+      break;  // boss-bound only
+  }
+}
+
+void CheckpointDaemon::SendDone(const LocalCheckpointRecord& record) {
+  auto msg = std::make_shared<CheckpointControlMessage>();
+  msg->type = CheckpointControlMessage::Type::kDone;
+  msg->record = record;
+  stack_->SendUdp(boss_addr_, bus_port_, port_, kNotificationBytes, std::move(msg));
+}
+
+}  // namespace tcsim

@@ -1,0 +1,52 @@
+// Interface between the distributed checkpoint coordinator and the entities
+// it checkpoints: experiment nodes (full VM checkpoints) and delay nodes
+// (Dummynet-state checkpoints).
+
+#ifndef TCSIM_SRC_CHECKPOINT_PARTICIPANT_H_
+#define TCSIM_SRC_CHECKPOINT_PARTICIPANT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/clock/hardware_clock.h"
+#include "src/sim/time.h"
+
+namespace tcsim {
+
+// Outcome of one participant's local checkpoint.
+struct LocalCheckpointRecord {
+  std::string participant;
+  SimTime request_time = 0;     // physical time the request was issued
+  SimTime suspended_at = 0;     // physical time execution actually stopped
+  SimTime saved_at = 0;         // physical time the image was captured
+  SimTime resumed_at = 0;       // physical time execution resumed
+  uint64_t image_bytes = 0;
+  SimTime downtime() const { return resumed_at - suspended_at; }
+};
+
+// One checkpointable entity. Scheduling is by the participant's *own* clock:
+// the distributed protocol's precision is bounded by clock synchronization
+// error, exactly as in the paper (Section 4.3).
+class CheckpointParticipant {
+ public:
+  virtual ~CheckpointParticipant() = default;
+
+  virtual const std::string& name() const = 0;
+
+  virtual HardwareClock& clock() = 0;
+
+  // Begins a local checkpoint that suspends when this participant's clock
+  // reads `local_time` (clamped to "now" if already past). `saved` fires
+  // once the local state is captured; the participant then stays suspended
+  // until ResumeAtLocal.
+  virtual void CheckpointAtLocal(SimTime local_time,
+                                 std::function<void(const LocalCheckpointRecord&)> saved) = 0;
+
+  // Schedules the resume when the local clock reads `local_time`.
+  virtual void ResumeAtLocal(SimTime local_time) = 0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_CHECKPOINT_PARTICIPANT_H_

@@ -1,0 +1,76 @@
+#include "src/clock/hardware_clock.h"
+
+#include <cmath>
+#include <utility>
+
+namespace tcsim {
+
+HardwareClock::HardwareClock(Simulator* sim, Rng rng, ClockParams params)
+    : sim_(sim), rng_(rng), params_(params) {
+  drift_ = params_.drift_ppm * 1e-6;
+  offset_ = params_.initial_offset;
+  if (params_.initial_offset_jitter > 0) {
+    offset_ += static_cast<SimTime>(
+        rng_.Uniform(-static_cast<double>(params_.initial_offset_jitter),
+                     static_cast<double>(params_.initial_offset_jitter)));
+  }
+  ref_ = sim_->Now();
+}
+
+SimTime HardwareClock::LocalAt(SimTime phys) const {
+  const double elapsed = static_cast<double>(phys - ref_);
+  return phys + offset_ + static_cast<SimTime>((drift_ + slew_rate_) * elapsed);
+}
+
+SimTime HardwareClock::PhysicalAt(SimTime local) const {
+  // local = phys + offset + rate * (phys - ref)
+  //       = phys * (1 + rate) + offset - rate * ref
+  const double rate = drift_ + slew_rate_;
+  const double phys =
+      (static_cast<double>(local - offset_) + rate * static_cast<double>(ref_)) /
+      (1.0 + rate);
+  return static_cast<SimTime>(std::llround(phys));
+}
+
+EventHandle HardwareClock::ScheduleAtLocal(SimTime local_time, std::function<void()> fn) {
+  return sim_->ScheduleAt(PhysicalAt(local_time), std::move(fn));
+}
+
+void HardwareClock::Rebase() {
+  const SimTime now = sim_->Now();
+  offset_ = LocalAt(now) - now;
+  ref_ = now;
+}
+
+void HardwareClock::StartNtp() {
+  if (ntp_running_) {
+    return;
+  }
+  ntp_running_ = true;
+  ntp_event_ = sim_->Schedule(params_.ntp_poll_interval, [this] { NtpPoll(); });
+}
+
+void HardwareClock::StopNtp() {
+  ntp_running_ = false;
+  ntp_event_.Cancel();
+}
+
+void HardwareClock::NtpPoll() {
+  if (!ntp_running_) {
+    return;
+  }
+  Rebase();
+  // A single NTP exchange observes the true offset plus sampling noise from
+  // network and interrupt jitter on the control LAN. The correction is
+  // applied as a *slew* — a temporary rate adjustment spread over the next
+  // poll interval — never as a step, so local time stays monotone (adjtime
+  // semantics). Overlaid virtual clocks therefore never jump.
+  const SimTime measured =
+      offset_ + static_cast<SimTime>(rng_.Normal(0.0, static_cast<double>(params_.ntp_jitter)));
+  slew_rate_ = -params_.ntp_gain * static_cast<double>(measured) /
+               static_cast<double>(params_.ntp_poll_interval);
+  error_history_.Add(ToMicroseconds(CurrentError()));
+  ntp_event_ = sim_->Schedule(params_.ntp_poll_interval, [this] { NtpPoll(); });
+}
+
+}  // namespace tcsim

@@ -1,0 +1,50 @@
+#include "src/dummynet/delay_node.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tcsim {
+
+DelayNode::DelayNode(Simulator* sim, Rng rng, std::string name, ClockParams clock_params)
+    : sim_(sim), rng_(rng), name_(std::move(name)), clock_(sim, rng_.Fork(), clock_params) {
+  // Delay nodes participate in scheduled checkpoints by their own clocks,
+  // so they run NTP like every other testbed node.
+  clock_.StartNtp();
+}
+
+void DelayNode::Shape(const PipeConfig& cfg, PacketHandler* toward_a,
+                      PacketHandler* toward_b) {
+  pipe_ab_ = std::make_unique<Pipe>(sim_, rng_.Fork(), cfg, toward_b);
+  pipe_ba_ = std::make_unique<Pipe>(sim_, rng_.Fork(), cfg, toward_a);
+}
+
+void DelayNode::Suspend() {
+  assert(pipe_ab_ && pipe_ba_);
+  pipe_ab_->Suspend();
+  pipe_ba_->Suspend();
+}
+
+void DelayNode::Resume() {
+  pipe_ab_->Resume();
+  pipe_ba_->Resume();
+}
+
+std::vector<uint8_t> DelayNode::SaveState() const {
+  ArchiveWriter w;
+  pipe_ab_->Save(&w);
+  pipe_ba_->Save(&w);
+  return w.Take();
+}
+
+size_t DelayNode::PacketsHeld() const {
+  size_t held = 0;
+  if (pipe_ab_) {
+    held += pipe_ab_->PacketsHeld();
+  }
+  if (pipe_ba_) {
+    held += pipe_ba_->PacketsHeld();
+  }
+  return held;
+}
+
+}  // namespace tcsim

@@ -1,0 +1,202 @@
+#include "src/dummynet/pipe.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcsim {
+
+namespace {
+
+// Packet metadata (de)serialization for delay-node images. Application
+// payload objects are not serialized: the live suspend/resume path keeps
+// them in memory; archived images are used for size accounting and tests.
+void WritePacket(ArchiveWriter* w, const Packet& pkt) {
+  w->Write(pkt.id);
+  w->Write(pkt.src);
+  w->Write(pkt.dst);
+  w->Write(pkt.src_port);
+  w->Write(pkt.dst_port);
+  w->Write(pkt.proto);
+  w->Write(pkt.size_bytes);
+  w->Write(pkt.tcp);
+  w->Write(pkt.first_sent);
+}
+
+Packet ReadPacket(ArchiveReader& r) {
+  Packet pkt;
+  pkt.id = r.Read<uint64_t>();
+  pkt.src = r.Read<NodeId>();
+  pkt.dst = r.Read<NodeId>();
+  pkt.src_port = r.Read<uint16_t>();
+  pkt.dst_port = r.Read<uint16_t>();
+  pkt.proto = r.Read<Protocol>();
+  pkt.size_bytes = r.Read<uint32_t>();
+  pkt.tcp = r.Read<TcpHeader>();
+  pkt.first_sent = r.Read<SimTime>();
+  return pkt;
+}
+
+}  // namespace
+
+Pipe::Pipe(Simulator* sim, Rng rng, PipeConfig config, PacketHandler* sink)
+    : sim_(sim), rng_(rng), config_(config), sink_(sink) {}
+
+SimTime Pipe::SerializationTime(uint32_t bytes) const {
+  if (config_.bandwidth_bps == 0) {
+    return 0;
+  }
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 * 1e9 /
+                              static_cast<double>(config_.bandwidth_bps));
+}
+
+void Pipe::HandlePacket(const Packet& pkt) {
+  if (suspended_) {
+    suspend_ingress_log_.push_back(pkt);
+    return;
+  }
+  if (config_.loss_rate > 0.0 && rng_.Bernoulli(config_.loss_rate)) {
+    ++loss_drops_;
+    return;
+  }
+  if (queue_.size() >= config_.queue_limit_packets) {
+    ++queue_drops_;
+    return;
+  }
+  queue_.push_back(pkt);
+  StartTransmissionIfIdle();
+}
+
+void Pipe::StartTransmissionIfIdle() {
+  if (tx_active_ || queue_.empty() || suspended_) {
+    return;
+  }
+  tx_active_ = true;
+  tx_packet_ = queue_.front();
+  queue_.pop_front();
+  tx_done_at_ = sim_->Now() + SerializationTime(tx_packet_.size_bytes);
+  tx_event_ = sim_->ScheduleAt(tx_done_at_, [this] { OnTransmitDone(); });
+}
+
+void Pipe::OnTransmitDone() {
+  tx_active_ = false;
+  ScheduleDelivery(tx_packet_, config_.delay);
+  StartTransmissionIfIdle();
+}
+
+void Pipe::ScheduleDelivery(const Packet& pkt, SimTime delay) {
+  const uint64_t id = next_transit_id_++;
+  InTransit transit;
+  transit.id = id;
+  transit.pkt = pkt;
+  transit.due = sim_->Now() + delay;
+  transit.remaining = 0;
+  transit.event = sim_->Schedule(delay, [this, id] { Deliver(id); });
+  delay_line_.push_back(std::move(transit));
+}
+
+void Pipe::Deliver(uint64_t transit_id) {
+  auto it = std::find_if(delay_line_.begin(), delay_line_.end(),
+                         [transit_id](const InTransit& t) { return t.id == transit_id; });
+  assert(it != delay_line_.end());
+  Packet pkt = it->pkt;
+  delay_line_.erase(it);
+  ++forwarded_;
+  sink_->HandlePacket(pkt);
+}
+
+void Pipe::Suspend() {
+  assert(!suspended_);
+  suspended_ = true;
+  if (tx_active_) {
+    tx_event_.Cancel();
+    tx_remaining_ = tx_done_at_ - sim_->Now();
+  }
+  for (InTransit& t : delay_line_) {
+    t.event.Cancel();
+    t.remaining = t.due - sim_->Now();
+  }
+}
+
+void Pipe::Resume() {
+  assert(suspended_);
+  suspended_ = false;
+  // Packets resume with their remaining times: total shaping delay observed
+  // in virtual time is unchanged by the checkpoint.
+  if (tx_active_) {
+    tx_done_at_ = sim_->Now() + tx_remaining_;
+    tx_event_ = sim_->ScheduleAt(tx_done_at_, [this] { OnTransmitDone(); });
+  }
+  for (InTransit& t : delay_line_) {
+    t.due = sim_->Now() + t.remaining;
+    const uint64_t id = t.id;
+    t.event = sim_->ScheduleAt(t.due, [this, id] { Deliver(id); });
+  }
+  // Ingest packets that arrived while we were frozen, in arrival order.
+  std::deque<Packet> log;
+  log.swap(suspend_ingress_log_);
+  for (const Packet& pkt : log) {
+    HandlePacket(pkt);
+  }
+}
+
+size_t Pipe::PacketsHeld() const {
+  return queue_.size() + (tx_active_ ? 1 : 0) + delay_line_.size();
+}
+
+void Pipe::Save(ArchiveWriter* w) const {
+  w->Write(config_.bandwidth_bps);
+  w->Write(config_.delay);
+  w->Write(config_.loss_rate);
+  w->Write(static_cast<uint64_t>(config_.queue_limit_packets));
+
+  w->Write(static_cast<uint8_t>(tx_active_ ? 1 : 0));
+  if (tx_active_) {
+    WritePacket(w, tx_packet_);
+    const SimTime remaining = suspended_ ? tx_remaining_ : tx_done_at_ - sim_->Now();
+    w->Write(remaining);
+  }
+
+  w->Write(static_cast<uint64_t>(delay_line_.size()));
+  for (const InTransit& t : delay_line_) {
+    WritePacket(w, t.pkt);
+    const SimTime remaining = suspended_ ? t.remaining : t.due - sim_->Now();
+    w->Write(remaining);
+  }
+
+  w->Write(static_cast<uint64_t>(queue_.size()));
+  for (const Packet& pkt : queue_) {
+    WritePacket(w, pkt);
+  }
+}
+
+void Pipe::Restore(ArchiveReader& r) {
+  assert(!tx_active_ && queue_.empty() && delay_line_.empty());
+  config_.bandwidth_bps = r.Read<uint64_t>();
+  config_.delay = r.Read<SimTime>();
+  config_.loss_rate = r.Read<double>();
+  config_.queue_limit_packets = static_cast<size_t>(r.Read<uint64_t>());
+
+  const bool had_tx = r.Read<uint8_t>() != 0;
+  if (had_tx) {
+    tx_active_ = true;
+    tx_packet_ = ReadPacket(r);
+    tx_remaining_ = r.Read<SimTime>();
+    tx_done_at_ = sim_->Now() + tx_remaining_;
+    tx_event_ = sim_->ScheduleAt(tx_done_at_, [this] { OnTransmitDone(); });
+  }
+
+  const uint64_t n_transit = r.Read<uint64_t>();
+  for (uint64_t i = 0; i < n_transit; ++i) {
+    Packet pkt = ReadPacket(r);
+    const SimTime remaining = r.Read<SimTime>();
+    ScheduleDelivery(pkt, remaining);
+  }
+
+  const uint64_t n_queued = r.Read<uint64_t>();
+  for (uint64_t i = 0; i < n_queued; ++i) {
+    queue_.push_back(ReadPacket(r));
+  }
+  StartTransmissionIfIdle();
+}
+
+}  // namespace tcsim

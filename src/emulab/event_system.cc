@@ -1,0 +1,151 @@
+#include "src/emulab/event_system.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/emulab/testbed.h"
+
+namespace tcsim {
+
+EventScheduler::EventScheduler(Experiment* experiment, Testbed* testbed, Placement placement)
+    : experiment_(experiment), testbed_(testbed), placement_(placement) {
+  InstallAgents();
+  // Completion reports come back to the scheduler over the network.
+  auto on_completion_packet = [this](const Packet& pkt) {
+    auto* ev = dynamic_cast<EventNotification*>(pkt.payload.get());
+    if (ev != nullptr && ev->completed) {
+      OnCompletion(ev->event_id);
+    }
+  };
+  if (placement_ == Placement::kBossServer) {
+    testbed_->boss_stack().BindUdp(kEventSchedulerPort, on_completion_packet);
+  } else {
+    experiment_->nodes().front()->net().BindUdp(kEventSchedulerPort, on_completion_packet);
+  }
+}
+
+NodeId EventScheduler::SchedulerAddr() const {
+  return placement_ == Placement::kBossServer ? kBossAddr
+                                              : experiment_->nodes().front()->id();
+}
+
+void EventScheduler::OnCompletion(uint64_t event_id) {
+  ++completions_;
+  auto it = completion_cbs_.find(event_id);
+  if (it == completion_cbs_.end()) {
+    return;
+  }
+  auto cb = std::move(it->second);
+  completion_cbs_.erase(it);
+  if (cb) {
+    cb();
+  }
+}
+
+void EventScheduler::InstallAgents() {
+  // Each node runs an event agent: a UDP service in the guest that executes
+  // delivered actions as user-thread activity and reports completion.
+  for (ExperimentNode* node : experiment_->nodes()) {
+    node->net().BindUdp(kEventAgentPort, [this, node](const Packet& pkt) {
+      auto* ev = dynamic_cast<EventNotification*>(pkt.payload.get());
+      if (ev == nullptr || ev->completed) {
+        return;
+      }
+      deliveries_.push_back({ev->scheduled_time, node->kernel().GetTimeOfDay()});
+      node->kernel().Dispatch(ActivityClass::kUserThread,
+                              [this, ev_copy = pkt.payload, node] {
+                                auto* e = dynamic_cast<EventNotification*>(ev_copy.get());
+                                if (e->action) {
+                                  e->action(*node);
+                                }
+                                // Report completion to the scheduler.
+                                if (e->scheduler_addr == node->id()) {
+                                  OnCompletion(e->event_id);
+                                  return;
+                                }
+                                auto reply = std::make_shared<EventNotification>();
+                                reply->completed = true;
+                                reply->event_id = e->event_id;
+                                node->net().SendUdp(e->scheduler_addr, kEventSchedulerPort,
+                                                    kEventAgentPort, 96, std::move(reply));
+                              });
+    });
+  }
+}
+
+void EventScheduler::Schedule(SimTime at, const std::string& node,
+                              std::function<void(ExperimentNode&)> action,
+                              std::function<void()> on_complete) {
+  assert(!started_ && "schedule events before Start()");
+  const uint64_t id = next_event_id_++;
+  if (on_complete) {
+    completion_cbs_[id] = std::move(on_complete);
+  }
+  pending_.push_back({at, node, std::move(action), id});
+}
+
+void EventScheduler::Start() {
+  started_ = true;
+  if (placement_ == Placement::kInsideExperiment) {
+    ExperimentNode* timekeeper = experiment_->nodes().front();
+    start_virtual_ = timekeeper->kernel().GetTimeOfDay();
+  }
+  for (const PendingEvent& ev : pending_) {
+    if (placement_ == Placement::kBossServer) {
+      DispatchFromBoss(ev);
+    } else {
+      DispatchFromInside(ev);
+    }
+  }
+}
+
+void EventScheduler::DispatchFromBoss(const PendingEvent& ev) {
+  // The boss server schedules by wall-clock time and sends the notification
+  // over the control network. If the experiment is suspended when the event
+  // fires, the packet is logged at the guest NIC and arrives (late in
+  // virtual time) at resume — the distortion of Section 5.2.
+  testbed_->sim()->Schedule(ev.at, [this, ev] {
+    ExperimentNode* target = experiment_->node(ev.node);
+    assert(target != nullptr);
+    auto payload = std::make_shared<EventNotification>();
+    payload->target_node = ev.node;
+    payload->action = ev.action;
+    payload->scheduled_time = ev.at;
+    payload->event_id = ev.id;
+    payload->scheduler_addr = SchedulerAddr();
+    testbed_->boss_stack().SendUdp(target->id(), kEventAgentPort, kEventSchedulerPort, 200,
+                                   std::move(payload));
+  });
+}
+
+void EventScheduler::DispatchFromInside(const PendingEvent& ev) {
+  // The scheduler runs on an experiment node (the timekeeper): its timers
+  // are guest timers, frozen and thawed with the experiment, so event times
+  // stay aligned with experiment virtual time across swap-outs.
+  ExperimentNode* timekeeper = experiment_->nodes().front();
+  ExperimentNode* target = experiment_->node(ev.node);
+  assert(target != nullptr);
+  timekeeper->kernel().ScheduleVirtual(ev.at, [this, ev, timekeeper, target] {
+    if (target == timekeeper) {
+      // Local delivery needs no network hop.
+      deliveries_.push_back({ev.at, target->kernel().GetTimeOfDay()});
+      target->kernel().Dispatch(ActivityClass::kUserThread,
+                                [this, action = ev.action, id = ev.id, target] {
+                                  action(*target);
+                                  OnCompletion(id);
+                                });
+      return;
+    }
+    auto payload = std::make_shared<EventNotification>();
+    payload->target_node = ev.node;
+    payload->action = ev.action;
+    payload->scheduled_time = ev.at;
+    payload->event_id = ev.id;
+    payload->scheduler_addr = SchedulerAddr();
+    // Delivered over the experimental/control network from the timekeeper.
+    timekeeper->net().SendUdp(target->id(), kEventAgentPort, kEventSchedulerPort, 200,
+                              std::move(payload));
+  });
+}
+
+}  // namespace tcsim

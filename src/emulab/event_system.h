@@ -1,0 +1,101 @@
+// Emulab's distributed event system, and its interaction with stateful
+// swapping (Section 5.2).
+//
+// The per-experiment event scheduler dispatches scheduled events to agents
+// on experiment nodes. Historically it runs on an Emulab server — which is
+// stateful and time-aware, so a swapped-out experiment and the server-side
+// scheduler drift apart: server-scheduled events fire by wall-clock time and
+// arrive at the wrong *virtual* time. The paper's fix is to move the
+// scheduler inside the closed world of the experiment, where it freezes and
+// thaws with everything else. Both placements are implemented here so the
+// distortion (and its fix) can be measured.
+
+#ifndef TCSIM_SRC_EMULAB_EVENT_SYSTEM_H_
+#define TCSIM_SRC_EMULAB_EVENT_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/emulab/experiment.h"
+#include "src/net/packet.h"
+
+namespace tcsim {
+
+inline constexpr uint16_t kEventAgentPort = 16600;
+inline constexpr uint16_t kEventSchedulerPort = 16601;
+
+// An event notification delivered to a node's event agent, or (with
+// `completed` set) a completion report back to the scheduler — the event
+// system "optionally receives notifications when events complete"
+// (Section 5.2).
+struct EventNotification : public AppPayload {
+  std::string target_node;
+  std::function<void(ExperimentNode&)> action;
+  SimTime scheduled_time = 0;  // experiment time the event was meant for
+  uint64_t event_id = 0;
+  NodeId scheduler_addr = kInvalidNode;  // where completions go
+  bool completed = false;
+};
+
+class EventScheduler {
+ public:
+  enum class Placement {
+    kBossServer,        // historical: scheduler on the Emulab server
+    kInsideExperiment,  // the paper's design: scheduler inside the closed world
+  };
+
+  EventScheduler(Experiment* experiment, Testbed* testbed, Placement placement);
+
+  // Schedules `action` to run on `node` when the experiment has been running
+  // for `at` (time since Start()). `on_complete` (optional) fires back at
+  // the scheduler once the agent has executed the action.
+  void Schedule(SimTime at, const std::string& node,
+                std::function<void(ExperimentNode&)> action,
+                std::function<void()> on_complete = nullptr);
+
+  size_t completions() const { return completions_; }
+
+  // Starts dispatching. Events with `at` earlier than now fire immediately.
+  void Start();
+
+  Placement placement() const { return placement_; }
+
+  // Delivery log: (scheduled experiment time, guest-observed delivery time).
+  struct Delivery {
+    SimTime scheduled;
+    SimTime delivered_virtual;
+  };
+  const std::vector<Delivery>& deliveries() const { return deliveries_; }
+
+ private:
+  struct PendingEvent {
+    SimTime at;
+    std::string node;
+    std::function<void(ExperimentNode&)> action;
+    uint64_t id = 0;
+  };
+
+  void InstallAgents();
+  void DispatchFromBoss(const PendingEvent& ev);
+  void DispatchFromInside(const PendingEvent& ev);
+  void OnCompletion(uint64_t event_id);
+  NodeId SchedulerAddr() const;
+
+  Experiment* experiment_;
+  Testbed* testbed_;
+  Placement placement_;
+  std::vector<PendingEvent> pending_;
+  bool started_ = false;
+  SimTime start_virtual_ = 0;  // timekeeper's virtual time at Start()
+  std::vector<Delivery> deliveries_;
+  uint64_t next_event_id_ = 1;
+  size_t completions_ = 0;
+  std::unordered_map<uint64_t, std::function<void()>> completion_cbs_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_EMULAB_EVENT_SYSTEM_H_

@@ -1,0 +1,130 @@
+// A mapped experiment: allocated nodes, shaped links, checkpoint plane, and
+// the swap lifecycle including stateful swapping (Section 5).
+
+#ifndef TCSIM_SRC_EMULAB_EXPERIMENT_H_
+#define TCSIM_SRC_EMULAB_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/checkpoint/coordinator.h"
+#include "src/checkpoint/delay_node_participant.h"
+#include "src/checkpoint/local_checkpoint.h"
+#include "src/checkpoint/notification_bus.h"
+#include "src/dummynet/delay_node.h"
+#include "src/emulab/experiment_spec.h"
+#include "src/guest/node.h"
+#include "src/net/lan.h"
+#include "src/net/wire.h"
+#include "src/sim/simulator.h"
+
+namespace tcsim {
+
+class Testbed;
+
+// Timing record of one swap operation.
+struct SwapRecord {
+  enum class Kind { kSwapIn, kStatefulSwapOut, kStatefulSwapIn };
+  Kind kind = Kind::kSwapIn;
+  SimTime started = 0;
+  SimTime finished = 0;       // experiment running again (or fully saved)
+  uint64_t bytes_transferred = 0;
+  bool lazy = false;          // stateful swap-in: lazy disk copy-in
+  bool golden_cached = true;  // initial swap-in: was the base image cached?
+  SimTime duration() const { return finished - started; }
+};
+
+class Experiment {
+ public:
+  enum class State { kCreated, kSwappedIn, kSwappedOut };
+
+  Experiment(Testbed* testbed, const ExperimentSpec& spec);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  const std::string& name() const { return spec_.name(); }
+  State state() const { return state_; }
+
+  // --- Topology access ---------------------------------------------------------
+
+  ExperimentNode* node(const std::string& name);
+  std::vector<ExperimentNode*> nodes();
+  size_t delay_node_count() const { return delay_nodes_.size(); }
+  DelayNode* delay_node(size_t i) { return delay_nodes_[i].get(); }
+  DelayNodeParticipant* delay_participant(size_t i) { return delay_participants_[i].get(); }
+  LocalCheckpointEngine* engine(const std::string& node_name);
+
+  DistributedCoordinator& coordinator() { return *coordinator_; }
+  NotificationBus& bus() { return *bus_; }
+
+  // --- Lifecycle -----------------------------------------------------------------
+
+  // Initial swap-in: loads images (timed; faster when the golden image is
+  // cached on the nodes), boots, configures VLANs. `done` fires when the
+  // experiment is running.
+  void SwapIn(bool golden_cached, std::function<void()> done);
+
+  // Stateful swap-out: optional eager pre-copy of the (free-block-filtered)
+  // disk delta while running, then a distributed checkpoint-and-hold, then
+  // transfer of memory images and residual delta to the fs server. The
+  // experiment's run-time state survives; its time is frozen throughout.
+  void StatefulSwapOut(bool eager_precopy,
+                       std::function<void(const SwapRecord&)> done);
+
+  // Stateful swap-in: transfers memory images back and resumes. With `lazy`,
+  // the guests resume as soon as their memory images arrive and disk blocks
+  // are demand-paged/prefetched in the background; otherwise the full delta
+  // is transferred first.
+  void StatefulSwapIn(bool lazy, std::function<void(const SwapRecord&)> done);
+
+  const std::vector<SwapRecord>& swap_history() const { return swap_history_; }
+
+  // Bytes of disk delta this experiment would ship at swap-out right now
+  // (after free-block elimination).
+  uint64_t PendingDeltaBytes() const;
+
+ private:
+  friend class Testbed;
+
+  struct MappedNode {
+    std::unique_ptr<ExperimentNode> node;
+    std::unique_ptr<LocalCheckpointEngine> engine;
+    std::unique_ptr<CheckpointDaemon> daemon;
+  };
+
+  void BuildTopology(const ExperimentSpec& spec);
+  void TransferToFs(uint64_t bytes, std::function<void()> done);
+
+  Testbed* testbed_;
+  Simulator* sim_;
+  ExperimentSpec spec_;
+  State state_ = State::kCreated;
+
+  std::unordered_map<std::string, MappedNode> nodes_;
+  std::vector<std::string> node_order_;
+  std::vector<std::unique_ptr<DelayNode>> delay_nodes_;
+  std::vector<std::unique_ptr<DelayNodeParticipant>> delay_participants_;
+  std::vector<std::unique_ptr<CheckpointDaemon>> delay_daemons_;
+  std::vector<std::unique_ptr<NetworkStack>> delay_daemon_stacks_;
+  std::vector<std::unique_ptr<PhysicalTimerHost>> delay_daemon_timers_;
+  std::vector<std::unique_ptr<Wire>> wires_;  // zero-delay endpoint wires
+  std::vector<std::unique_ptr<Lan>> lans_;
+
+  std::unique_ptr<NotificationBus> bus_;
+  std::unique_ptr<DistributedCoordinator> coordinator_;
+
+  std::vector<SwapRecord> swap_history_;
+  // Per-cycle new-delta bytes shipped at the last swap-out (for swap-in).
+  uint64_t last_swapout_delta_bytes_ = 0;
+  // Memory image sizes captured at the last swap-out, per node.
+  std::unordered_map<std::string, uint64_t> last_image_bytes_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_EMULAB_EXPERIMENT_H_

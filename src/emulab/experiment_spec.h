@@ -1,0 +1,79 @@
+// Experiment description — the static part of an Emulab experiment
+// (Section 2): nodes, links with traffic-shaping characteristics, LANs, and
+// scheduled program events.
+
+#ifndef TCSIM_SRC_EMULAB_EXPERIMENT_SPEC_H_
+#define TCSIM_SRC_EMULAB_EXPERIMENT_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/xen/domain.h"
+
+namespace tcsim {
+
+// One experiment node (a PC running one guest VM).
+struct NodeSpec {
+  std::string name;
+  DomainConfig domain;
+};
+
+// A shaped point-to-point link. Bandwidth/delay/loss are emulated by an
+// interposed delay node.
+struct LinkSpec {
+  std::string node_a;
+  std::string node_b;
+  uint64_t bandwidth_bps = 1'000'000'000;
+  SimTime delay = 0;          // one-way
+  double loss_rate = 0.0;
+  size_t queue_packets = 512;  // deep enough that a full receive window fits
+};
+
+// A switched LAN segment joining several nodes at a port speed.
+struct LanSpec {
+  std::string name;
+  std::vector<std::string> members;
+  uint64_t bandwidth_bps = 100'000'000;
+  SimTime port_delay = 50 * kMicrosecond;
+};
+
+// Builder for experiment descriptions (the "ns file").
+class ExperimentSpec {
+ public:
+  explicit ExperimentSpec(std::string name) : name_(std::move(name)) {}
+
+  // Adds a node; returns its spec for further configuration.
+  NodeSpec& AddNode(const std::string& name) {
+    nodes_.push_back(NodeSpec{name, DomainConfig{name}});
+    return nodes_.back();
+  }
+
+  // Adds a shaped duplex link between two nodes.
+  void AddLink(const std::string& a, const std::string& b, uint64_t bandwidth_bps,
+               SimTime delay, double loss_rate = 0.0) {
+    links_.push_back(LinkSpec{a, b, bandwidth_bps, delay, loss_rate, 512});
+  }
+
+  // Adds a LAN joining `members`.
+  void AddLan(const std::string& name, std::vector<std::string> members,
+              uint64_t bandwidth_bps, SimTime port_delay = 50 * kMicrosecond) {
+    lans_.push_back(LanSpec{name, std::move(members), bandwidth_bps, port_delay});
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<NodeSpec>& nodes() const { return nodes_; }
+  const std::vector<LinkSpec>& links() const { return links_; }
+  const std::vector<LanSpec>& lans() const { return lans_; }
+
+ private:
+  std::string name_;
+  std::vector<NodeSpec> nodes_;
+  std::vector<LinkSpec> links_;
+  std::vector<LanSpec> lans_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_EMULAB_EXPERIMENT_SPEC_H_

@@ -1,0 +1,65 @@
+#include "src/emulab/idle_monitor.h"
+
+namespace tcsim {
+
+void IdleSwapMonitor::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  idle_since_ = -1;
+  poll_event_ = sim_->Schedule(params_.poll_interval, [this] { Poll(); });
+}
+
+void IdleSwapMonitor::Stop() {
+  running_ = false;
+  poll_event_.Cancel();
+}
+
+bool IdleSwapMonitor::ExperimentActive() {
+  bool active = false;
+  for (ExperimentNode* node : experiment_->nodes()) {
+    if (node->kernel().cpu().runnable_jobs() > 0 ||
+        node->kernel().block().in_flight() > 0) {
+      active = true;
+    }
+    // Cumulative counters catch periodic activity that an instantaneous
+    // sample between timer fires would miss.
+    const uint64_t signature = node->experimental_nic()->packets_received() +
+                               node->control_nic()->packets_received() +
+                               node->kernel().activity_counter();
+    auto it = last_packets_.find(node);
+    if (it != last_packets_.end() && signature != it->second) {
+      active = true;
+    }
+    last_packets_[node] = signature;
+  }
+  return active;
+}
+
+void IdleSwapMonitor::Poll() {
+  if (!running_ || experiment_->state() != Experiment::State::kSwappedIn) {
+    return;
+  }
+  if (ExperimentActive()) {
+    idle_since_ = -1;
+  } else if (idle_since_ < 0) {
+    idle_since_ = sim_->Now();
+  }
+
+  if (idle_since_ >= 0 && sim_->Now() - idle_since_ >= params_.idle_threshold) {
+    // Quiet long enough: reclaim the hardware, preserving all run-time
+    // state. A later StatefulSwapIn picks up exactly where this left off.
+    running_ = false;
+    experiment_->StatefulSwapOut(params_.eager_precopy, [this](const SwapRecord& rec) {
+      swapped_ = true;
+      if (swapped_cb_) {
+        swapped_cb_(rec);
+      }
+    });
+    return;
+  }
+  poll_event_ = sim_->Schedule(params_.poll_interval, [this] { Poll(); });
+}
+
+}  // namespace tcsim

@@ -1,0 +1,226 @@
+#include "src/emulab/services.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tcsim {
+
+NfsServer::NfsServer(NetworkStack* fs_stack, uint16_t port) : stack_(fs_stack), port_(port) {
+  stack_->BindUdp(port_, [this](const Packet& pkt) { OnRequest(pkt); });
+}
+
+const NfsServer::FileAttr* NfsServer::Lookup(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+void NfsServer::OnRequest(const Packet& pkt) {
+  auto* req = dynamic_cast<NfsMessage*>(pkt.payload.get());
+  if (req == nullptr) {
+    return;
+  }
+  auto reply = std::make_shared<NfsMessage>();
+  reply->op = NfsMessage::Op::kReply;
+  reply->path = req->path;
+  reply->request_id = req->request_id;
+
+  switch (req->op) {
+    case NfsMessage::Op::kWrite: {
+      FileAttr& attr = files_[req->path];
+      attr.bytes = req->bytes;
+      attr.mtime = stack_->sim()->Now();  // server stamps with its own time
+      reply->bytes = attr.bytes;
+      reply->mtime = attr.mtime;
+      break;
+    }
+    case NfsMessage::Op::kGetattr: {
+      auto it = files_.find(req->path);
+      if (it != files_.end()) {
+        reply->bytes = it->second.bytes;
+        reply->mtime = it->second.mtime;
+      }
+      break;
+    }
+    case NfsMessage::Op::kReply:
+      return;
+  }
+  stack_->SendUdp(pkt.src, pkt.src_port, port_, 128, std::move(reply));
+}
+
+NfsClient::NfsClient(ExperimentNode* node, NodeId fs_addr) : node_(node), fs_addr_(fs_addr) {
+  node_->net().BindUdp(kNfsClientPort, [this](const Packet& pkt) { OnReply(pkt); });
+}
+
+void NfsClient::TransduceOutbound(NfsMessage* msg) {
+  for (SimTime* ts : msg->MutableTimestamps()) {
+    if (*ts != 0) {
+      *ts = node_->domain().RealFromVirtual(*ts);
+    }
+  }
+}
+
+void NfsClient::TransduceInbound(NfsMessage* msg) {
+  for (SimTime* ts : msg->MutableTimestamps()) {
+    if (*ts != 0) {
+      *ts = node_->domain().VirtualFromReal(*ts);
+    }
+  }
+}
+
+void NfsClient::WriteFile(const std::string& path, uint64_t bytes,
+                          std::function<void(SimTime)> done) {
+  auto msg = std::make_shared<NfsMessage>();
+  msg->op = NfsMessage::Op::kWrite;
+  msg->path = path;
+  msg->bytes = bytes;
+  msg->mtime = node_->kernel().GetTimeOfDay();
+  msg->request_id = next_request_++;
+  pending_[msg->request_id] = std::move(done);
+  TransduceOutbound(msg.get());
+  node_->net().SendUdp(fs_addr_, kNfsPort, kNfsClientPort,
+                       static_cast<uint32_t>(std::min<uint64_t>(bytes, 1u << 20)),
+                       std::move(msg));
+}
+
+void NfsClient::GetAttr(const std::string& path, std::function<void(SimTime)> done) {
+  auto msg = std::make_shared<NfsMessage>();
+  msg->op = NfsMessage::Op::kGetattr;
+  msg->path = path;
+  msg->request_id = next_request_++;
+  pending_[msg->request_id] = std::move(done);
+  TransduceOutbound(msg.get());
+  node_->net().SendUdp(fs_addr_, kNfsPort, kNfsClientPort, 128, std::move(msg));
+}
+
+void NfsClient::OnReply(const Packet& pkt) {
+  auto* reply = dynamic_cast<NfsMessage*>(pkt.payload.get());
+  if (reply == nullptr || reply->op != NfsMessage::Op::kReply) {
+    return;
+  }
+  // Clone before rewriting: payloads are shared between packet copies.
+  NfsMessage local = *reply;
+  TransduceInbound(&local);
+  auto it = pending_.find(local.request_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  auto done = std::move(it->second);
+  pending_.erase(it);
+  if (done) {
+    done(local.mtime);
+  }
+}
+
+
+
+// --- DNS ----------------------------------------------------------------------
+
+DnsServer::DnsServer(NetworkStack* boss_stack, uint16_t port)
+    : stack_(boss_stack), port_(port) {
+  stack_->BindUdp(port_, [this](const Packet& pkt) { OnRequest(pkt); });
+}
+
+void DnsServer::OnRequest(const Packet& pkt) {
+  auto* req = dynamic_cast<DnsMessage*>(pkt.payload.get());
+  if (req == nullptr || req->is_reply) {
+    return;
+  }
+  auto reply = std::make_shared<DnsMessage>();
+  reply->is_reply = true;
+  reply->name = req->name;
+  reply->request_id = req->request_id;
+  auto it = records_.find(req->name);
+  reply->address = it == records_.end() ? kInvalidNode : it->second;
+  stack_->SendUdp(pkt.src, pkt.src_port, port_, 96, std::move(reply));
+}
+
+DnsClient::DnsClient(ExperimentNode* node, NodeId server_addr)
+    : node_(node), server_addr_(server_addr) {
+  node_->net().BindUdp(kDnsClientPort, [this](const Packet& pkt) {
+    auto* reply = dynamic_cast<DnsMessage*>(pkt.payload.get());
+    if (reply == nullptr || !reply->is_reply) {
+      return;
+    }
+    auto it = pending_.find(reply->request_id);
+    if (it == pending_.end()) {
+      return;
+    }
+    auto done = std::move(it->second);
+    pending_.erase(it);
+    if (done) {
+      done(reply->address);
+    }
+  });
+}
+
+void DnsClient::Resolve(const std::string& name, std::function<void(NodeId)> done) {
+  auto msg = std::make_shared<DnsMessage>();
+  msg->name = name;
+  msg->request_id = next_request_++;
+  pending_[msg->request_id] = std::move(done);
+  node_->net().SendUdp(server_addr_, kDnsPort, kDnsClientPort, 64, std::move(msg));
+}
+
+// --- NTP ----------------------------------------------------------------------
+
+NtpServer::NtpServer(NetworkStack* boss_stack, uint16_t port)
+    : stack_(boss_stack), port_(port) {
+  stack_->BindUdp(port_, [this](const Packet& pkt) { OnRequest(pkt); });
+}
+
+void NtpServer::OnRequest(const Packet& pkt) {
+  auto* req = dynamic_cast<NtpMessage*>(pkt.payload.get());
+  if (req == nullptr || req->is_reply) {
+    return;
+  }
+  auto reply = std::make_shared<NtpMessage>();
+  reply->is_reply = true;
+  reply->request_id = req->request_id;
+  reply->originate = req->originate;  // already in real time (transduced)
+  reply->receive = stack_->sim()->Now();
+  reply->transmit = stack_->sim()->Now();
+  stack_->SendUdp(pkt.src, pkt.src_port, port_, 90, std::move(reply));
+}
+
+GuestNtpClient::GuestNtpClient(ExperimentNode* node, NodeId server_addr)
+    : node_(node), server_addr_(server_addr) {
+  node_->net().BindUdp(kNtpClientPort, [this](const Packet& pkt) {
+    auto* reply = dynamic_cast<NtpMessage*>(pkt.payload.get());
+    if (reply == nullptr || !reply->is_reply) {
+      return;
+    }
+    auto it = pending_.find(reply->request_id);
+    if (it == pending_.end()) {
+      return;
+    }
+    // Boundary transduction: server timestamps arrive in real time and are
+    // rewritten into the guest's virtual frame before the guest's NTP math
+    // sees them.
+    NtpMessage local = *reply;
+    for (SimTime* ts : local.MutableTimestamps()) {
+      if (*ts != 0) {
+        *ts = node_->domain().VirtualFromReal(*ts);
+      }
+    }
+    const SimTime t4 = node_->kernel().GetTimeOfDay();
+    // Standard NTP offset: ((t2 - t1) + (t3 - t4)) / 2.
+    const SimTime offset =
+        ((local.receive - local.originate) + (local.transmit - t4)) / 2;
+    auto done = std::move(it->second);
+    pending_.erase(it);
+    if (done) {
+      done(offset);
+    }
+  });
+}
+
+void GuestNtpClient::MeasureOffset(std::function<void(SimTime)> done) {
+  auto msg = std::make_shared<NtpMessage>();
+  msg->request_id = next_request_++;
+  // Outbound transduction: the guest's transmit timestamp leaves the closed
+  // world in real time.
+  msg->originate = node_->domain().RealFromVirtual(node_->kernel().GetTimeOfDay());
+  pending_[msg->request_id] = std::move(done);
+  node_->net().SendUdp(server_addr_, kNtpPort, kNtpClientPort, 90, std::move(msg));
+}
+}  // namespace tcsim

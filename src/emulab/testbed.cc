@@ -1,0 +1,33 @@
+#include "src/emulab/testbed.h"
+
+#include <utility>
+
+#include "src/emulab/experiment.h"
+
+namespace tcsim {
+
+Testbed::Testbed(Simulator* sim, uint64_t seed, TestbedConfig config)
+    : sim_(sim), config_(config), rng_(seed) {
+  server_timers_ = std::make_unique<PhysicalTimerHost>(sim_);
+  // Boss keeps a synchronized clock too: checkpoint scheduling is expressed
+  // in its local time.
+  boss_clock_ = std::make_unique<HardwareClock>(sim_, rng_.Fork(), config_.node_clock);
+  boss_clock_->StartNtp();
+
+  boss_stack_ = std::make_unique<NetworkStack>(sim_, server_timers_.get(), kBossAddr);
+  fs_stack_ = std::make_unique<NetworkStack>(sim_, server_timers_.get(), kFsAddr);
+
+  control_lan_ = std::make_unique<Lan>(sim_, rng_.Fork(), config_.control_bandwidth_bps,
+                                       config_.control_port_delay);
+  control_lan_->Attach(boss_stack_->AddNic());
+  control_lan_->Attach(fs_stack_->AddNic());
+}
+
+Testbed::~Testbed() = default;
+
+Experiment* Testbed::CreateExperiment(const ExperimentSpec& spec) {
+  experiments_.push_back(std::make_unique<Experiment>(this, spec));
+  return experiments_.back().get();
+}
+
+}  // namespace tcsim

@@ -1,0 +1,52 @@
+#include "src/guest/node.h"
+
+#include <utility>
+
+namespace tcsim {
+
+ExperimentNode::ExperimentNode(Simulator* sim, Rng rng, NodeConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      rng_(rng),
+      clock_(sim, rng_.Fork(), config_.clock),
+      hypervisor_(sim, &clock_, config_.name),
+      domain_(hypervisor_.CreateDomain(config_.domain)),
+      kernel_(std::make_unique<GuestKernel>(sim, domain_, config_.name)),
+      net_(kernel_->CreateNetworkStack(config_.id)),
+      experimental_nic_(net_->AddNic()),
+      control_nic_(net_->AddNic()),
+      dom0_timers_(sim),
+      dom0_stack_(std::make_unique<NetworkStack>(sim, &dom0_timers_, config_.id + kDom0IdOffset)),
+      dom0_control_nic_(dom0_stack_->AddNic()),
+      data_disk_(sim, config_.disk),
+      snapshot_disk_(sim, config_.disk),
+      store_(&data_disk_, config_.disk_blocks, config_.write_mode),
+      fs_channel_(sim, config_.fs_channel_bandwidth_bytes_per_sec, config_.fs_channel_rtt),
+      mirror_(sim, &store_, &fs_channel_, config_.mirror, &data_disk_) {
+  // Inbound packets are soft-IRQ work: route them through the kernel's
+  // firewall-aware dispatcher.
+  auto receive = [this](const Packet& pkt) {
+    kernel_->Dispatch(ActivityClass::kSoftIrq,
+                      [this, pkt] { net_->OnReceive(pkt); });
+  };
+  experimental_nic_->SetReceiver(receive);
+  control_nic_->SetReceiver(receive);
+
+  // Guest block I/O goes through the mirror (for swap-time background
+  // transfers) onto the branching store — or straight onto a raw partition
+  // in the Figure 8 "Base" configuration.
+  if (config_.storage_mode == NodeConfig::StorageMode::kRaw) {
+    raw_disk_ = std::make_unique<RawDisk>(&data_disk_, config_.disk_blocks);
+    kernel_->AttachBlockDevice(raw_disk_.get());
+  } else {
+    kernel_->AttachBlockDevice(&mirror_);
+  }
+
+  // Dom0 demand modulates the guest's CPU capacity.
+  hypervisor_.SetCapacityListener(
+      [this](double capacity) { kernel_->cpu().SetCapacity(capacity); });
+
+  clock_.StartNtp();
+}
+
+}  // namespace tcsim

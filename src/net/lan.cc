@@ -1,0 +1,22 @@
+#include "src/net/lan.h"
+
+namespace tcsim {
+
+void Lan::Attach(Nic* nic) {
+  auto uplink = std::make_unique<Wire>(sim_, rng_.Fork(), port_bandwidth_bps_, port_delay_,
+                                       loss_rate_, this);
+  nic->ConnectTx(uplink.get());
+  uplinks_.push_back(std::move(uplink));
+  ports_[nic->addr()] = nic;
+}
+
+void Lan::HandlePacket(const Packet& pkt) {
+  auto it = ports_.find(pkt.dst);
+  if (it == ports_.end()) {
+    ++unknown_dst_drops_;
+    return;
+  }
+  it->second->HandlePacket(pkt);
+}
+
+}  // namespace tcsim

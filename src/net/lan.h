@@ -1,0 +1,55 @@
+// A switched LAN segment (Emulab VLAN or the control network).
+
+#ifndef TCSIM_SRC_NET_LAN_H_
+#define TCSIM_SRC_NET_LAN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/nic.h"
+#include "src/net/wire.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace tcsim {
+
+// Full-bisection switched Ethernet segment. Each attached NIC gets a
+// dedicated uplink wire at the port bandwidth; the switch forwards by
+// destination NodeId with negligible internal latency (propagation is
+// modelled on the uplink). Frames for unknown destinations are dropped and
+// counted.
+class Lan : public PacketHandler {
+ public:
+  // `port_bandwidth_bps` / `port_delay` / `loss_rate` apply to every port.
+  Lan(Simulator* sim, Rng rng, uint64_t port_bandwidth_bps, SimTime port_delay,
+      double loss_rate = 0.0)
+      : sim_(sim),
+        rng_(rng),
+        port_bandwidth_bps_(port_bandwidth_bps),
+        port_delay_(port_delay),
+        loss_rate_(loss_rate) {}
+
+  // Attaches `nic` to the LAN: creates its uplink wire and registers its
+  // address with the switch.
+  void Attach(Nic* nic);
+
+  // Switch fabric receive: forwards to the destination port.
+  void HandlePacket(const Packet& pkt) override;
+
+  uint64_t unknown_dst_drops() const { return unknown_dst_drops_; }
+
+ private:
+  Simulator* sim_;
+  Rng rng_;
+  uint64_t port_bandwidth_bps_;
+  SimTime port_delay_;
+  double loss_rate_;
+  std::vector<std::unique_ptr<Wire>> uplinks_;
+  std::unordered_map<NodeId, Nic*> ports_;
+  uint64_t unknown_dst_drops_ = 0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_NET_LAN_H_

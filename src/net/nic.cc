@@ -1,0 +1,42 @@
+#include "src/net/nic.h"
+
+#include <cassert>
+
+namespace tcsim {
+
+void Nic::Send(const Packet& pkt) {
+  assert(tx_ != nullptr && "NIC transmit side not connected");
+  tx_->Transmit(pkt);
+}
+
+void Nic::HandlePacket(const Packet& pkt) {
+  if (suspended_) {
+    suspend_log_.push_back({pkt, sim_->Now()});
+    ++packets_logged_;
+    return;
+  }
+  ++packets_received_;
+  if (receiver_) {
+    receiver_(pkt);
+  }
+}
+
+void Nic::Suspend() { suspended_ = true; }
+
+void Nic::Resume() {
+  suspended_ = false;
+  // Replay in arrival order. Replayed packets are delivered at the resume
+  // instant; receivers time-stamp them with their (frozen-then-resumed)
+  // virtual clocks.
+  std::vector<LoggedPacket> log;
+  log.swap(suspend_log_);
+  for (const LoggedPacket& entry : log) {
+    replay_delays_.Add(ToMicroseconds(sim_->Now() - entry.arrival));
+    ++packets_received_;
+    if (receiver_) {
+      receiver_(entry.pkt);
+    }
+  }
+}
+
+}  // namespace tcsim

@@ -1,0 +1,81 @@
+// Network interface with checkpoint suspend/replay support.
+
+#ifndef TCSIM_SRC_NET_NIC_H_
+#define TCSIM_SRC_NET_NIC_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/net/wire.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace tcsim {
+
+// One network interface of a node. The receive path implements the packet
+// logging required by a distributed checkpoint: while the owning node is
+// suspended, arriving packets are appended to a log; on resume they are
+// replayed upward in arrival order, so no packet is lost and ordering is
+// preserved (Section 3.2). The extra delay each logged packet experienced is
+// recorded — it is bounded by the checkpoint synchronization error plus the
+// checkpoint downtime.
+class Nic : public PacketHandler {
+ public:
+  Nic(Simulator* sim, NodeId addr) : sim_(sim), addr_(addr) {}
+
+  NodeId addr() const { return addr_; }
+
+  // Connects the transmit side to a wire (towards a LAN port or delay node).
+  void ConnectTx(Wire* tx) { tx_ = tx; }
+
+  // Registers the upward delivery function (the node's network stack).
+  void SetReceiver(std::function<void(const Packet&)> receiver) {
+    receiver_ = std::move(receiver);
+  }
+
+  // Transmits a packet. Callers (the stack) must not transmit while the
+  // owning guest is suspended; guests cannot run then, so this holds by
+  // construction.
+  void Send(const Packet& pkt);
+
+  // Receive path from the wire.
+  void HandlePacket(const Packet& pkt) override;
+
+  // Enters suspend-log mode (called by the checkpoint engine when the node
+  // is being suspended).
+  void Suspend();
+
+  // Leaves suspend-log mode and replays all logged packets, in order, at the
+  // current instant.
+  void Resume();
+
+  bool suspended() const { return suspended_; }
+
+  uint64_t packets_received() const { return packets_received_; }
+  uint64_t packets_logged() const { return packets_logged_; }
+
+  // Delays (in microseconds of physical time) experienced by replayed
+  // packets: replay instant minus original arrival.
+  const Samples& replay_delays() const { return replay_delays_; }
+
+ private:
+  struct LoggedPacket {
+    Packet pkt;
+    SimTime arrival;
+  };
+
+  Simulator* sim_;
+  NodeId addr_;
+  Wire* tx_ = nullptr;
+  std::function<void(const Packet&)> receiver_;
+  bool suspended_ = false;
+  std::vector<LoggedPacket> suspend_log_;
+  uint64_t packets_received_ = 0;
+  uint64_t packets_logged_ = 0;
+  Samples replay_delays_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_NET_NIC_H_

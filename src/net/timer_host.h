@@ -1,0 +1,89 @@
+// Virtual-time timer service used by protocol code.
+//
+// TCP retransmission and connection timers inside a guest must run on *guest
+// virtual time*: when a transparent checkpoint freezes the guest, its RTO
+// timers freeze with it, which is precisely why a checkpoint causes no
+// spurious retransmissions (Section 7.1). Protocol code therefore never
+// touches the Simulator directly; it schedules through a TimerHost, which the
+// guest kernel implements on top of its (virtualized) clock.
+
+#ifndef TCSIM_SRC_NET_TIMER_HOST_H_
+#define TCSIM_SRC_NET_TIMER_HOST_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace tcsim {
+
+// Shared cancellation state for a virtual timer. A timer may be migrated
+// across simulator events when its host is checkpointed and resumed; the
+// handle stays valid throughout.
+struct TimerState {
+  bool cancelled = false;
+  bool fired = false;
+};
+
+// Cancellable handle to a virtual timer.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  explicit TimerHandle(std::shared_ptr<TimerState> state) : state_(std::move(state)) {}
+
+  // Cancels the timer if it has not fired. Safe on empty handles.
+  void Cancel() {
+    if (state_ != nullptr) {
+      state_->cancelled = true;
+    }
+  }
+
+  bool pending() const { return state_ != nullptr && !state_->cancelled && !state_->fired; }
+
+ private:
+  std::shared_ptr<TimerState> state_;
+};
+
+// Scheduling surface exposed to protocol and application code.
+class TimerHost {
+ public:
+  virtual ~TimerHost() = default;
+
+  // Current virtual time as observed by code running on this host.
+  virtual SimTime VirtualNow() const = 0;
+
+  // Schedules `fn` to run after `delay` of *virtual* time. If the host is
+  // suspended in between, the remaining delay is preserved across the
+  // suspension (transparent mode) or elapses during it (baseline mode).
+  virtual TimerHandle ScheduleVirtual(SimTime delay, std::function<void()> fn) = 0;
+};
+
+// TimerHost running directly on physical simulator time. Used for components
+// that are never checkpointed (Emulab servers) and for protocol unit tests.
+class PhysicalTimerHost : public TimerHost {
+ public:
+  explicit PhysicalTimerHost(Simulator* sim) : sim_(sim) {}
+
+  SimTime VirtualNow() const override { return sim_->Now(); }
+
+  TimerHandle ScheduleVirtual(SimTime delay, std::function<void()> fn) override {
+    auto state = std::make_shared<TimerState>();
+    sim_->Schedule(delay, [state, fn = std::move(fn)] {
+      if (state->cancelled) {
+        return;
+      }
+      state->fired = true;
+      fn();
+    });
+    return TimerHandle(state);
+  }
+
+ private:
+  Simulator* sim_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_NET_TIMER_HOST_H_

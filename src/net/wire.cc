@@ -1,0 +1,28 @@
+#include "src/net/wire.h"
+
+#include <algorithm>
+
+namespace tcsim {
+
+SimTime Wire::SerializationTime(uint32_t bytes) const {
+  if (bandwidth_bps_ == 0) {
+    return 0;
+  }
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 * 1e9 /
+                              static_cast<double>(bandwidth_bps_));
+}
+
+void Wire::Transmit(const Packet& pkt) {
+  const SimTime start = std::max(sim_->Now(), busy_until_);
+  const SimTime tx_done = start + SerializationTime(pkt.size_bytes);
+  busy_until_ = tx_done;
+  ++packets_sent_;
+  if (loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_)) {
+    ++packets_dropped_;
+    return;
+  }
+  Packet copy = pkt;
+  sim_->ScheduleAt(tx_done + delay_, [this, copy] { sink_->HandlePacket(copy); });
+}
+
+}  // namespace tcsim

@@ -1,0 +1,72 @@
+// Unidirectional transmission element: bandwidth, propagation delay, loss.
+
+#ifndef TCSIM_SRC_NET_WIRE_H_
+#define TCSIM_SRC_NET_WIRE_H_
+
+#include <cstdint>
+
+#include "src/net/packet.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace tcsim {
+
+// Anything that can accept a packet: a NIC, a switch fabric, a Dummynet pipe.
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+
+  // Delivers `pkt` to this element at the current simulation time.
+  virtual void HandlePacket(const Packet& pkt) = 0;
+};
+
+// A one-way wire. Models serialization (back-to-back packets queue behind one
+// another at `bandwidth_bps`), constant propagation delay, and Bernoulli
+// loss. A bandwidth of 0 means "infinitely fast" — used for the zero-delay
+// links between experiment nodes and their delay nodes (Section 4.4).
+class Wire {
+ public:
+  Wire(Simulator* sim, Rng rng, uint64_t bandwidth_bps, SimTime propagation_delay,
+       double loss_rate, PacketHandler* sink)
+      : sim_(sim),
+        rng_(rng),
+        bandwidth_bps_(bandwidth_bps),
+        delay_(propagation_delay),
+        loss_rate_(loss_rate),
+        sink_(sink) {}
+
+  Wire(const Wire&) = delete;
+  Wire& operator=(const Wire&) = delete;
+
+  // Accepts `pkt` for transmission. The packet occupies the wire for its
+  // serialization time, then arrives at the sink after the propagation delay
+  // (unless lost).
+  void Transmit(const Packet& pkt);
+
+  // Re-targets the wire (used when rewiring topologies during swap-in).
+  void set_sink(PacketHandler* sink) { sink_ = sink; }
+
+  uint64_t bandwidth_bps() const { return bandwidth_bps_; }
+  SimTime propagation_delay() const { return delay_; }
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_dropped() const { return packets_dropped_; }
+
+ private:
+  SimTime SerializationTime(uint32_t bytes) const;
+
+  Simulator* sim_;
+  Rng rng_;
+  uint64_t bandwidth_bps_;
+  SimTime delay_;
+  double loss_rate_;
+  PacketHandler* sink_;
+  SimTime busy_until_ = 0;
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_NET_WIRE_H_

@@ -1,0 +1,107 @@
+// A minimal binary state archive for checkpoint images.
+//
+// The paper's checkpoint saves the memory and device state of a running
+// system. In this reproduction, each checkpointable component serializes its
+// logical state into an Archive (and restores from one) — the analogue of the
+// memory image plus the serialized device/Dummynet state. Archives are also
+// what stateful swap-out ships to the Emulab file server and what time-travel
+// keeps in its checkpoint tree.
+
+#ifndef TCSIM_SRC_SIM_ARCHIVE_H_
+#define TCSIM_SRC_SIM_ARCHIVE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace tcsim {
+
+// Append-only binary writer.
+class ArchiveWriter {
+ public:
+  // Writes a trivially-copyable value.
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>, "Archive requires POD types");
+    const auto* p = reinterpret_cast<const uint8_t*>(&value);
+    data_.insert(data_.end(), p, p + sizeof(T));
+  }
+
+  // Writes a length-prefixed string.
+  void WriteString(const std::string& s) {
+    Write<uint64_t>(s.size());
+    data_.insert(data_.end(), s.begin(), s.end());
+  }
+
+  // Writes a length-prefixed vector of trivially-copyable elements.
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>, "Archive requires POD types");
+    Write<uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const uint8_t*>(v.data());
+    data_.insert(data_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  // Size of the serialized image so far, in bytes.
+  size_t size() const { return data_.size(); }
+
+  // Takes ownership of the accumulated bytes.
+  std::vector<uint8_t> Take() { return std::move(data_); }
+
+  const std::vector<uint8_t>& data() const { return data_; }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+// Sequential binary reader over an archive image.
+class ArchiveReader {
+ public:
+  explicit ArchiveReader(const std::vector<uint8_t>& data) : data_(data) {}
+
+  // Reads a trivially-copyable value written by ArchiveWriter::Write.
+  template <typename T>
+  T Read() {
+    static_assert(std::is_trivially_copyable_v<T>, "Archive requires POD types");
+    assert(pos_ + sizeof(T) <= data_.size());
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  // Reads a string written by WriteString.
+  std::string ReadString() {
+    const uint64_t n = Read<uint64_t>();
+    assert(pos_ + n <= data_.size());
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  // Reads a vector written by WriteVector.
+  template <typename T>
+  std::vector<T> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>, "Archive requires POD types");
+    const uint64_t n = Read<uint64_t>();
+    assert(pos_ + n * sizeof(T) <= data_.size());
+    std::vector<T> v(n);
+    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  // True once every byte has been consumed.
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  const std::vector<uint8_t>& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_SIM_ARCHIVE_H_

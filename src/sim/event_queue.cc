@@ -1,0 +1,57 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tcsim {
+
+void EventHandle::Cancel() {
+  if (state_ != nullptr) {
+    state_->cancelled = true;
+  }
+}
+
+bool EventHandle::pending() const {
+  return state_ != nullptr && !state_->cancelled && !state_->fired;
+}
+
+EventHandle EventQueue::Push(SimTime t, std::function<void()> fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{t, next_seq_++, std::move(fn), state});
+  ++size_;
+  return EventHandle(std::move(state));
+}
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+    --size_;
+  }
+}
+
+bool EventQueue::Empty() const {
+  SkipCancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::NextTime() const {
+  SkipCancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+std::function<void()> EventQueue::Pop(SimTime* t) {
+  SkipCancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the entry is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  *t = top.time;
+  std::function<void()> fn = std::move(top.fn);
+  top.state->fired = true;
+  heap_.pop();
+  --size_;
+  return fn;
+}
+
+}  // namespace tcsim

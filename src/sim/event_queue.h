@@ -1,0 +1,92 @@
+// A cancellable priority queue of timed events.
+//
+// Events with equal timestamps fire in insertion order (a monotonic sequence
+// number breaks ties), which keeps whole-simulation runs deterministic and
+// reproducible — a requirement for the transparency property tests, which
+// compare two runs event for event.
+
+#ifndef TCSIM_SRC_SIM_EVENT_QUEUE_H_
+#define TCSIM_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace tcsim {
+
+// A handle to a scheduled event that allows cancellation. Handles are cheap
+// to copy; a default-constructed handle refers to nothing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not yet fired. Safe to call repeatedly and on
+  // empty handles.
+  void Cancel();
+
+  // True if the event is still scheduled to fire.
+  bool pending() const;
+
+ private:
+  friend class EventQueue;
+
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+// Time-ordered queue of callbacks. Not thread-safe: the simulator is a
+// single-threaded discrete-event kernel by design.
+class EventQueue {
+ public:
+  // Enqueues `fn` to fire at absolute time `t`.
+  EventHandle Push(SimTime t, std::function<void()> fn);
+
+  // True if no live (non-cancelled) events remain.
+  bool Empty() const;
+
+  // Time of the earliest live event. Must not be called when Empty().
+  SimTime NextTime() const;
+
+  // Removes and returns the earliest live event's callback, recording its
+  // timestamp in `t`. Must not be called when Empty().
+  std::function<void()> Pop(SimTime* t);
+
+  // Number of live events currently queued.
+  size_t Size() const { return size_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Drops cancelled entries from the head of the heap.
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable size_t size_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_SIM_EVENT_QUEUE_H_

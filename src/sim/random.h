@@ -1,0 +1,54 @@
+// Deterministic pseudo-random numbers for the simulator.
+//
+// Every stochastic element (clock drift, NTP jitter, link loss, workload
+// randomness) draws from an explicitly seeded Rng so that whole-system runs
+// are reproducible: two simulations constructed with the same seeds produce
+// bit-identical event sequences.
+
+#ifndef TCSIM_SRC_SIM_RANDOM_H_
+#define TCSIM_SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace tcsim {
+
+// xoshiro256** generator seeded via SplitMix64. Small, fast and adequate for
+// simulation workloads; deliberately not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Exponentially distributed value with the given mean.
+  double Exponential(double mean);
+
+  // Normally distributed value (Box-Muller).
+  double Normal(double mean, double stddev);
+
+  // Derives an independent child generator; used to give each subsystem its
+  // own stream so that adding draws in one subsystem does not perturb others.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_SIM_RANDOM_H_

@@ -1,0 +1,61 @@
+// The discrete-event simulation kernel.
+//
+// Everything in this repository — links, disks, guest kernels, the Xen
+// hypervisor model, the Emulab control plane — runs as callbacks scheduled on
+// one Simulator instance. The simulator's clock is the *physical* time of the
+// modelled testbed; per-node hardware clocks (src/clock) and guest virtual
+// time (src/xen) are derived views of it.
+
+#ifndef TCSIM_SRC_SIM_SIMULATOR_H_
+#define TCSIM_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace tcsim {
+
+// Single-threaded discrete-event simulator. Not thread-safe.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated physical time.
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now. Negative delays are clamped to 0
+  // (fires "immediately", after already-queued events at the current time).
+  EventHandle Schedule(SimTime delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `t`; `t` in the past is clamped to now.
+  EventHandle ScheduleAt(SimTime t, std::function<void()> fn);
+
+  // Runs events until the queue is exhausted.
+  void Run();
+
+  // Runs all events with time <= `t`, then advances the clock to exactly `t`.
+  void RunUntil(SimTime t);
+
+  // Runs a single event if one is pending. Returns false if the queue is
+  // empty.
+  bool Step();
+
+  // Total number of events executed so far (diagnostics / micro-benchmarks).
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Number of events currently pending.
+  size_t pending_events() const { return queue_.Size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,103 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tcsim {
+
+Summary Samples::Summarize() const {
+  Summary s;
+  s.count = values_.size();
+  if (values_.empty()) {
+    return s;
+  }
+  double sum = 0.0;
+  s.min = values_.front();
+  s.max = values_.front();
+  for (double v : values_) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double v : values_) {
+    var += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = s.count > 1 ? std::sqrt(var / static_cast<double>(s.count - 1)) : 0.0;
+  return s;
+}
+
+double Samples::Percentile(double p) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Samples::FractionWithin(double center, double tol) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  size_t n = 0;
+  for (double v : values_) {
+    if (std::abs(v - center) <= tol) {
+      ++n;
+    }
+  }
+  return static_cast<double>(n) / static_cast<double>(values_.size());
+}
+
+double TimeSeries::MeanInWindow(SimTime from, SimTime to) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const Point& p : points_) {
+    if (p.time >= from && p.time < to) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::string TimeSeries::ToText() const {
+  std::ostringstream os;
+  for (const Point& p : points_) {
+    os << ToSeconds(p.time) << " " << p.value << "\n";
+  }
+  return os.str();
+}
+
+void ThroughputMeter::Add(SimTime t, uint64_t bytes) {
+  total_bytes_ += bytes;
+  samples_.push_back({t, bytes});
+}
+
+TimeSeries ThroughputMeter::Bucketize() const {
+  TimeSeries series;
+  if (samples_.empty() || bucket_width_ <= 0) {
+    return series;
+  }
+  const SimTime first = samples_.front().time;
+  const SimTime last = samples_.back().time;
+  const size_t buckets = static_cast<size_t>((last - first) / bucket_width_) + 1;
+  std::vector<uint64_t> sums(buckets, 0);
+  for (const Sample& s : samples_) {
+    sums[static_cast<size_t>((s.time - first) / bucket_width_)] += s.bytes;
+  }
+  const double width_sec = ToSeconds(bucket_width_);
+  for (size_t i = 0; i < buckets; ++i) {
+    const double mb_per_sec = static_cast<double>(sums[i]) / (1024.0 * 1024.0) / width_sec;
+    series.Add(first + static_cast<SimTime>(i) * bucket_width_, mb_per_sec);
+  }
+  return series;
+}
+
+}  // namespace tcsim

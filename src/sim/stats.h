@@ -1,0 +1,97 @@
+// Measurement containers used by tests and the benchmark harnesses.
+
+#ifndef TCSIM_SRC_SIM_STATS_H_
+#define TCSIM_SRC_SIM_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace tcsim {
+
+// Summary statistics over a set of samples.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// An append-only collection of scalar samples with basic descriptive
+// statistics. Used for iteration times, inter-packet gaps, etc.
+class Samples {
+ public:
+  void Add(double v) { values_.push_back(v); }
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& values() const { return values_; }
+
+  Summary Summarize() const;
+
+  // p-th percentile (p in [0, 100]) by nearest-rank on a sorted copy.
+  double Percentile(double p) const;
+
+  // Fraction of samples with |v - center| <= tol.
+  double FractionWithin(double center, double tol) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+// A (time, value) series, e.g. throughput over time. Prints in a
+// gnuplot-friendly two-column format.
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime time;
+    double value;
+  };
+
+  void Add(SimTime t, double v) { points_.push_back({t, v}); }
+
+  const std::vector<Point>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  // Mean of values with time in [from, to).
+  double MeanInWindow(SimTime from, SimTime to) const;
+
+  // Renders "t_seconds value" lines.
+  std::string ToText() const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+// Aggregates event timestamps into fixed-width throughput buckets:
+// Add(t, bytes) accumulates; Bucketize() emits MB/s per interval.
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(SimTime bucket_width) : bucket_width_(bucket_width) {}
+
+  void Add(SimTime t, uint64_t bytes);
+
+  // Throughput series, one point per bucket, in megabytes/second. Buckets
+  // with no traffic between first and last are emitted as zero.
+  TimeSeries Bucketize() const;
+
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  struct Sample {
+    SimTime time;
+    uint64_t bytes;
+  };
+
+  SimTime bucket_width_;
+  uint64_t total_bytes_ = 0;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_SIM_STATS_H_

@@ -1,0 +1,44 @@
+// Simulation time base.
+//
+// All simulator-facing time is kept in signed 64-bit nanoseconds. A signed
+// representation lets intermediate arithmetic (offsets, skews, drift
+// corrections) go negative without surprises; 2^63 ns is ~292 years, far
+// beyond any experiment length.
+
+#ifndef TCSIM_SRC_SIM_TIME_H_
+#define TCSIM_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace tcsim {
+
+// Absolute simulated time or a duration, in nanoseconds.
+using SimTime = int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+
+// Converts a nanosecond SimTime to floating-point seconds.
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+// Converts a nanosecond SimTime to floating-point milliseconds.
+constexpr double ToMilliseconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+// Converts a nanosecond SimTime to floating-point microseconds.
+constexpr double ToMicroseconds(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+// Converts floating-point seconds to a nanosecond SimTime (truncating).
+constexpr SimTime FromSeconds(double s) { return static_cast<SimTime>(s * 1e9); }
+
+// Converts floating-point milliseconds to a nanosecond SimTime (truncating).
+constexpr SimTime FromMilliseconds(double ms) { return static_cast<SimTime>(ms * 1e6); }
+
+// Converts floating-point microseconds to a nanosecond SimTime (truncating).
+constexpr SimTime FromMicroseconds(double us) { return static_cast<SimTime>(us * 1e3); }
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_SIM_TIME_H_

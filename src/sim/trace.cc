@@ -1,0 +1,29 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcsim {
+
+TraceDiff TraceLog::Compare(const TraceLog& other) const {
+  TraceDiff diff;
+  if (records_.size() != other.records_.size()) {
+    return diff;
+  }
+  diff.comparable = true;
+  diff.records = records_.size();
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const TraceRecord& a = records_[i];
+    const TraceRecord& b = other.records_[i];
+    if (a.tag != b.tag) {
+      diff.comparable = false;
+      return diff;
+    }
+    diff.max_time_delta =
+        std::max(diff.max_time_delta, std::abs(a.virtual_time - b.virtual_time));
+    diff.max_value_delta = std::max(diff.max_value_delta, std::abs(a.value - b.value));
+  }
+  return diff;
+}
+
+}  // namespace tcsim

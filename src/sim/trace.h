@@ -1,0 +1,55 @@
+// Guest-observable trace recording.
+//
+// The transparency property at the heart of the paper is "a run of the system
+// with checkpointing is the same as it would be without checkpointing *as
+// observed from within the system*". Tests capture that observation stream as
+// a TraceLog of (virtual timestamp, tag, value) records and diff two runs.
+
+#ifndef TCSIM_SRC_SIM_TRACE_H_
+#define TCSIM_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace tcsim {
+
+// One observation made from inside the system under test.
+struct TraceRecord {
+  SimTime virtual_time = 0;  // timestamp as seen by the guest
+  std::string tag;           // what was observed (e.g. "iter", "recv")
+  double value = 0.0;        // observation payload (e.g. measured latency)
+};
+
+// Result of comparing two traces record-by-record.
+struct TraceDiff {
+  bool comparable = false;       // same length and same tag sequence
+  SimTime max_time_delta = 0;    // max |virtual_time difference|
+  double max_value_delta = 0.0;  // max |value difference|
+  size_t records = 0;
+};
+
+// Append-only log of guest observations.
+class TraceLog {
+ public:
+  void Record(SimTime virtual_time, std::string tag, double value) {
+    records_.push_back({virtual_time, std::move(tag), value});
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+  // Record-by-record comparison with another trace. Traces of different
+  // lengths or differing tag sequences yield comparable == false.
+  TraceDiff Compare(const TraceLog& other) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_SIM_TRACE_H_

@@ -1,0 +1,41 @@
+// Abstract block device with content tracking.
+//
+// Devices carry a 64-bit content token per block instead of real data. The
+// token is enough to prove correctness properties (read-your-writes through
+// arbitrary branch stacks, swap round-trips) while keeping simulations of
+// multi-gigabyte disks cheap. All the *timing* of data movement is modelled
+// faithfully through the underlying Disk.
+
+#ifndef TCSIM_SRC_STORAGE_BLOCK_DEVICE_H_
+#define TCSIM_SRC_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tcsim {
+
+// Content token of an unwritten block.
+inline constexpr uint64_t kZeroContent = 0;
+
+// Asynchronous block device interface. Block addresses are zero-based.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Reads `nblocks` starting at `block`; `done` receives one content token
+  // per block.
+  virtual void Read(uint64_t block, uint32_t nblocks,
+                    std::function<void(std::vector<uint64_t>)> done) = 0;
+
+  // Writes content tokens starting at `block`; `done` fires on completion.
+  virtual void Write(uint64_t block, const std::vector<uint64_t>& contents,
+                     std::function<void()> done) = 0;
+
+  // Device capacity in blocks.
+  virtual uint64_t size_blocks() const = 0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_STORAGE_BLOCK_DEVICE_H_

@@ -1,0 +1,171 @@
+#include "src/storage/ext3_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <unordered_set>
+
+namespace tcsim {
+
+Ext3Model::Ext3Model(BlockDevice* device, uint64_t metadata_blocks)
+    : device_(device), data_base_(metadata_blocks) {
+  assert(device_->size_blocks() > metadata_blocks);
+  data_blocks_ = device_->size_blocks() - metadata_blocks;
+  bitmap_.assign(data_blocks_, false);
+}
+
+std::vector<Ext3Model::Extent> Ext3Model::Allocate(uint64_t count) {
+  std::vector<Extent> extents;
+  uint64_t remaining = count;
+  uint64_t scanned = 0;
+  uint64_t pos = next_fit_;
+  while (remaining > 0 && scanned < data_blocks_) {
+    if (!bitmap_[pos]) {
+      // Grow a contiguous extent.
+      uint64_t start = pos;
+      uint64_t len = 0;
+      while (pos < data_blocks_ && !bitmap_[pos] && len < remaining) {
+        bitmap_[pos] = true;
+        ++pos;
+        ++len;
+        ++scanned;
+      }
+      extents.push_back({data_base_ + start, len});
+      remaining -= len;
+      if (pos >= data_blocks_) {
+        pos = 0;
+      }
+    } else {
+      ++pos;
+      ++scanned;
+      if (pos >= data_blocks_) {
+        pos = 0;
+      }
+    }
+  }
+  assert(remaining == 0 && "filesystem full");
+  next_fit_ = pos;
+  allocated_blocks_ += count;
+  return extents;
+}
+
+void Ext3Model::Free(const std::vector<Extent>& extents) {
+  for (const Extent& e : extents) {
+    for (uint64_t i = 0; i < e.count; ++i) {
+      bitmap_[e.start - data_base_ + i] = false;
+    }
+    allocated_blocks_ -= e.count;
+  }
+}
+
+uint64_t Ext3Model::FileSizeBlocks(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return 0;
+  }
+  uint64_t blocks = 0;
+  for (const Extent& e : it->second.extents) {
+    blocks += e.count;
+  }
+  return blocks;
+}
+
+void Ext3Model::WriteFile(const std::string& name, uint64_t bytes, Done done) {
+  if (FileExists(name)) {
+    // Overwrite: free the old allocation first (metadata-only here; the
+    // bitmap commit below covers both transitions).
+    Free(files_[name].extents);
+    files_.erase(name);
+  }
+  const uint64_t nblocks = std::max<uint64_t>(1, (bytes + kBlockSize - 1) / kBlockSize);
+  std::vector<Extent> extents = Allocate(nblocks);
+
+  // Bitmap blocks touched by this allocation.
+  std::unordered_set<uint64_t> bitmap_blocks;
+  for (const Extent& e : extents) {
+    for (uint64_t i = 0; i < e.count; ++i) {
+      bitmap_blocks.insert(BitmapBlockFor(e.start + i));
+      plugin_.OnBitmapUpdate(e.start + i, /*now_free=*/false);
+    }
+  }
+
+  const size_t total =
+      extents.size() + bitmap_blocks.size() + 1;  // data runs + bitmaps + inode
+  auto outstanding = std::make_shared<size_t>(total);
+  auto finish = [outstanding, done = std::move(done)]() mutable {
+    if (--*outstanding == 0 && done) {
+      done();
+    }
+  };
+
+  for (const Extent& e : extents) {
+    std::vector<uint64_t> contents(e.count);
+    for (uint64_t i = 0; i < e.count; ++i) {
+      contents[i] = next_content_token_++;
+    }
+    device_->Write(e.start, contents, finish);
+  }
+  for (uint64_t bb : bitmap_blocks) {
+    device_->Write(bb, {next_content_token_++}, finish);
+  }
+  // Inode table write (round-robin over a small inode area).
+  const uint64_t inode_block = 512 + (next_inode_block_++ % 256);
+  device_->Write(inode_block, {next_content_token_++}, finish);
+
+  files_[name] = File{std::move(extents), bytes};
+}
+
+void Ext3Model::DeleteFile(const std::string& name, Done done) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  std::vector<Extent> extents = std::move(it->second.extents);
+  files_.erase(it);
+  Free(extents);
+
+  std::unordered_set<uint64_t> bitmap_blocks;
+  for (const Extent& e : extents) {
+    for (uint64_t i = 0; i < e.count; ++i) {
+      bitmap_blocks.insert(BitmapBlockFor(e.start + i));
+      plugin_.OnBitmapUpdate(e.start + i, /*now_free=*/true);
+    }
+  }
+
+  auto outstanding = std::make_shared<size_t>(bitmap_blocks.size() + 1);
+  auto finish = [outstanding, done = std::move(done)]() mutable {
+    if (--*outstanding == 0 && done) {
+      done();
+    }
+  };
+  for (uint64_t bb : bitmap_blocks) {
+    device_->Write(bb, {next_content_token_++}, finish);
+  }
+  const uint64_t inode_block = 512 + (next_inode_block_++ % 256);
+  device_->Write(inode_block, {next_content_token_++}, finish);
+}
+
+void Ext3Model::ReadFile(const std::string& name, std::function<void(uint64_t)> done) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    if (done) {
+      done(0);
+    }
+    return;
+  }
+  const uint64_t bytes = it->second.bytes;
+  auto outstanding = std::make_shared<size_t>(it->second.extents.size());
+  auto finish = [outstanding, bytes, done = std::move(done)](std::vector<uint64_t>) mutable {
+    if (--*outstanding == 0 && done) {
+      done(bytes);
+    }
+  };
+  for (const Extent& e : it->second.extents) {
+    device_->Read(e.start, static_cast<uint32_t>(e.count), finish);
+  }
+}
+
+}  // namespace tcsim

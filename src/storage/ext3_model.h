@@ -1,0 +1,110 @@
+// A compact ext3-like filesystem model with a free-block-elimination plugin.
+//
+// The paper's swap-out optimisation eliminates freed blocks from the saved
+// delta (490 MB -> 36 MB on a kernel make + make clean, Section 5.1). The
+// hypervisor sees only block writes, so the free map must be reconstructed
+// by a filesystem-specific plugin that snoops bitmap writes below the guest.
+// This model reproduces that structure: the filesystem writes data blocks,
+// block-bitmap blocks and inode blocks through the block device, and a
+// FreeBlockPlugin observes the bitmap updates to maintain a free map that is
+// consistent with the on-disk data.
+
+#ifndef TCSIM_SRC_STORAGE_EXT3_MODEL_H_
+#define TCSIM_SRC_STORAGE_EXT3_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/block_device.h"
+#include "src/storage/disk.h"
+
+namespace tcsim {
+
+// Observes bitmap writes to reconstruct the guest filesystem's free map.
+class FreeBlockPlugin {
+ public:
+  // Called (conceptually from the write-snooping layer) when the filesystem
+  // commits a bitmap update covering `block`.
+  void OnBitmapUpdate(uint64_t block, bool now_free) {
+    if (now_free) {
+      free_blocks_.insert({block, true});
+    } else {
+      free_blocks_.erase(block);
+    }
+  }
+
+  // The free-block filter handed to BranchStore::SetFreeBlockFilter.
+  bool IsFree(uint64_t block) const { return free_blocks_.count(block) > 0; }
+
+  size_t known_free_blocks() const { return free_blocks_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, bool> free_blocks_;
+};
+
+// The filesystem model. All operations are asynchronous and issue real
+// block-device I/O (data extents, bitmap blocks, inode blocks), so the
+// timing and the delta footprint of filesystem activity are both modelled.
+class Ext3Model {
+ public:
+  // Layout: [0, metadata_blocks) holds bitmaps and inodes; data extends to
+  // the end of the device.
+  Ext3Model(BlockDevice* device, uint64_t metadata_blocks = 1024);
+
+  Ext3Model(const Ext3Model&) = delete;
+  Ext3Model& operator=(const Ext3Model&) = delete;
+
+  using Done = std::function<void()>;
+
+  // Creates (or overwrites) a file of `bytes`; allocates blocks first-fit,
+  // writes data, bitmap and inode blocks, then completes.
+  void WriteFile(const std::string& name, uint64_t bytes, Done done);
+
+  // Deletes a file: frees its blocks and commits the bitmap updates.
+  void DeleteFile(const std::string& name, Done done);
+
+  // Reads a file back sequentially.
+  void ReadFile(const std::string& name, std::function<void(uint64_t bytes)> done);
+
+  bool FileExists(const std::string& name) const { return files_.count(name) > 0; }
+  uint64_t FileSizeBlocks(const std::string& name) const;
+
+  uint64_t allocated_blocks() const { return allocated_blocks_; }
+
+  FreeBlockPlugin* plugin() { return &plugin_; }
+
+ private:
+  struct Extent {
+    uint64_t start;
+    uint64_t count;
+  };
+  struct File {
+    std::vector<Extent> extents;
+    uint64_t bytes;
+  };
+
+  // Allocates `count` blocks first-fit, returning extents.
+  std::vector<Extent> Allocate(uint64_t count);
+  void Free(const std::vector<Extent>& extents);
+
+  // Bitmap block on disk covering data block `b`.
+  uint64_t BitmapBlockFor(uint64_t b) const { return 1 + b / (kBlockSize * 8); }
+
+  BlockDevice* device_;
+  uint64_t data_base_;
+  uint64_t data_blocks_;
+  std::vector<bool> bitmap_;  // true = allocated, indexed from data_base_
+  uint64_t next_fit_ = 0;
+  uint64_t allocated_blocks_ = 0;
+  uint64_t next_content_token_ = 1;
+  uint64_t next_inode_block_ = 0;
+  std::unordered_map<std::string, File> files_;
+  FreeBlockPlugin plugin_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_STORAGE_EXT3_MODEL_H_

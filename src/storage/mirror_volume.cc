@@ -1,0 +1,206 @@
+#include "src/storage/mirror_volume.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace tcsim {
+
+void TransferChannel::Transfer(uint64_t bytes, std::function<void()> done) {
+  const SimTime start = std::max(sim_->Now(), busy_until_);
+  const SimTime tx = static_cast<SimTime>(static_cast<double>(bytes) * 1e9 /
+                                          static_cast<double>(bandwidth_));
+  busy_until_ = start + tx;
+  bytes_transferred_ += bytes;
+  sim_->ScheduleAt(busy_until_ + rtt_, std::move(done));
+}
+
+MirrorVolume::MirrorVolume(Simulator* sim, BlockDevice* local, TransferChannel* channel,
+                           MirrorParams params, Disk* landing_disk)
+    : sim_(sim), local_(local), channel_(channel), params_(params),
+      landing_disk_(landing_disk) {}
+
+void MirrorVolume::FetchBlock(uint64_t block, std::function<void()> done) {
+  // Remote read over the channel, then a local disk write to land it. With a
+  // landing disk, the block goes to its home (scattered) position; content
+  // metadata is already present in the store's translation maps.
+  channel_->Transfer(kBlockSize, [this, block, done = std::move(done)]() mutable {
+    remote_only_.erase(block);
+    if (landing_disk_ != nullptr) {
+      landing_disk_->Submit(/*write=*/true, local_->size_blocks() + block, 1,
+                            std::move(done));
+    } else {
+      local_->Write(block, {kZeroContent}, std::move(done));
+    }
+  });
+}
+
+void MirrorVolume::Read(uint64_t block, uint32_t nblocks,
+                        std::function<void(std::vector<uint64_t>)> done) {
+  // Demand-fetch any remote-only blocks in the range first.
+  std::vector<uint64_t> to_fetch;
+  for (uint32_t i = 0; i < nblocks; ++i) {
+    if (remote_only_.count(block + i) > 0) {
+      to_fetch.push_back(block + i);
+    }
+  }
+  if (to_fetch.empty()) {
+    local_->Read(block, nblocks, std::move(done));
+    return;
+  }
+  demand_fetches_ += to_fetch.size();
+  auto outstanding = std::make_shared<size_t>(to_fetch.size());
+  auto then_read = [this, block, nblocks, outstanding, done = std::move(done)]() mutable {
+    if (--*outstanding == 0) {
+      local_->Read(block, nblocks, std::move(done));
+    }
+  };
+  for (uint64_t b : to_fetch) {
+    FetchBlock(b, then_read);
+  }
+}
+
+void MirrorVolume::Write(uint64_t block, const std::vector<uint64_t>& contents,
+                         std::function<void()> done) {
+  for (size_t i = 0; i < contents.size(); ++i) {
+    const uint64_t b = block + i;
+    // A full overwrite of a remote-only block makes fetching it pointless.
+    remote_only_.erase(b);
+    if (copy_out_active_) {
+      if (copied_.count(b) > 0) {
+        copied_.erase(b);
+        ++recopied_blocks_;
+      }
+      dirty_.insert(b);
+    }
+  }
+  local_->Write(block, contents, std::move(done));
+}
+
+void MirrorVolume::BeginLazyCopyIn(std::set<uint64_t> remote_blocks,
+                                   std::function<void()> done) {
+  remote_only_ = std::move(remote_blocks);
+  copy_in_done_ = std::move(done);
+  copy_in_active_ = true;
+  rate_limit_next_ = sim_->Now();
+  PrefetchNextBatch();
+}
+
+void MirrorVolume::PrefetchNextBatch() {
+  if (!copy_in_active_) {
+    return;
+  }
+  if (remote_only_.empty()) {
+    copy_in_active_ = false;
+    if (copy_in_done_) {
+      copy_in_done_();
+    }
+    return;
+  }
+  // Take up to batch_blocks blocks from the pending set.
+  std::vector<uint64_t> batch;
+  for (auto it = remote_only_.begin();
+       it != remote_only_.end() && batch.size() < params_.batch_blocks; ++it) {
+    batch.push_back(*it);
+  }
+  const uint64_t bytes = batch.size() * kBlockSize;
+  const SimTime start = std::max(sim_->Now(), rate_limit_next_);
+  rate_limit_next_ = start + static_cast<SimTime>(static_cast<double>(bytes) * 1e9 /
+                                                  static_cast<double>(
+                                                      params_.sync_rate_bytes_per_sec));
+  sim_->ScheduleAt(start, [this, batch]() {
+    // Blocks may have been demand-fetched or overwritten meanwhile.
+    std::vector<uint64_t> still_remote;
+    for (uint64_t b : batch) {
+      if (remote_only_.count(b) > 0) {
+        still_remote.push_back(b);
+      }
+    }
+    if (still_remote.empty()) {
+      PrefetchNextBatch();
+      return;
+    }
+    if (landing_disk_ != nullptr) {
+      // One channel transfer and one scattered landing write for the whole
+      // batch: the seek is amortized, the interference is still real.
+      channel_->Transfer(still_remote.size() * kBlockSize, [this, still_remote]() {
+        for (uint64_t b : still_remote) {
+          remote_only_.erase(b);
+        }
+        landing_disk_->Submit(/*write=*/true, local_->size_blocks() + still_remote.front(),
+                              still_remote.size(), [this] { PrefetchNextBatch(); });
+      });
+      return;
+    }
+    auto outstanding = std::make_shared<size_t>(still_remote.size());
+    auto next = [this, outstanding]() {
+      if (--*outstanding == 0) {
+        PrefetchNextBatch();
+      }
+    };
+    for (uint64_t b : still_remote) {
+      FetchBlock(b, next);
+    }
+  });
+}
+
+void MirrorVolume::BeginEagerCopyOut(std::set<uint64_t> dirty_blocks,
+                                     std::function<void()> done) {
+  dirty_ = std::move(dirty_blocks);
+  copied_.clear();
+  copy_out_done_ = std::move(done);
+  copy_out_active_ = true;
+  rate_limit_next_ = sim_->Now();
+  copyout_pushed_ = 0;
+  copyout_initial_ = dirty_.size();
+  CopyOutNextBatch();
+}
+
+void MirrorVolume::CopyOutNextBatch() {
+  if (!copy_out_active_) {
+    return;
+  }
+  // Terminate when drained, or give up on a diverging pre-copy (the workload
+  // re-dirties faster than the rate limiter copies): the leftover dirty set
+  // becomes part of the suspension-time residual.
+  const bool diverging =
+      copyout_initial_ > 0 && copyout_pushed_ >= copyout_initial_ + copyout_initial_ / 4;
+  if (dirty_.empty() || diverging) {
+    dirty_.clear();
+    copy_out_active_ = false;
+    if (copy_out_done_) {
+      copy_out_done_();
+    }
+    return;
+  }
+  std::vector<uint64_t> batch;
+  for (auto it = dirty_.begin(); it != dirty_.end() && batch.size() < params_.batch_blocks;
+       ++it) {
+    batch.push_back(*it);
+  }
+  const uint64_t first = batch.front();
+  const uint32_t count = static_cast<uint32_t>(batch.size());
+  const uint64_t bytes = static_cast<uint64_t>(count) * kBlockSize;
+  const SimTime start = std::max(sim_->Now(), rate_limit_next_);
+  rate_limit_next_ = start + static_cast<SimTime>(static_cast<double>(bytes) * 1e9 /
+                                                  static_cast<double>(
+                                                      params_.sync_rate_bytes_per_sec));
+  sim_->ScheduleAt(start, [this, batch, first, count]() {
+    // Local disk read of the batch (contends with the guest), then push over
+    // the channel.
+    local_->Read(first, count, [this, batch](std::vector<uint64_t>) {
+      channel_->Transfer(batch.size() * kBlockSize, [this, batch]() {
+        copyout_pushed_ += batch.size();
+        for (uint64_t b : batch) {
+          if (dirty_.erase(b) > 0) {
+            copied_.insert(b);
+          }
+        }
+        CopyOutNextBatch();
+      });
+    });
+  });
+}
+
+}  // namespace tcsim

@@ -1,0 +1,134 @@
+// LVM-style mirror volume with rate-limited background synchronisation.
+//
+// Stateful swapping locates half of a mirror across NFS to get automatic
+// remote redirection of reads and remote mirroring of writes (Section 5.3).
+// Two background-transfer modes matter for Figure 9:
+//   - lazy copy-in  (swap-in): delta blocks start remote-only; reads demand-
+//     fetch them, while a background prefetcher pulls the rest — its local
+//     disk *writes* contend with the guest's own I/O;
+//   - eager copy-out (swap-out pre-copy): dirty blocks are pushed to the
+//     remote store while the guest runs — background local *reads* contend,
+//     and blocks overwritten after being copied are re-sent.
+// A rate limiter slows synchronisation relative to foreground I/O, as the
+// paper added to LVM.
+
+#ifndef TCSIM_SRC_STORAGE_MIRROR_VOLUME_H_
+#define TCSIM_SRC_STORAGE_MIRROR_VOLUME_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "src/sim/simulator.h"
+#include "src/storage/block_device.h"
+#include "src/storage/disk.h"
+
+namespace tcsim {
+
+// A rate-limited bulk transfer channel (the control network path to the
+// Emulab file server, via NFS).
+class TransferChannel {
+ public:
+  TransferChannel(Simulator* sim, uint64_t bandwidth_bytes_per_sec, SimTime rtt)
+      : sim_(sim), bandwidth_(bandwidth_bytes_per_sec), rtt_(rtt) {}
+
+  // Transfers `bytes`; `done` fires when the transfer completes. Transfers
+  // serialize behind one another (one TCP stream to the file server).
+  void Transfer(uint64_t bytes, std::function<void()> done);
+
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+  uint64_t bandwidth() const { return bandwidth_; }
+
+ private:
+  Simulator* sim_;
+  uint64_t bandwidth_;
+  SimTime rtt_;
+  SimTime busy_until_ = 0;
+  uint64_t bytes_transferred_ = 0;
+};
+
+// Background sync tunables.
+struct MirrorParams {
+  // Rate limiter for background copies, bytes/second. The paper's limiter
+  // slows sync relative to normal system I/O; lazy copy-in prefetch is more
+  // aggressive than eager copy-out (its noted limitation).
+  uint64_t sync_rate_bytes_per_sec = 8'000'000;
+
+  // Blocks moved per background batch.
+  uint32_t batch_blocks = 128;
+};
+
+// The mirrored device. Wraps the node-local logical disk (a BranchStore)
+// and a remote half reachable over a TransferChannel.
+//
+// When a `landing_disk` is provided, copy-in transfers land at the blocks'
+// home positions on the physical disk (scattered writes with real seeks) —
+// the reason lazy copy-in interferes with foreground I/O far more than the
+// sequential redo-log path would suggest (Figure 9).
+class MirrorVolume : public BlockDevice {
+ public:
+  MirrorVolume(Simulator* sim, BlockDevice* local, TransferChannel* channel,
+               MirrorParams params, Disk* landing_disk = nullptr);
+
+  // BlockDevice interface: reads demand-fetch remote-only blocks; writes go
+  // local and mark the block dirty (to be mirrored out by an eager sync).
+  void Read(uint64_t block, uint32_t nblocks,
+            std::function<void(std::vector<uint64_t>)> done) override;
+  void Write(uint64_t block, const std::vector<uint64_t>& contents,
+             std::function<void()> done) override;
+  uint64_t size_blocks() const override { return local_->size_blocks(); }
+
+  // Starts a lazy copy-in: `remote_blocks` live only on the remote half;
+  // a background prefetcher pulls them at the sync rate. `done` fires when
+  // everything is local.
+  void BeginLazyCopyIn(std::set<uint64_t> remote_blocks, std::function<void()> done);
+
+  // Starts an eager copy-out of `dirty_blocks`; writes during the copy
+  // re-dirty blocks (they are sent again). `done` fires when the dirty set
+  // first drains — or, if the workload re-dirties faster than the rate
+  // limiter copies (pre-copy divergence, the classic live-migration
+  // problem), once 1.25x the initial set has been pushed (bounded rounds); the remaining
+  // residue then ships during the suspension like any other residual.
+  void BeginEagerCopyOut(std::set<uint64_t> dirty_blocks, std::function<void()> done);
+
+  // Blocks still awaiting transfer in the active mode.
+  size_t pending_blocks() const { return remote_only_.size() + dirty_.size(); }
+
+  // Dirty blocks re-sent because they were overwritten after being copied.
+  uint64_t recopied_blocks() const { return recopied_blocks_; }
+
+  // Blocks already pushed to the remote half by the eager copy-out.
+  size_t copied_blocks() const { return copied_.size(); }
+
+  uint64_t demand_fetches() const { return demand_fetches_; }
+
+ private:
+  void PrefetchNextBatch();
+  void CopyOutNextBatch();
+  void FetchBlock(uint64_t block, std::function<void()> done);
+
+  Simulator* sim_;
+  BlockDevice* local_;
+  TransferChannel* channel_;
+  MirrorParams params_;
+  Disk* landing_disk_;
+
+  std::set<uint64_t> remote_only_;  // lazy copy-in pending set
+  std::set<uint64_t> dirty_;        // eager copy-out pending set
+  std::set<uint64_t> copied_;       // already pushed (for re-dirty detection)
+  bool copy_in_active_ = false;
+  bool copy_out_active_ = false;
+  std::function<void()> copy_in_done_;
+  std::function<void()> copy_out_done_;
+  SimTime rate_limit_next_ = 0;
+  uint64_t recopied_blocks_ = 0;
+  uint64_t demand_fetches_ = 0;
+  uint64_t copyout_pushed_ = 0;   // blocks pushed in the active copy-out
+  uint64_t copyout_initial_ = 0;  // initial dirty-set size
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_STORAGE_MIRROR_VOLUME_H_

@@ -1,0 +1,58 @@
+// A concrete ReplayableRun: a single-node experiment driving a deterministic
+// mixed workload (timers + CPU + disk writes), checkpointed via the real
+// checkpoint engine. Used by the time-travel tests, benchmarks and example;
+// larger setups implement ReplayableRun over their own topologies the same
+// way.
+
+#ifndef TCSIM_SRC_TIMETRAVEL_BASIC_RUN_H_
+#define TCSIM_SRC_TIMETRAVEL_BASIC_RUN_H_
+
+#include <memory>
+
+#include "src/checkpoint/local_checkpoint.h"
+#include "src/guest/node.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/timetravel/replayable_run.h"
+
+namespace tcsim {
+
+class BasicExperimentRun : public ReplayableRun {
+ public:
+  struct Params {
+    uint64_t seed = 1;              // construction seed (fixed per tree)
+    SimTime mean_tick = 5 * kMillisecond;
+    uint64_t blocks_per_tick = 4;
+  };
+
+  explicit BasicExperimentRun(Params params);
+
+  // --- ReplayableRun -----------------------------------------------------------
+
+  void AdvanceTo(SimTime t) override { sim_.RunUntil(t); }
+  SimTime Now() const override { return sim_.Now(); }
+  uint64_t StateDigest() const override;
+  uint64_t CaptureCheckpoint() override;
+  void Perturb(uint64_t seed) override;
+
+  // Workload observables (for divergence assertions in tests).
+  uint64_t counter() const { return counter_; }
+  ExperimentNode& node() { return *node_; }
+  Simulator& sim() { return sim_; }
+
+ private:
+  void Tick();
+
+  Params params_;
+  Simulator sim_;
+  std::unique_ptr<ExperimentNode> node_;
+  std::unique_ptr<LocalCheckpointEngine> engine_;
+  Rng workload_rng_;
+  uint64_t counter_ = 0;
+  uint64_t next_block_ = 4096;
+  uint64_t io_completions_ = 0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_TIMETRAVEL_BASIC_RUN_H_

@@ -1,0 +1,94 @@
+#include "src/timetravel/checkpoint_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tcsim {
+
+TimeTravelTree::TimeTravelTree(Factory factory) : factory_(std::move(factory)) {}
+
+std::vector<int> TimeTravelTree::RunSegment(ReplayableRun* run, SimTime base, SimTime until,
+                                            SimTime interval, int parent, int branch) {
+  std::vector<int> ids;
+  SimTime next = base + interval;
+  while (next <= until) {
+    run->AdvanceTo(next);
+    TreeNode node;
+    node.id = static_cast<int>(nodes_.size());
+    node.parent = parent;
+    node.branch = branch;
+    node.time = next;
+    node.image_bytes = run->CaptureCheckpoint();
+    node.digest = run->StateDigest();
+    parent = node.id;
+    nodes_.push_back(node);
+    ids.push_back(node.id);
+    next += interval;
+  }
+  run->AdvanceTo(until);
+  return ids;
+}
+
+std::vector<int> TimeTravelTree::RecordOriginalRun(SimTime until, SimTime interval) {
+  assert(nodes_.empty() && "original run already recorded");
+  active_ = factory_();
+  const int branch = branch_count_++;
+  return RunSegment(active_.get(), active_->Now(), until, interval, /*parent=*/-1, branch);
+}
+
+std::unique_ptr<ReplayableRun> TimeTravelTree::RebuildTo(int checkpoint_id) {
+  assert(checkpoint_id >= 0 && checkpoint_id < static_cast<int>(nodes_.size()));
+  // Only checkpoints on the original (unperturbed) branch can be rebuilt by
+  // plain re-execution; perturbed branches would need their perturbation
+  // schedule replayed, which the recording in `nodes_` doesn't retain.
+  assert(nodes_[checkpoint_id].branch == 0 &&
+         "rollback target must lie on the original run");
+
+  // Collect the root -> target checkpoint path.
+  std::vector<int> path;
+  for (int id = checkpoint_id; id != -1; id = nodes_[id].parent) {
+    path.push_back(id);
+  }
+  std::reverse(path.begin(), path.end());
+
+  // Re-execute, re-taking each checkpoint at its recorded instant so the
+  // reconstruction experiences the same perturbations the original did.
+  auto run = factory_();
+  for (int id : path) {
+    run->AdvanceTo(nodes_[id].time);
+    run->CaptureCheckpoint();
+  }
+  return run;
+}
+
+std::vector<int> TimeTravelTree::ReplayFrom(int checkpoint_id, SimTime until,
+                                            SimTime interval, uint64_t perturb_seed) {
+  auto run = RebuildTo(checkpoint_id);
+  if (perturb_seed != 0) {
+    run->Perturb(perturb_seed);
+  }
+  const int branch = branch_count_++;
+  active_ = std::move(run);
+  // Checkpoint instants stay aligned with the original schedule, anchored at
+  // the branch point's recorded time.
+  return RunSegment(active_.get(), nodes_[checkpoint_id].time, until, interval,
+                    checkpoint_id, branch);
+}
+
+bool TimeTravelTree::VerifyDeterministicReplay(int checkpoint_id) {
+  auto run = RebuildTo(checkpoint_id);
+  return run->StateDigest() == nodes_[checkpoint_id].digest;
+}
+
+SimTime TimeTravelTree::EstimateRestoreTime(int checkpoint_id,
+                                            uint64_t disk_rate_bytes_per_sec) const {
+  assert(checkpoint_id >= 0 && checkpoint_id < static_cast<int>(nodes_.size()));
+  // Restoring loads the target checkpoint's memory image; disk state is
+  // already present via branching storage (a branch switch is metadata).
+  const uint64_t bytes = nodes_[checkpoint_id].image_bytes;
+  return static_cast<SimTime>(static_cast<double>(bytes) * 1e9 /
+                              static_cast<double>(disk_rate_bytes_per_sec));
+}
+
+}  // namespace tcsim

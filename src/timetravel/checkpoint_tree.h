@@ -1,0 +1,84 @@
+// The time-travel checkpoint tree (Section 6).
+//
+// The original run is captured by frequent checkpointing; every replay
+// creates a new branch in the execution history, so sessions form a tree
+// whose internal nodes are checkpoints and whose leaves are checkpoints or
+// active executions. Branching storage keeps thousands of tree nodes cheap;
+// here each node records its image size (from the checkpoint machinery) and
+// a state digest (for determinism verification).
+
+#ifndef TCSIM_SRC_TIMETRAVEL_CHECKPOINT_TREE_H_
+#define TCSIM_SRC_TIMETRAVEL_CHECKPOINT_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/timetravel/replayable_run.h"
+
+namespace tcsim {
+
+// One node of the execution-history tree.
+struct TreeNode {
+  int id = 0;
+  int parent = -1;       // -1 for the root
+  int branch = 0;        // branch (session) this checkpoint belongs to
+  SimTime time = 0;      // simulator time of the checkpoint
+  uint64_t image_bytes = 0;
+  uint64_t digest = 0;
+};
+
+class TimeTravelTree {
+ public:
+  // Builds a fresh experiment instance. Runs must be deterministic for a
+  // given construction (perturbations are applied via ReplayableRun::Perturb).
+  using Factory = std::function<std::unique_ptr<ReplayableRun>()>;
+
+  explicit TimeTravelTree(Factory factory);
+
+  // Captures the original run: checkpoints every `interval` until `until`.
+  // Returns the ids of the recorded checkpoints.
+  std::vector<int> RecordOriginalRun(SimTime until, SimTime interval);
+
+  // Time-travels to checkpoint `checkpoint_id` and replays until `until`,
+  // checkpointing every `interval`. `perturb_seed` == 0 replays
+  // deterministically; nonzero applies relaxed-determinism perturbation at
+  // the branch point. Returns the new branch's checkpoint ids.
+  std::vector<int> ReplayFrom(int checkpoint_id, SimTime until, SimTime interval,
+                              uint64_t perturb_seed);
+
+  // Re-executes to `checkpoint_id` and checks the state digest matches the
+  // recorded one — the determinism guarantee rollback relies on.
+  bool VerifyDeterministicReplay(int checkpoint_id);
+
+  // Models the paper's restore path: time to load the images on the rollback
+  // path from the local snapshot disk at `disk_rate_bytes_per_sec`.
+  SimTime EstimateRestoreTime(int checkpoint_id, uint64_t disk_rate_bytes_per_sec) const;
+
+  const std::vector<TreeNode>& tree() const { return nodes_; }
+  int branch_count() const { return branch_count_; }
+  ReplayableRun* active_run() { return active_.get(); }
+
+ private:
+  // Rebuilds a run and re-executes it through checkpoint `checkpoint_id`,
+  // *re-taking every checkpoint on the path*: checkpoints perturb the
+  // system (downtime, dirty-set churn), so a faithful reconstruction must
+  // replay the checkpoint schedule, not just the workload.
+  std::unique_ptr<ReplayableRun> RebuildTo(int checkpoint_id);
+
+  // Runs `run` until `until` with checkpoints at base + k*interval,
+  // appending nodes under `parent` on branch `branch`.
+  std::vector<int> RunSegment(ReplayableRun* run, SimTime base, SimTime until,
+                              SimTime interval, int parent, int branch);
+
+  Factory factory_;
+  std::vector<TreeNode> nodes_;
+  int branch_count_ = 0;
+  std::unique_ptr<ReplayableRun> active_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_TIMETRAVEL_CHECKPOINT_TREE_H_

@@ -1,0 +1,102 @@
+#include "src/timetravel/distributed_run.h"
+
+namespace tcsim {
+
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+constexpr uint16_t kServicePort = 7000;
+
+}  // namespace
+
+// Marks a request message so the server knows how big a response to send.
+struct DistributedExperimentRun::RequestTag : public AppPayload {
+  uint32_t response_bytes = 0;
+};
+
+DistributedExperimentRun::DistributedExperimentRun(Params params)
+    : params_(params), workload_rng_(params.seed) {
+  TestbedConfig cfg;
+  cfg.checkpoint_policy.resume_timer_latency = 0;  // digests must reproduce
+  testbed_ = std::make_unique<Testbed>(&sim_, params_.seed ^ 0xD157, cfg);
+
+  ExperimentSpec spec("tt-distributed");
+  spec.AddNode("client");
+  spec.AddNode("server");
+  spec.AddLink("client", "server", params_.link_bandwidth_bps, params_.link_delay);
+  experiment_ = testbed_->CreateExperiment(spec);
+  experiment_->SwapIn(/*golden_cached=*/true, nullptr);
+  sim_.RunUntil(9 * kSecond);
+
+  ExperimentNode* server = experiment_->node("server");
+  server->net().ListenTcp(kServicePort, [server](TcpConnection* conn) {
+    conn->SetMessageCallback([server, conn](std::shared_ptr<AppPayload> payload) {
+      auto* tag = dynamic_cast<RequestTag*>(payload.get());
+      if (tag == nullptr) {
+        return;
+      }
+      server->kernel().TouchMemory(tag->response_bytes);
+      conn->SendMessage(tag->response_bytes, std::make_shared<AppPayload>());
+    });
+  });
+
+  ExperimentNode* client = experiment_->node("client");
+  client_conn_ = client->net().ConnectTcp(server->id(), kServicePort, {},
+                                          [this] { SendNextRequest(); });
+  client_conn_->SetMessageCallback([this](std::shared_ptr<AppPayload>) {
+    ++requests_completed_;
+    last_response_vtime_ = experiment_->node("client")->kernel().GetTimeOfDay();
+    const SimTime think = static_cast<SimTime>(workload_rng_.Exponential(
+                              static_cast<double>(params_.mean_think_time))) +
+                          kMicrosecond;
+    experiment_->node("client")->kernel().Usleep(think, [this] { SendNextRequest(); });
+  });
+  client_conn_->SetDeliveryCallback([this](uint64_t bytes) { bytes_received_ += bytes; });
+}
+
+void DistributedExperimentRun::SendNextRequest() {
+  auto tag = std::make_shared<RequestTag>();
+  tag->response_bytes =
+      static_cast<uint32_t>(workload_rng_.UniformInt(4 * 1024, 256 * 1024));
+  experiment_->node("client")->kernel().TouchMemory(4096);
+  client_conn_->SendMessage(512, std::move(tag));
+}
+
+uint64_t DistributedExperimentRun::StateDigest() const {
+  uint64_t h = 0xCBF29CE484222325ull;
+  h = HashCombine(h, requests_completed_);
+  h = HashCombine(h, bytes_received_);
+  h = HashCombine(h, static_cast<uint64_t>(last_response_vtime_));
+  h = HashCombine(h, client_conn_->stats().segments_sent);
+  h = HashCombine(h, client_conn_->stats().bytes_delivered);
+  return h;
+}
+
+uint64_t DistributedExperimentRun::CaptureCheckpoint() {
+  uint64_t image = 0;
+  bool done = false;
+  experiment_->coordinator().CheckpointScheduled(
+      100 * kMillisecond, [&](const DistributedCheckpointRecord& rec) {
+        image = rec.TotalImageBytes();
+        done = true;
+      });
+  const SimTime deadline = sim_.Now() + 120 * kSecond;
+  while (!done && sim_.Now() < deadline) {
+    sim_.RunUntil(sim_.Now() + 10 * kMillisecond);
+  }
+  return image;
+}
+
+void DistributedExperimentRun::Perturb(uint64_t seed) {
+  if (seed == 0) {
+    return;
+  }
+  // Relaxed determinism: reseed think times and response sizes from here on.
+  workload_rng_ = Rng(seed);
+}
+
+}  // namespace tcsim

@@ -1,0 +1,68 @@
+// Time travel over a distributed experiment.
+//
+// The paper's motivating scenario (Section 6): a networked system misbehaves
+// deep into a run; the experimenter rolls the *whole closed world* back —
+// every node, every connection, every in-flight packet — and replays,
+// deterministically or with perturbation. This ReplayableRun drives a
+// two-node experiment running a request/response protocol over TCP through
+// real distributed checkpoints, so the tree records coordinated snapshots of
+// a genuinely distributed execution.
+
+#ifndef TCSIM_SRC_TIMETRAVEL_DISTRIBUTED_RUN_H_
+#define TCSIM_SRC_TIMETRAVEL_DISTRIBUTED_RUN_H_
+
+#include <memory>
+
+#include "src/emulab/experiment.h"
+#include "src/emulab/experiment_spec.h"
+#include "src/emulab/testbed.h"
+#include "src/net/tcp.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/timetravel/replayable_run.h"
+
+namespace tcsim {
+
+class DistributedExperimentRun : public ReplayableRun {
+ public:
+  struct Params {
+    uint64_t seed = 1;
+    uint64_t link_bandwidth_bps = 100'000'000;
+    SimTime link_delay = 2 * kMillisecond;
+    SimTime mean_think_time = 20 * kMillisecond;
+  };
+
+  explicit DistributedExperimentRun(Params params);
+
+  // --- ReplayableRun -----------------------------------------------------------
+
+  void AdvanceTo(SimTime t) override { sim_.RunUntil(t); }
+  SimTime Now() const override { return sim_.Now(); }
+  uint64_t StateDigest() const override;
+  uint64_t CaptureCheckpoint() override;
+  void Perturb(uint64_t seed) override;
+
+  // Observables.
+  uint64_t requests_completed() const { return requests_completed_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+  Experiment* experiment() { return experiment_; }
+
+ private:
+  struct RequestTag;
+
+  void SendNextRequest();
+
+  Params params_;
+  Simulator sim_;
+  std::unique_ptr<Testbed> testbed_;
+  Experiment* experiment_ = nullptr;
+  Rng workload_rng_;
+  TcpConnection* client_conn_ = nullptr;
+  uint64_t requests_completed_ = 0;
+  uint64_t bytes_received_ = 0;
+  SimTime last_response_vtime_ = 0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_TIMETRAVEL_DISTRIBUTED_RUN_H_

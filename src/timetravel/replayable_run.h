@@ -1,0 +1,48 @@
+// Abstraction over a re-runnable experiment for time travel.
+//
+// Substitution note (see DESIGN.md): the paper restores a checkpoint by
+// loading saved memory/disk images, because re-executing physical hardware
+// to a past state is impossible. This simulator is fully deterministic given
+// its seeds, so "restoring checkpoint k" is implemented by re-executing the
+// experiment from t=0 to checkpoint k's time — which reconstructs the
+// *identical* state by construction (verified via StateDigest). Checkpoint
+// image sizes and restore transfer times are still modelled from the storage
+// layer, so the cost accounting matches the paper's mechanism.
+
+#ifndef TCSIM_SRC_TIMETRAVEL_REPLAYABLE_RUN_H_
+#define TCSIM_SRC_TIMETRAVEL_REPLAYABLE_RUN_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace tcsim {
+
+// One live instance of an experiment under time-travel control.
+class ReplayableRun {
+ public:
+  virtual ~ReplayableRun() = default;
+
+  // Advances the run's simulator to absolute time `t`.
+  virtual void AdvanceTo(SimTime t) = 0;
+
+  // Current time of the run's simulator.
+  virtual SimTime Now() const = 0;
+
+  // A digest of experiment state, used to verify that deterministic replay
+  // reconstructs identical states and that perturbed replay diverges.
+  virtual uint64_t StateDigest() const = 0;
+
+  // Takes a checkpoint of the running experiment; returns the image size in
+  // bytes. Called at the tree's checkpoint instants.
+  virtual uint64_t CaptureCheckpoint() = 0;
+
+  // Applies a perturbation from this instant on (relaxed-determinism replay:
+  // mutate state, reseed workload randomness, skew timings). A seed of 0
+  // must be a no-op so unperturbed replays stay deterministic.
+  virtual void Perturb(uint64_t seed) = 0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_TIMETRAVEL_REPLAYABLE_RUN_H_

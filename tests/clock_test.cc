@@ -1,0 +1,106 @@
+// Hardware clock and NTP discipline tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/clock/hardware_clock.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace tcsim {
+namespace {
+
+TEST(HardwareClockTest, FreeRunningClockDrifts) {
+  Simulator sim;
+  ClockParams params;
+  params.drift_ppm = 50.0;
+  params.initial_offset = 0;
+  HardwareClock clock(&sim, Rng(1), params);
+  sim.RunUntil(100 * kSecond);
+  // 50 ppm over 100 s = 5 ms.
+  EXPECT_NEAR(static_cast<double>(clock.CurrentError()), 5.0 * kMillisecond,
+              10.0 * kMicrosecond);
+}
+
+TEST(HardwareClockTest, InitialOffsetVisible) {
+  Simulator sim;
+  ClockParams params;
+  params.drift_ppm = 0.0;
+  params.initial_offset = 3 * kMillisecond;
+  HardwareClock clock(&sim, Rng(1), params);
+  EXPECT_EQ(clock.CurrentError(), 3 * kMillisecond);
+}
+
+TEST(HardwareClockTest, PhysicalAtIsInverseOfLocalAt) {
+  Simulator sim;
+  ClockParams params;
+  params.drift_ppm = 37.0;
+  params.initial_offset = -2 * kMillisecond;
+  HardwareClock clock(&sim, Rng(1), params);
+  for (SimTime phys : {SimTime{0}, 10 * kSecond, SimTime{1234567891011}}) {
+    const SimTime local = clock.LocalAt(phys);
+    EXPECT_NEAR(static_cast<double>(clock.PhysicalAt(local)), static_cast<double>(phys), 2.0);
+  }
+}
+
+TEST(HardwareClockTest, NtpConvergesToSmallError) {
+  Simulator sim;
+  ClockParams params;
+  params.drift_ppm = 30.0;
+  params.initial_offset = 50 * kMillisecond;  // badly wrong at boot
+  params.ntp_jitter = 60 * kMicrosecond;
+  HardwareClock clock(&sim, Rng(5), params);
+  clock.StartNtp();
+  sim.RunUntil(120 * kSecond);
+  // After convergence, the residual error is bounded by sampling jitter —
+  // the paper's ~200 us LAN figure.
+  EXPECT_LT(std::abs(clock.CurrentError()), 200 * kMicrosecond);
+}
+
+TEST(HardwareClockTest, TwoClocksStayWithinSyncBound) {
+  Simulator sim;
+  ClockParams params;
+  params.initial_offset = 0;
+  Rng rng(9);
+  HardwareClock a(&sim, rng.Fork(), params);
+  HardwareClock b(&sim, rng.Fork(), params);
+  a.StartNtp();
+  b.StartNtp();
+  sim.RunUntil(60 * kSecond);
+  SimTime max_skew = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.RunUntil(sim.Now() + kSecond);
+    max_skew = std::max(max_skew, std::abs(a.LocalNow() - b.LocalNow()));
+  }
+  EXPECT_LT(max_skew, 400 * kMicrosecond);
+}
+
+TEST(HardwareClockTest, ScheduleAtLocalFiresAtLocalTime) {
+  Simulator sim;
+  ClockParams params;
+  params.drift_ppm = 100.0;
+  params.initial_offset = kMillisecond;
+  HardwareClock clock(&sim, Rng(3), params);
+  const SimTime target_local = clock.LocalNow() + 5 * kSecond;
+  SimTime fired_local = 0;
+  clock.ScheduleAtLocal(target_local, [&] { fired_local = clock.LocalNow(); });
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(fired_local), static_cast<double>(target_local), 2.0);
+}
+
+TEST(HardwareClockTest, StopNtpFreezesDiscipline) {
+  Simulator sim;
+  ClockParams params;
+  params.drift_ppm = 40.0;
+  HardwareClock clock(&sim, Rng(4), params);
+  clock.StartNtp();
+  sim.RunUntil(60 * kSecond);
+  clock.StopNtp();
+  const size_t polls = clock.error_history().size();
+  sim.RunUntil(120 * kSecond);
+  EXPECT_EQ(clock.error_history().size(), polls);
+}
+
+}  // namespace
+}  // namespace tcsim

@@ -1,0 +1,105 @@
+// Conservation and fairness properties of the substrate, parameterized.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "src/dummynet/pipe.h"
+#include "src/guest/cpu_scheduler.h"
+#include "src/net/wire.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace tcsim {
+namespace {
+
+class Counter : public PacketHandler {
+ public:
+  void HandlePacket(const Packet&) override { ++count; }
+  uint64_t count = 0;
+};
+
+// Every packet injected into a pipe is either delivered, queue-dropped or
+// loss-dropped — across any shaping configuration, with and without a
+// suspension in the middle.
+class PipeConservationTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, SimTime, double, size_t>> {};
+
+TEST_P(PipeConservationTest, PacketsAreConserved) {
+  const auto [bandwidth, delay, loss, queue] = GetParam();
+  Simulator sim;
+  Counter sink;
+  PipeConfig cfg;
+  cfg.bandwidth_bps = bandwidth;
+  cfg.delay = delay;
+  cfg.loss_rate = loss;
+  cfg.queue_limit_packets = queue;
+  Pipe pipe(&sim, Rng(99), cfg, &sink);
+
+  constexpr uint64_t kPackets = 2000;
+  Rng rng(7);
+  for (uint64_t i = 0; i < kPackets; ++i) {
+    sim.Schedule(static_cast<SimTime>(rng.UniformInt(0, 2 * kSecond)), [&pipe, i] {
+      Packet pkt;
+      pkt.id = i;
+      pkt.size_bytes = 1250;
+      pipe.HandlePacket(pkt);
+    });
+  }
+  // Freeze the pipe for a while mid-run.
+  sim.Schedule(kSecond, [&] { pipe.Suspend(); });
+  sim.Schedule(kSecond + 500 * kMillisecond, [&] { pipe.Resume(); });
+  sim.Run();
+
+  EXPECT_EQ(sink.count + pipe.queue_drops() + pipe.loss_drops(), kPackets);
+  EXPECT_EQ(sink.count, pipe.forwarded());
+  EXPECT_EQ(pipe.PacketsHeld(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipeConservationTest,
+    ::testing::Combine(::testing::Values(1'000'000ull, 100'000'000ull),
+                       ::testing::Values(SimTime{0}, 20 * kMillisecond),
+                       ::testing::Values(0.0, 0.05),
+                       ::testing::Values(size_t{5}, size_t{1000})));
+
+// Processor sharing: N equal jobs finish together, at N times the solo
+// duration, for any N.
+class CpuFairnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuFairnessTest, EqualJobsShareEqually) {
+  const int n = GetParam();
+  Simulator sim;
+  CpuScheduler cpu(&sim);
+  std::vector<SimTime> done(n, 0);
+  for (int i = 0; i < n; ++i) {
+    cpu.Run(100 * kMillisecond, [&done, i, &sim] { done[i] = sim.Now(); });
+  }
+  sim.Run();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(ToSeconds(done[i]), 0.1 * n, 0.002) << "job " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CpuFairnessTest, ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(CpuFairnessTest, LateArrivalGetsItsShare) {
+  Simulator sim;
+  CpuScheduler cpu(&sim);
+  SimTime a_done = 0;
+  SimTime b_done = 0;
+  cpu.Run(100 * kMillisecond, [&] { a_done = sim.Now(); });
+  sim.Schedule(50 * kMillisecond, [&] {
+    cpu.Run(100 * kMillisecond, [&] { b_done = sim.Now(); });
+  });
+  sim.Run();
+  // A runs alone for 50 ms (50 ms work done), then shares: remaining 50 ms
+  // of work takes 100 ms -> A finishes at 150 ms. B then runs alone: its
+  // remaining 50 ms of work takes 50 ms -> B at 200 ms.
+  EXPECT_NEAR(ToSeconds(a_done), 0.150, 0.002);
+  EXPECT_NEAR(ToSeconds(b_done), 0.200, 0.002);
+}
+
+}  // namespace
+}  // namespace tcsim

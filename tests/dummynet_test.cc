@@ -1,0 +1,184 @@
+// Dummynet pipe and delay-node tests, including the live suspend/resume
+// protocol and non-destructive state serialization (the delay-node
+// checkpoint of Section 4.4).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/dummynet/delay_node.h"
+#include "src/dummynet/pipe.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace tcsim {
+namespace {
+
+class TimedCollector : public PacketHandler {
+ public:
+  explicit TimedCollector(Simulator* sim) : sim_(sim) {}
+  void HandlePacket(const Packet& pkt) override {
+    packets.push_back(pkt);
+    times.push_back(sim_->Now());
+  }
+  Simulator* sim_;
+  std::vector<Packet> packets;
+  std::vector<SimTime> times;
+};
+
+Packet MakePacket(uint64_t id, uint32_t size = 1250) {
+  Packet pkt;
+  pkt.id = id;
+  pkt.src = 1;
+  pkt.dst = 2;
+  pkt.size_bytes = size;
+  return pkt;
+}
+
+PipeConfig TestConfig() {
+  PipeConfig cfg;
+  cfg.bandwidth_bps = 10'000'000;  // 1250 B -> 1 ms serialization
+  cfg.delay = 20 * kMillisecond;
+  cfg.loss_rate = 0.0;
+  cfg.queue_limit_packets = 10;
+  return cfg;
+}
+
+TEST(PipeTest, AddsSerializationAndDelay) {
+  Simulator sim;
+  TimedCollector sink(&sim);
+  Pipe pipe(&sim, Rng(1), TestConfig(), &sink);
+  pipe.HandlePacket(MakePacket(1));
+  sim.Run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.times[0], 21 * kMillisecond);
+}
+
+TEST(PipeTest, QueueLimitTailDrops) {
+  Simulator sim;
+  TimedCollector sink(&sim);
+  Pipe pipe(&sim, Rng(1), TestConfig(), &sink);
+  for (uint64_t i = 0; i < 20; ++i) {
+    pipe.HandlePacket(MakePacket(i));
+  }
+  sim.Run();
+  // 10 queued + 1 in transmission fit; the rest tail-drop.
+  EXPECT_EQ(sink.packets.size(), 11u);
+  EXPECT_EQ(pipe.queue_drops(), 9u);
+}
+
+TEST(PipeTest, SuspendFreezesRemainingDelay) {
+  Simulator sim;
+  TimedCollector sink(&sim);
+  Pipe pipe(&sim, Rng(1), TestConfig(), &sink);
+  pipe.HandlePacket(MakePacket(1));
+  // Let it enter the delay line (1 ms tx), then suspend mid-delay at t=6ms
+  // with 15 ms remaining.
+  sim.RunUntil(6 * kMillisecond);
+  pipe.Suspend();
+  EXPECT_EQ(pipe.PacketsHeld(), 1u);
+  // Stay frozen for 100 ms: nothing is delivered.
+  sim.RunUntil(106 * kMillisecond);
+  EXPECT_TRUE(sink.packets.empty());
+  pipe.Resume();
+  sim.Run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  // Delivered exactly 15 ms after resume: remaining delay preserved.
+  EXPECT_EQ(sink.times[0], 121 * kMillisecond);
+}
+
+TEST(PipeTest, PacketsArrivingWhileSuspendedAreIngestedOnResume) {
+  Simulator sim;
+  TimedCollector sink(&sim);
+  Pipe pipe(&sim, Rng(1), TestConfig(), &sink);
+  pipe.Suspend();
+  pipe.HandlePacket(MakePacket(1));
+  pipe.HandlePacket(MakePacket(2));
+  sim.RunUntil(50 * kMillisecond);
+  pipe.Resume();
+  sim.Run();
+  ASSERT_EQ(sink.packets.size(), 2u);
+  EXPECT_EQ(sink.packets[0].id, 1u);
+  EXPECT_EQ(sink.packets[1].id, 2u);
+}
+
+TEST(PipeTest, SaveRestoreRoundTripPreservesInFlightState) {
+  Simulator sim;
+  TimedCollector sink(&sim);
+  Pipe pipe(&sim, Rng(1), TestConfig(), &sink);
+  for (uint64_t i = 0; i < 5; ++i) {
+    pipe.HandlePacket(MakePacket(i));
+  }
+  sim.RunUntil(3 * kMillisecond);  // 2 in the delay line, 1 transmitting, 2 queued
+  pipe.Suspend();
+  ArchiveWriter w;
+  pipe.Save(&w);
+  const std::vector<uint8_t> image = w.Take();
+  const size_t held = pipe.PacketsHeld();
+
+  TimedCollector sink2(&sim);
+  Pipe restored(&sim, Rng(2), PipeConfig{}, &sink2);
+  ArchiveReader r(image);
+  restored.Restore(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.PacketsHeld(), held);
+  EXPECT_EQ(restored.config().bandwidth_bps, TestConfig().bandwidth_bps);
+  sim.Run();
+  EXPECT_EQ(sink2.packets.size(), held);
+}
+
+TEST(PipeTest, TransparentToTotalTransitTimeAcrossSuspension) {
+  // The total shaping delay a packet experiences (excluding the suspension
+  // itself) must equal the configured delay.
+  Simulator sim;
+  TimedCollector sink(&sim);
+  Pipe pipe(&sim, Rng(1), TestConfig(), &sink);
+  pipe.HandlePacket(MakePacket(1));
+  sim.RunUntil(10 * kMillisecond);
+  pipe.Suspend();
+  const SimTime suspend_start = sim.Now();
+  sim.RunUntil(sim.Now() + 500 * kMillisecond);
+  pipe.Resume();
+  const SimTime downtime = sim.Now() - suspend_start;
+  sim.Run();
+  ASSERT_EQ(sink.times.size(), 1u);
+  EXPECT_EQ(sink.times[0] - downtime, 21 * kMillisecond);
+}
+
+TEST(DelayNodeTest, ShapesBothDirections) {
+  Simulator sim;
+  TimedCollector at_a(&sim);
+  TimedCollector at_b(&sim);
+  DelayNode node(&sim, Rng(1), "delay0", ClockParams{});
+  node.Shape(TestConfig(), &at_a, &at_b);
+  node.ingress_a()->HandlePacket(MakePacket(1));
+  node.ingress_b()->HandlePacket(MakePacket(2));
+  sim.RunUntil(kSecond);
+  ASSERT_EQ(at_b.packets.size(), 1u);
+  ASSERT_EQ(at_a.packets.size(), 1u);
+  EXPECT_EQ(at_b.packets[0].id, 1u);
+  EXPECT_EQ(at_a.packets[0].id, 2u);
+  EXPECT_EQ(at_b.times[0], 21 * kMillisecond);
+}
+
+TEST(DelayNodeTest, CheckpointCapturesBandwidthDelayProduct) {
+  Simulator sim;
+  TimedCollector at_a(&sim);
+  TimedCollector at_b(&sim);
+  DelayNode node(&sim, Rng(1), "delay0", ClockParams{});
+  node.Shape(TestConfig(), &at_a, &at_b);
+  for (uint64_t i = 0; i < 8; ++i) {
+    node.ingress_a()->HandlePacket(MakePacket(i));
+  }
+  sim.RunUntil(9 * kMillisecond);
+  node.Suspend();
+  EXPECT_GT(node.PacketsHeld(), 0u);
+  const auto image = node.SaveState();
+  EXPECT_GT(image.size(), 0u);
+  node.Resume();
+  sim.RunUntil(kSecond);
+  EXPECT_EQ(at_b.packets.size(), 8u);
+}
+
+}  // namespace
+}  // namespace tcsim

@@ -1,0 +1,206 @@
+// Failure-injection and awkward-instant tests: checkpoints during TCP
+// handshakes, over lossy links, back to back with swaps, and parameterized
+// sweeps of checkpoint timing against guest timers.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "src/apps/iperf.h"
+#include "src/checkpoint/local_checkpoint.h"
+#include "src/emulab/experiment.h"
+#include "src/emulab/experiment_spec.h"
+#include "src/emulab/testbed.h"
+#include "src/sim/simulator.h"
+
+namespace tcsim {
+namespace {
+
+struct PairFixture {
+  explicit PairFixture(double loss = 0.0, uint64_t seed = 13) : testbed(&sim, seed) {
+    ExperimentSpec spec("pair");
+    spec.AddNode("a");
+    spec.AddNode("b");
+    spec.AddLink("a", "b", 100'000'000, 2 * kMillisecond, loss);
+    experiment = testbed.CreateExperiment(spec);
+    bool in = false;
+    experiment->SwapIn(true, [&] { in = true; });
+    sim.RunUntil(sim.Now() + 30 * kSecond);
+    EXPECT_TRUE(in);
+  }
+
+  Simulator sim;
+  Testbed testbed;
+  Experiment* experiment;
+};
+
+TEST(RobustnessTest, CheckpointDuringTcpHandshake) {
+  PairFixture f;
+  // Fire the connect and schedule the checkpoint so the suspension lands
+  // inside the three-way handshake (SYN in flight across a 2 ms link).
+  bool connected = false;
+  f.sim.Schedule(100 * kMillisecond + 500 * kMicrosecond, [&] {
+    f.experiment->node("a")->net().ConnectTcp(f.experiment->node("b")->id(), 80, {},
+                                              [&] { connected = true; });
+  });
+  f.experiment->node("b")->net().ListenTcp(80, [](TcpConnection*) {});
+  bool ckpt = false;
+  f.sim.Schedule(0, [&] {
+    f.experiment->coordinator().CheckpointScheduled(
+        100 * kMillisecond, [&](const DistributedCheckpointRecord&) { ckpt = true; });
+  });
+  f.sim.RunUntil(f.sim.Now() + 60 * kSecond);
+  EXPECT_TRUE(ckpt);
+  EXPECT_TRUE(connected);
+}
+
+TEST(RobustnessTest, LossyLinkTransferSurvivesCheckpoint) {
+  PairFixture f(/*loss=*/0.01, /*seed=*/31);
+  IperfApp::Params params;
+  params.total_bytes = 8ull * 1024 * 1024;
+  IperfApp iperf(f.experiment->node("a"), f.experiment->node("b"), params);
+  bool done = false;
+  iperf.Start([&] { done = true; });
+  bool ckpt = false;
+  f.sim.Schedule(200 * kMillisecond, [&] {
+    f.experiment->coordinator().CheckpointScheduled(
+        150 * kMillisecond, [&](const DistributedCheckpointRecord&) { ckpt = true; });
+  });
+  const SimTime limit = f.sim.Now() + 600 * kSecond;
+  while (!done && f.sim.Now() < limit) {
+    f.sim.RunUntil(f.sim.Now() + kSecond);
+  }
+  // Loss recovery (retransmissions) and checkpointing coexist; the stream
+  // still completes exactly.
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(ckpt);
+  EXPECT_EQ(iperf.bytes_delivered(), params.total_bytes);
+  EXPECT_GT(iperf.sender_stats().retransmits, 0u);  // from loss, not checkpoints
+}
+
+TEST(RobustnessTest, BackToBackSwapCycles) {
+  Simulator sim;
+  Testbed testbed(&sim, 3);
+  ExperimentSpec spec("s");
+  spec.AddNode("pc1");
+  Experiment* experiment = testbed.CreateExperiment(spec);
+  experiment->SwapIn(true, nullptr);
+  sim.RunUntil(sim.Now() + 30 * kSecond);
+
+  // Three immediate swap-out/swap-in cycles with no workload at all.
+  for (int i = 0; i < 3; ++i) {
+    bool out = false;
+    experiment->StatefulSwapOut(false, [&](const SwapRecord&) { out = true; });
+    const SimTime d1 = sim.Now() + 600 * kSecond;
+    while (!out && sim.Now() < d1) {
+      sim.RunUntil(sim.Now() + kSecond);
+    }
+    ASSERT_TRUE(out) << "cycle " << i;
+    bool in = false;
+    experiment->StatefulSwapIn(true, [&](const SwapRecord&) { in = true; });
+    const SimTime d2 = sim.Now() + 600 * kSecond;
+    while (!in && sim.Now() < d2) {
+      sim.RunUntil(sim.Now() + kSecond);
+    }
+    ASSERT_TRUE(in) << "cycle " << i;
+  }
+  EXPECT_EQ(experiment->swap_history().size(), 7u);  // initial + 3x(out+in)
+}
+
+TEST(RobustnessTest, GuestRemainsCoherentAfterManyLocalCheckpoints) {
+  Simulator sim;
+  NodeConfig cfg;
+  cfg.name = "pc1";
+  cfg.id = 1;
+  ExperimentNode node(&sim, Rng(5), cfg);
+  LocalCheckpointEngine engine(&sim, &node, CheckpointPolicy{});
+
+  // Mixed workload: timers, CPU, disk — across 20 checkpoints.
+  uint64_t timer_fires = 0;
+  std::function<void()> tick = [&] {
+    ++timer_fires;
+    node.kernel().Usleep(25 * kMillisecond, tick);
+  };
+  tick();
+  uint64_t cpu_done = 0;
+  std::function<void()> spin = [&] {
+    ++cpu_done;
+    node.kernel().RunCpu(50 * kMillisecond, spin);
+  };
+  spin();
+  uint64_t io_done = 0;
+  const uint64_t io_span = node.config().disk_blocks / 2;
+  std::function<void(uint64_t)> io = [&](uint64_t b) {
+    ++io_done;
+    node.kernel().block().Write(b, {b}, [&io, b, io_span] { io((b + 16) % io_span); });
+  };
+  io(1 << 16);
+
+  int checkpoints = 0;
+  std::function<void()> periodic = [&] {
+    if (checkpoints >= 20) {
+      return;
+    }
+    if (!engine.in_progress()) {
+      engine.CheckpointNow([&](const LocalCheckpointRecord&) { ++checkpoints; });
+    }
+    sim.Schedule(kSecond, periodic);
+  };
+  sim.Schedule(kSecond, periodic);
+  sim.RunUntil(60 * kSecond);
+
+  EXPECT_EQ(checkpoints, 20);
+  // All activity classes kept making progress between checkpoints.
+  EXPECT_GT(timer_fires, 1000u);
+  EXPECT_GT(cpu_done, 500u);
+  EXPECT_GT(io_done, 1000u);
+  // And the firewall never leaked an inside activity into a checkpoint.
+  EXPECT_EQ(node.kernel().activities_run_while_engaged(ActivityClass::kUserThread), 0u);
+  EXPECT_EQ(node.kernel().activities_run_while_engaged(ActivityClass::kTimer), 0u);
+}
+
+// Sweep: a guest timer of every duration crosses a checkpoint at every
+// relative phase and still measures its virtual delay exactly.
+class TimerCheckpointSweep
+    : public ::testing::TestWithParam<std::tuple<SimTime, SimTime>> {};
+
+TEST_P(TimerCheckpointSweep, VirtualDelayExactAcrossCheckpoint) {
+  const auto [sleep, ckpt_offset] = GetParam();
+  Simulator sim;
+  NodeConfig cfg;
+  cfg.name = "pc1";
+  cfg.id = 1;
+  cfg.clock.drift_ppm = 0.0;  // isolate the checkpoint effect
+  ExperimentNode node(&sim, Rng(2), cfg);
+  CheckpointPolicy policy;
+  policy.resume_timer_latency = 0;
+  LocalCheckpointEngine engine(&sim, &node, policy);
+  node.domain().TouchMemory(16 << 20);
+
+  SimTime measured = -1;
+  SimTime start = 0;
+  sim.Schedule(kSecond, [&] {
+    start = node.kernel().GetTimeOfDay();
+    node.kernel().Usleep(sleep, [&] {
+      measured = node.kernel().GetTimeOfDay() - start;
+    });
+  });
+  sim.Schedule(kSecond + ckpt_offset, [&] { engine.CheckpointNow(nullptr); });
+  sim.RunUntil(90 * kSecond);
+  ASSERT_GE(measured, 0);
+  // Accuracy is bounded by the host clock's NTP slew over the sleep
+  // interval (a few ppm), not by the checkpoint.
+  const double tolerance = 1000.0 + 8e-6 * static_cast<double>(sleep);
+  EXPECT_NEAR(static_cast<double>(measured), static_cast<double>(sleep), tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TimerCheckpointSweep,
+    ::testing::Combine(::testing::Values(10 * kMillisecond, 100 * kMillisecond,
+                                         kSecond, 10 * kSecond),
+                       ::testing::Values(SimTime{0}, 5 * kMillisecond,
+                                         50 * kMillisecond, 500 * kMillisecond)));
+
+}  // namespace
+}  // namespace tcsim

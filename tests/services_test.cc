@@ -1,0 +1,122 @@
+// Emulab service models: DNS, NTP with boundary transduction, and NFS (the
+// Section 5.2 "external world" story, protocol by protocol).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/emulab/experiment.h"
+#include "src/emulab/experiment_spec.h"
+#include "src/emulab/services.h"
+#include "src/emulab/testbed.h"
+#include "src/sim/simulator.h"
+
+namespace tcsim {
+namespace {
+
+struct ServiceFixture {
+  ServiceFixture() : testbed(&sim, 21) {
+    ExperimentSpec spec("svc");
+    spec.AddNode("pc1");
+    experiment = testbed.CreateExperiment(spec);
+    bool in = false;
+    experiment->SwapIn(true, [&] { in = true; });
+    sim.RunUntil(sim.Now() + 30 * kSecond);
+    EXPECT_TRUE(in);
+  }
+
+  ExperimentNode* node() { return experiment->node("pc1"); }
+
+  Simulator sim;
+  Testbed testbed;
+  Experiment* experiment;
+};
+
+TEST(DnsTest, ResolvesRegisteredNamesAndNxdomain) {
+  ServiceFixture f;
+  DnsServer server(&f.testbed.boss_stack());
+  server.AddRecord("server.expt.emulab.net", 42);
+  DnsClient client(f.node(), kBossAddr);
+
+  NodeId resolved = 0;
+  client.Resolve("server.expt.emulab.net", [&](NodeId addr) { resolved = addr; });
+  f.sim.RunUntil(f.sim.Now() + kSecond);
+  EXPECT_EQ(resolved, 42u);
+
+  NodeId missing = 0;
+  client.Resolve("nonexistent.example", [&](NodeId addr) { missing = addr; });
+  f.sim.RunUntil(f.sim.Now() + kSecond);
+  EXPECT_EQ(missing, kInvalidNode);
+}
+
+TEST(DnsTest, StatelessServiceUnaffectedBySuspension) {
+  ServiceFixture f;
+  DnsServer server(&f.testbed.boss_stack());
+  server.AddRecord("a", 1);
+  DnsClient client(f.node(), kBossAddr);
+
+  // Conceal 100 s, then resolve: stateless protocols need no special
+  // handling across swapped-out time.
+  f.node()->domain().FreezeTime();
+  f.sim.RunUntil(f.sim.Now() + 100 * kSecond);
+  f.node()->domain().UnfreezeTime(true);
+  NodeId resolved = 0;
+  client.Resolve("a", [&](NodeId addr) { resolved = addr; });
+  f.sim.RunUntil(f.sim.Now() + kSecond);
+  EXPECT_EQ(resolved, 1u);
+}
+
+TEST(NtpServiceTest, GuestMeasuresNearZeroOffsetNormally) {
+  ServiceFixture f;
+  NtpServer server(&f.testbed.boss_stack());
+  GuestNtpClient client(f.node(), kBossAddr);
+
+  SimTime offset = kSecond;  // sentinel
+  client.MeasureOffset([&](SimTime o) { offset = o; });
+  f.sim.RunUntil(f.sim.Now() + kSecond);
+  // Bounded by (asymmetric) network delay + host clock error: well under a
+  // few ms.
+  EXPECT_LT(std::abs(offset), 5 * kMillisecond);
+}
+
+TEST(NtpServiceTest, TransductionConcealsLongSuspensionFromGuestNtp) {
+  ServiceFixture f;
+  NtpServer server(&f.testbed.boss_stack());
+  GuestNtpClient client(f.node(), kBossAddr);
+
+  // Conceal 10 minutes. Without boundary transduction, the guest's NTP
+  // exchange would measure ~+600 s and "correct" the virtual clock, undoing
+  // checkpoint transparency. With it, the measured offset stays ~0.
+  f.node()->domain().FreezeTime();
+  f.sim.RunUntil(f.sim.Now() + 600 * kSecond);
+  f.node()->domain().UnfreezeTime(/*compensate=*/true);
+
+  SimTime offset = kSecond;
+  client.MeasureOffset([&](SimTime o) { offset = o; });
+  f.sim.RunUntil(f.sim.Now() + kSecond);
+  EXPECT_LT(std::abs(offset), 5 * kMillisecond);
+
+  // Sanity: the concealed gap really is ~600 s between frames.
+  const SimTime vnow = f.node()->kernel().GetTimeOfDay();
+  EXPECT_GT(f.node()->domain().RealFromVirtual(vnow) - vnow, 590 * kSecond);
+}
+
+TEST(NfsServiceTest, WriteThenGetattrIsConsistentInGuestTime) {
+  ServiceFixture f;
+  NfsServer server(&f.testbed.fs_stack());
+  NfsClient client(f.node(), kFsAddr);
+
+  SimTime write_mtime = -1;
+  client.WriteFile("/proj/data.bin", 1 << 20, [&](SimTime m) { write_mtime = m; });
+  f.sim.RunUntil(f.sim.Now() + kSecond);
+  ASSERT_GE(write_mtime, 0);
+
+  SimTime attr_mtime = -1;
+  client.GetAttr("/proj/data.bin", [&](SimTime m) { attr_mtime = m; });
+  f.sim.RunUntil(f.sim.Now() + kSecond);
+  EXPECT_EQ(attr_mtime, write_mtime);
+  EXPECT_EQ(server.file_count(), 1u);
+}
+
+}  // namespace
+}  // namespace tcsim

@@ -1,0 +1,223 @@
+// Unit tests for the discrete-event kernel, RNG, stats and trace utilities.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/archive.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/sim/trace.h"
+
+namespace tcsim {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, EqualTimesFireInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(100, [] {});
+  sim.Run();
+  bool fired = false;
+  sim.Schedule(-50, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle handle = sim.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.Cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(12345);
+  EXPECT_EQ(sim.Now(), 12345);
+}
+
+TEST(SimulatorTest, RunUntilDoesNotRunLaterEvents) {
+  Simulator sim;
+  bool early = false;
+  bool late = false;
+  sim.Schedule(10, [&] { early = true; });
+  sim.Schedule(100, [&] { late = true; });
+  sim.RunUntil(50);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.Now(), 50);
+  sim.Run();
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 5) {
+      sim.Schedule(10, chain);
+    }
+  };
+  sim.Schedule(0, chain);
+  sim.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.Now(), 40);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    Rng rng(99);
+    std::vector<SimTime> fire_times;
+    for (int i = 0; i < 50; ++i) {
+      sim.Schedule(static_cast<SimTime>(rng.UniformInt(0, 1000)),
+                   [&fire_times, &sim] { fire_times.push_back(sim.Now()); });
+    }
+    sim.Run();
+    return fire_times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+    const int64_t n = rng.UniformInt(-3, 3);
+    EXPECT_GE(n, -3);
+    EXPECT_LE(n, 3);
+  }
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(2);
+  Samples s;
+  for (int i = 0; i < 20000; ++i) {
+    s.Add(rng.Normal(10.0, 3.0));
+  }
+  const Summary sum = s.Summarize();
+  EXPECT_NEAR(sum.mean, 10.0, 0.1);
+  EXPECT_NEAR(sum.stddev, 3.0, 0.1);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng a(7);
+  Rng b = a.Fork();
+  // Different draws from the two generators.
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(StatsTest, SummaryAndPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  const Summary sum = s.Summarize();
+  EXPECT_DOUBLE_EQ(sum.mean, 50.5);
+  EXPECT_EQ(sum.min, 1.0);
+  EXPECT_EQ(sum.max, 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.Percentile(97), 97.03, 0.1);
+  EXPECT_DOUBLE_EQ(s.FractionWithin(50.5, 9.5), 0.20);  // 41..60 inclusive
+}
+
+TEST(StatsTest, ThroughputMeterBucketizes) {
+  ThroughputMeter meter(kSecond);
+  meter.Add(0, 1024 * 1024);
+  meter.Add(kSecond / 2, 1024 * 1024);
+  meter.Add(2 * kSecond, 1024 * 1024);
+  const TimeSeries series = meter.Bucketize();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.points()[0].value, 2.0);  // 2 MB in bucket 0
+  EXPECT_DOUBLE_EQ(series.points()[1].value, 0.0);
+  EXPECT_DOUBLE_EQ(series.points()[2].value, 1.0);
+}
+
+TEST(TraceTest, IdenticalTracesCompareEqual) {
+  TraceLog a;
+  TraceLog b;
+  for (int i = 0; i < 10; ++i) {
+    a.Record(i * kMillisecond, "x", i);
+    b.Record(i * kMillisecond, "x", i);
+  }
+  const TraceDiff diff = a.Compare(b);
+  EXPECT_TRUE(diff.comparable);
+  EXPECT_EQ(diff.max_time_delta, 0);
+  EXPECT_EQ(diff.max_value_delta, 0.0);
+}
+
+TEST(TraceTest, TimeShiftDetected) {
+  TraceLog a;
+  TraceLog b;
+  a.Record(kMillisecond, "x", 1);
+  b.Record(kMillisecond + 700 * kMicrosecond, "x", 1);
+  const TraceDiff diff = a.Compare(b);
+  EXPECT_TRUE(diff.comparable);
+  EXPECT_EQ(diff.max_time_delta, 700 * kMicrosecond);
+}
+
+TEST(TraceTest, DifferentShapesNotComparable) {
+  TraceLog a;
+  TraceLog b;
+  a.Record(1, "x", 1);
+  EXPECT_FALSE(a.Compare(b).comparable);
+  b.Record(1, "y", 1);
+  EXPECT_FALSE(a.Compare(b).comparable);
+}
+
+TEST(ArchiveTest, RoundTripsPodsStringsVectors) {
+  ArchiveWriter w;
+  w.Write<uint64_t>(42);
+  w.Write<double>(3.25);
+  w.WriteString("hello world");
+  w.WriteVector<int32_t>({1, -2, 3});
+  const std::vector<uint8_t> data = w.Take();
+
+  ArchiveReader r(data);
+  EXPECT_EQ(r.Read<uint64_t>(), 42u);
+  EXPECT_EQ(r.Read<double>(), 3.25);
+  EXPECT_EQ(r.ReadString(), "hello world");
+  EXPECT_EQ(r.ReadVector<int32_t>(), (std::vector<int32_t>{1, -2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace tcsim

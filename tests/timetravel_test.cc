@@ -1,0 +1,150 @@
+// Time-travel tests: deterministic rollback, branching history, perturbed
+// replay divergence, and restore-cost accounting (Section 6).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/timetravel/basic_run.h"
+#include "src/timetravel/distributed_run.h"
+#include "src/timetravel/checkpoint_tree.h"
+
+namespace tcsim {
+namespace {
+
+TimeTravelTree::Factory MakeFactory(uint64_t seed = 11) {
+  return [seed] {
+    BasicExperimentRun::Params params;
+    params.seed = seed;
+    return std::make_unique<BasicExperimentRun>(params);
+  };
+}
+
+TEST(TimeTravelTest, RecordsPeriodicCheckpoints) {
+  TimeTravelTree tree(MakeFactory());
+  const std::vector<int> ids = tree.RecordOriginalRun(10 * kSecond, 2 * kSecond);
+  EXPECT_EQ(ids.size(), 5u);
+  EXPECT_EQ(tree.tree().size(), 5u);
+  // A linear chain on branch 0.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const TreeNode& node = tree.tree()[ids[i]];
+    EXPECT_EQ(node.branch, 0);
+    EXPECT_EQ(node.parent, i == 0 ? -1 : ids[i - 1]);
+    EXPECT_GT(node.image_bytes, 0u);
+  }
+}
+
+TEST(TimeTravelTest, DeterministicReplayReproducesDigests) {
+  TimeTravelTree tree(MakeFactory());
+  const std::vector<int> ids = tree.RecordOriginalRun(10 * kSecond, 2 * kSecond);
+  for (int id : ids) {
+    EXPECT_TRUE(tree.VerifyDeterministicReplay(id)) << "checkpoint " << id;
+  }
+}
+
+TEST(TimeTravelTest, ReplayCreatesNewBranch) {
+  TimeTravelTree tree(MakeFactory());
+  const std::vector<int> original = tree.RecordOriginalRun(10 * kSecond, 2 * kSecond);
+  const std::vector<int> branch =
+      tree.ReplayFrom(original[1], 10 * kSecond, 2 * kSecond, /*perturb_seed=*/0);
+  EXPECT_FALSE(branch.empty());
+  EXPECT_EQ(tree.branch_count(), 2);
+  EXPECT_EQ(tree.tree()[branch.front()].parent, original[1]);
+  EXPECT_EQ(tree.tree()[branch.front()].branch, 1);
+}
+
+TEST(TimeTravelTest, UnperturbedReplayMatchesOriginalFuture) {
+  TimeTravelTree tree(MakeFactory());
+  const std::vector<int> original = tree.RecordOriginalRun(10 * kSecond, 2 * kSecond);
+  // Replaying from checkpoint 1 without perturbation must retrace the
+  // original run: same checkpoint times, same digests.
+  const std::vector<int> replay =
+      tree.ReplayFrom(original[1], 10 * kSecond, 2 * kSecond, /*perturb_seed=*/0);
+  ASSERT_EQ(replay.size(), original.size() - 2);
+  for (size_t i = 0; i < replay.size(); ++i) {
+    EXPECT_EQ(tree.tree()[replay[i]].digest, tree.tree()[original[i + 2]].digest);
+    EXPECT_EQ(tree.tree()[replay[i]].time, tree.tree()[original[i + 2]].time);
+  }
+}
+
+TEST(TimeTravelTest, PerturbedReplayDiverges) {
+  TimeTravelTree tree(MakeFactory());
+  const std::vector<int> original = tree.RecordOriginalRun(10 * kSecond, 2 * kSecond);
+  const std::vector<int> replay =
+      tree.ReplayFrom(original[1], 10 * kSecond, 2 * kSecond, /*perturb_seed=*/777);
+  ASSERT_FALSE(replay.empty());
+  // The perturbed branch's final digest differs from the original's.
+  EXPECT_NE(tree.tree()[replay.back()].digest, tree.tree()[original.back()].digest);
+}
+
+TEST(TimeTravelTest, TreeSupportsManyBranchesFromOnePoint) {
+  TimeTravelTree tree(MakeFactory());
+  const std::vector<int> original = tree.RecordOriginalRun(6 * kSecond, 2 * kSecond);
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const std::vector<int> branch =
+        tree.ReplayFrom(original[0], 6 * kSecond, 2 * kSecond, seed);
+    EXPECT_FALSE(branch.empty());
+    EXPECT_EQ(tree.tree()[branch.front()].parent, original[0]);
+  }
+  EXPECT_EQ(tree.branch_count(), 5);
+}
+
+TEST(TimeTravelTest, RestoreTimeScalesWithImageSize) {
+  TimeTravelTree tree(MakeFactory());
+  const std::vector<int> ids = tree.RecordOriginalRun(6 * kSecond, 2 * kSecond);
+  const uint64_t rate = 70ull * 1024 * 1024;
+  for (int id : ids) {
+    const SimTime t = tree.EstimateRestoreTime(id, rate);
+    const double expected =
+        static_cast<double>(tree.tree()[id].image_bytes) / static_cast<double>(rate);
+    EXPECT_NEAR(ToSeconds(t), expected, 1e-6);
+  }
+}
+
+
+// --- Time travel over a distributed experiment --------------------------------
+
+TimeTravelTree::Factory MakeDistributedFactory(uint64_t seed = 31) {
+  return [seed] {
+    DistributedExperimentRun::Params params;
+    params.seed = seed;
+    return std::make_unique<DistributedExperimentRun>(params);
+  };
+}
+
+TEST(DistributedTimeTravelTest, RecordsCoordinatedCheckpointsOfBothNodes) {
+  TimeTravelTree tree(MakeDistributedFactory());
+  const std::vector<int> ids = tree.RecordOriginalRun(20 * kSecond, 4 * kSecond);
+  ASSERT_GE(ids.size(), 2u);
+  for (int id : ids) {
+    EXPECT_GT(tree.tree()[id].image_bytes, 0u);
+  }
+  auto* run = static_cast<DistributedExperimentRun*>(tree.active_run());
+  EXPECT_GT(run->requests_completed(), 0u);
+}
+
+TEST(DistributedTimeTravelTest, DeterministicRollbackOfADistributedSystem) {
+  TimeTravelTree tree(MakeDistributedFactory());
+  const std::vector<int> ids = tree.RecordOriginalRun(20 * kSecond, 4 * kSecond);
+  // Re-executing to each checkpoint reconstructs the identical distributed
+  // state: both nodes, the TCP connection, the in-flight traffic.
+  for (int id : ids) {
+    EXPECT_TRUE(tree.VerifyDeterministicReplay(id)) << "checkpoint " << id;
+  }
+}
+
+TEST(DistributedTimeTravelTest, PerturbedReplayExploresDifferentExecutions) {
+  TimeTravelTree tree(MakeDistributedFactory());
+  const std::vector<int> ids = tree.RecordOriginalRun(20 * kSecond, 4 * kSecond);
+  const std::vector<int> same =
+      tree.ReplayFrom(ids[0], 20 * kSecond, 4 * kSecond, /*perturb_seed=*/0);
+  const std::vector<int> perturbed =
+      tree.ReplayFrom(ids[0], 20 * kSecond, 4 * kSecond, /*perturb_seed=*/99);
+  ASSERT_FALSE(same.empty());
+  ASSERT_FALSE(perturbed.empty());
+  EXPECT_EQ(tree.tree()[same.back()].digest, tree.tree()[ids.back()].digest);
+  EXPECT_NE(tree.tree()[perturbed.back()].digest, tree.tree()[ids.back()].digest);
+}
+
+}  // namespace
+}  // namespace tcsim
