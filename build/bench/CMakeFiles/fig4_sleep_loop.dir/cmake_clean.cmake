@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sleep_loop.dir/fig4_sleep_loop.cc.o"
+  "CMakeFiles/fig4_sleep_loop.dir/fig4_sleep_loop.cc.o.d"
+  "fig4_sleep_loop"
+  "fig4_sleep_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sleep_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cpu_loop.dir/fig5_cpu_loop.cc.o"
+  "CMakeFiles/fig5_cpu_loop.dir/fig5_cpu_loop.cc.o.d"
+  "fig5_cpu_loop"
+  "fig5_cpu_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cpu_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

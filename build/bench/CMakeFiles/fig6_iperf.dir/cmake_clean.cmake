@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_iperf.dir/fig6_iperf.cc.o"
+  "CMakeFiles/fig6_iperf.dir/fig6_iperf.cc.o.d"
+  "fig6_iperf"
+  "fig6_iperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_iperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_bittorrent.dir/fig7_bittorrent.cc.o"
+  "CMakeFiles/fig7_bittorrent.dir/fig7_bittorrent.cc.o.d"
+  "fig7_bittorrent"
+  "fig7_bittorrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bittorrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cow_storage.dir/fig8_cow_storage.cc.o"
+  "CMakeFiles/fig8_cow_storage.dir/fig8_cow_storage.cc.o.d"
+  "fig8_cow_storage"
+  "fig8_cow_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cow_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

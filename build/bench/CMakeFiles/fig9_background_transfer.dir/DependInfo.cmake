@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_background_transfer.cc" "bench/CMakeFiles/fig9_background_transfer.dir/fig9_background_transfer.cc.o" "gcc" "bench/CMakeFiles/fig9_background_transfer.dir/fig9_background_transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tcsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/emulab/CMakeFiles/tcsim_emulab.dir/DependInfo.cmake"
+  "/root/repo/build/src/timetravel/CMakeFiles/tcsim_timetravel.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/tcsim_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/tcsim_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/xen/CMakeFiles/tcsim_xen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dummynet/CMakeFiles/tcsim_dummynet.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tcsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/tcsim_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_background_transfer.dir/fig9_background_transfer.cc.o"
+  "CMakeFiles/fig9_background_transfer.dir/fig9_background_transfer.cc.o.d"
+  "fig9_background_transfer"
+  "fig9_background_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_background_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

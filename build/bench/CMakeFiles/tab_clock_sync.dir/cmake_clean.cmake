@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_clock_sync.dir/tab_clock_sync.cc.o"
+  "CMakeFiles/tab_clock_sync.dir/tab_clock_sync.cc.o.d"
+  "tab_clock_sync"
+  "tab_clock_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_clock_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

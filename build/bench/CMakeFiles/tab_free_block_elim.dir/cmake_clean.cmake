@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_free_block_elim.dir/tab_free_block_elim.cc.o"
+  "CMakeFiles/tab_free_block_elim.dir/tab_free_block_elim.cc.o.d"
+  "tab_free_block_elim"
+  "tab_free_block_elim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_free_block_elim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

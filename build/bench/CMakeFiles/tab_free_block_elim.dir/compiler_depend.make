@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_free_block_elim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_free_block_elim.
+# This may be replaced when dependencies are built.

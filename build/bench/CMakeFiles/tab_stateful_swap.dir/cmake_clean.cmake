@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_stateful_swap.dir/tab_stateful_swap.cc.o"
+  "CMakeFiles/tab_stateful_swap.dir/tab_stateful_swap.cc.o.d"
+  "tab_stateful_swap"
+  "tab_stateful_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_stateful_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_stateful_swap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bittorrent_experiment.dir/bittorrent_experiment.cpp.o"
+  "CMakeFiles/bittorrent_experiment.dir/bittorrent_experiment.cpp.o.d"
+  "bittorrent_experiment"
+  "bittorrent_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bittorrent_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stateful_swap.dir/stateful_swap.cpp.o"
+  "CMakeFiles/stateful_swap.dir/stateful_swap.cpp.o.d"
+  "stateful_swap"
+  "stateful_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stateful_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

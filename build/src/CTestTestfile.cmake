@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("clock")
+subdirs("net")
+subdirs("dummynet")
+subdirs("storage")
+subdirs("xen")
+subdirs("guest")
+subdirs("checkpoint")
+subdirs("emulab")
+subdirs("timetravel")
+subdirs("apps")

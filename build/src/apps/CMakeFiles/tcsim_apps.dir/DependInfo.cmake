@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bittorrent.cc" "src/apps/CMakeFiles/tcsim_apps.dir/bittorrent.cc.o" "gcc" "src/apps/CMakeFiles/tcsim_apps.dir/bittorrent.cc.o.d"
+  "/root/repo/src/apps/diskbench.cc" "src/apps/CMakeFiles/tcsim_apps.dir/diskbench.cc.o" "gcc" "src/apps/CMakeFiles/tcsim_apps.dir/diskbench.cc.o.d"
+  "/root/repo/src/apps/iperf.cc" "src/apps/CMakeFiles/tcsim_apps.dir/iperf.cc.o" "gcc" "src/apps/CMakeFiles/tcsim_apps.dir/iperf.cc.o.d"
+  "/root/repo/src/apps/microbench.cc" "src/apps/CMakeFiles/tcsim_apps.dir/microbench.cc.o" "gcc" "src/apps/CMakeFiles/tcsim_apps.dir/microbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/tcsim_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tcsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xen/CMakeFiles/tcsim_xen.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/tcsim_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

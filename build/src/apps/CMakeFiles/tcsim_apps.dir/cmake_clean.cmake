@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_apps.dir/bittorrent.cc.o"
+  "CMakeFiles/tcsim_apps.dir/bittorrent.cc.o.d"
+  "CMakeFiles/tcsim_apps.dir/diskbench.cc.o"
+  "CMakeFiles/tcsim_apps.dir/diskbench.cc.o.d"
+  "CMakeFiles/tcsim_apps.dir/iperf.cc.o"
+  "CMakeFiles/tcsim_apps.dir/iperf.cc.o.d"
+  "CMakeFiles/tcsim_apps.dir/microbench.cc.o"
+  "CMakeFiles/tcsim_apps.dir/microbench.cc.o.d"
+  "libtcsim_apps.a"
+  "libtcsim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

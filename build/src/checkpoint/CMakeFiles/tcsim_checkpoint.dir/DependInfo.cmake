@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checkpoint/coordinator.cc" "src/checkpoint/CMakeFiles/tcsim_checkpoint.dir/coordinator.cc.o" "gcc" "src/checkpoint/CMakeFiles/tcsim_checkpoint.dir/coordinator.cc.o.d"
+  "/root/repo/src/checkpoint/delay_node_participant.cc" "src/checkpoint/CMakeFiles/tcsim_checkpoint.dir/delay_node_participant.cc.o" "gcc" "src/checkpoint/CMakeFiles/tcsim_checkpoint.dir/delay_node_participant.cc.o.d"
+  "/root/repo/src/checkpoint/local_checkpoint.cc" "src/checkpoint/CMakeFiles/tcsim_checkpoint.dir/local_checkpoint.cc.o" "gcc" "src/checkpoint/CMakeFiles/tcsim_checkpoint.dir/local_checkpoint.cc.o.d"
+  "/root/repo/src/checkpoint/notification_bus.cc" "src/checkpoint/CMakeFiles/tcsim_checkpoint.dir/notification_bus.cc.o" "gcc" "src/checkpoint/CMakeFiles/tcsim_checkpoint.dir/notification_bus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/tcsim_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/dummynet/CMakeFiles/tcsim_dummynet.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tcsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xen/CMakeFiles/tcsim_xen.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/tcsim_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

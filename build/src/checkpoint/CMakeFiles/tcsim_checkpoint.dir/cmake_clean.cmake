@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_checkpoint.dir/coordinator.cc.o"
+  "CMakeFiles/tcsim_checkpoint.dir/coordinator.cc.o.d"
+  "CMakeFiles/tcsim_checkpoint.dir/delay_node_participant.cc.o"
+  "CMakeFiles/tcsim_checkpoint.dir/delay_node_participant.cc.o.d"
+  "CMakeFiles/tcsim_checkpoint.dir/local_checkpoint.cc.o"
+  "CMakeFiles/tcsim_checkpoint.dir/local_checkpoint.cc.o.d"
+  "CMakeFiles/tcsim_checkpoint.dir/notification_bus.cc.o"
+  "CMakeFiles/tcsim_checkpoint.dir/notification_bus.cc.o.d"
+  "libtcsim_checkpoint.a"
+  "libtcsim_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

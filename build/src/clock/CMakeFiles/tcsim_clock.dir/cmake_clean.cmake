@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_clock.dir/hardware_clock.cc.o"
+  "CMakeFiles/tcsim_clock.dir/hardware_clock.cc.o.d"
+  "libtcsim_clock.a"
+  "libtcsim_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

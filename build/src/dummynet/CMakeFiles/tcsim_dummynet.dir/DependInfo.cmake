@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dummynet/delay_node.cc" "src/dummynet/CMakeFiles/tcsim_dummynet.dir/delay_node.cc.o" "gcc" "src/dummynet/CMakeFiles/tcsim_dummynet.dir/delay_node.cc.o.d"
+  "/root/repo/src/dummynet/pipe.cc" "src/dummynet/CMakeFiles/tcsim_dummynet.dir/pipe.cc.o" "gcc" "src/dummynet/CMakeFiles/tcsim_dummynet.dir/pipe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/tcsim_clock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

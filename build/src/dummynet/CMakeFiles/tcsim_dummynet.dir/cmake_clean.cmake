@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_dummynet.dir/delay_node.cc.o"
+  "CMakeFiles/tcsim_dummynet.dir/delay_node.cc.o.d"
+  "CMakeFiles/tcsim_dummynet.dir/pipe.cc.o"
+  "CMakeFiles/tcsim_dummynet.dir/pipe.cc.o.d"
+  "libtcsim_dummynet.a"
+  "libtcsim_dummynet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_dummynet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_emulab.dir/event_system.cc.o"
+  "CMakeFiles/tcsim_emulab.dir/event_system.cc.o.d"
+  "CMakeFiles/tcsim_emulab.dir/experiment.cc.o"
+  "CMakeFiles/tcsim_emulab.dir/experiment.cc.o.d"
+  "CMakeFiles/tcsim_emulab.dir/idle_monitor.cc.o"
+  "CMakeFiles/tcsim_emulab.dir/idle_monitor.cc.o.d"
+  "CMakeFiles/tcsim_emulab.dir/services.cc.o"
+  "CMakeFiles/tcsim_emulab.dir/services.cc.o.d"
+  "CMakeFiles/tcsim_emulab.dir/testbed.cc.o"
+  "CMakeFiles/tcsim_emulab.dir/testbed.cc.o.d"
+  "libtcsim_emulab.a"
+  "libtcsim_emulab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_emulab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

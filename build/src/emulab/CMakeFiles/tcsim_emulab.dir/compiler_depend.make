@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tcsim_emulab.
+# This may be replaced when dependencies are built.

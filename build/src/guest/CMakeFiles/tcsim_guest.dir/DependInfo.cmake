@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/cpu_scheduler.cc" "src/guest/CMakeFiles/tcsim_guest.dir/cpu_scheduler.cc.o" "gcc" "src/guest/CMakeFiles/tcsim_guest.dir/cpu_scheduler.cc.o.d"
+  "/root/repo/src/guest/kernel.cc" "src/guest/CMakeFiles/tcsim_guest.dir/kernel.cc.o" "gcc" "src/guest/CMakeFiles/tcsim_guest.dir/kernel.cc.o.d"
+  "/root/repo/src/guest/node.cc" "src/guest/CMakeFiles/tcsim_guest.dir/node.cc.o" "gcc" "src/guest/CMakeFiles/tcsim_guest.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/tcsim_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tcsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xen/CMakeFiles/tcsim_xen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

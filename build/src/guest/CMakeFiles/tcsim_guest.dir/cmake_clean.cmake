@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_guest.dir/cpu_scheduler.cc.o"
+  "CMakeFiles/tcsim_guest.dir/cpu_scheduler.cc.o.d"
+  "CMakeFiles/tcsim_guest.dir/kernel.cc.o"
+  "CMakeFiles/tcsim_guest.dir/kernel.cc.o.d"
+  "CMakeFiles/tcsim_guest.dir/node.cc.o"
+  "CMakeFiles/tcsim_guest.dir/node.cc.o.d"
+  "libtcsim_guest.a"
+  "libtcsim_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

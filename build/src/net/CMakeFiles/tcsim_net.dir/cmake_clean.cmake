@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_net.dir/lan.cc.o"
+  "CMakeFiles/tcsim_net.dir/lan.cc.o.d"
+  "CMakeFiles/tcsim_net.dir/nic.cc.o"
+  "CMakeFiles/tcsim_net.dir/nic.cc.o.d"
+  "CMakeFiles/tcsim_net.dir/stack.cc.o"
+  "CMakeFiles/tcsim_net.dir/stack.cc.o.d"
+  "CMakeFiles/tcsim_net.dir/tcp.cc.o"
+  "CMakeFiles/tcsim_net.dir/tcp.cc.o.d"
+  "CMakeFiles/tcsim_net.dir/wire.cc.o"
+  "CMakeFiles/tcsim_net.dir/wire.cc.o.d"
+  "libtcsim_net.a"
+  "libtcsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

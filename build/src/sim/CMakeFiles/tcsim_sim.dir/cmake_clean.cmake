@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tcsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tcsim_sim.dir/random.cc.o"
+  "CMakeFiles/tcsim_sim.dir/random.cc.o.d"
+  "CMakeFiles/tcsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/tcsim_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/tcsim_sim.dir/stats.cc.o"
+  "CMakeFiles/tcsim_sim.dir/stats.cc.o.d"
+  "CMakeFiles/tcsim_sim.dir/trace.cc.o"
+  "CMakeFiles/tcsim_sim.dir/trace.cc.o.d"
+  "libtcsim_sim.a"
+  "libtcsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

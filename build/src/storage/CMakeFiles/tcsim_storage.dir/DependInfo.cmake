@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/branch_store.cc" "src/storage/CMakeFiles/tcsim_storage.dir/branch_store.cc.o" "gcc" "src/storage/CMakeFiles/tcsim_storage.dir/branch_store.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/storage/CMakeFiles/tcsim_storage.dir/disk.cc.o" "gcc" "src/storage/CMakeFiles/tcsim_storage.dir/disk.cc.o.d"
+  "/root/repo/src/storage/ext3_model.cc" "src/storage/CMakeFiles/tcsim_storage.dir/ext3_model.cc.o" "gcc" "src/storage/CMakeFiles/tcsim_storage.dir/ext3_model.cc.o.d"
+  "/root/repo/src/storage/mirror_volume.cc" "src/storage/CMakeFiles/tcsim_storage.dir/mirror_volume.cc.o" "gcc" "src/storage/CMakeFiles/tcsim_storage.dir/mirror_volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

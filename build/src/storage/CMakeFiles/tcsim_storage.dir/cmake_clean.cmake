@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_storage.dir/branch_store.cc.o"
+  "CMakeFiles/tcsim_storage.dir/branch_store.cc.o.d"
+  "CMakeFiles/tcsim_storage.dir/disk.cc.o"
+  "CMakeFiles/tcsim_storage.dir/disk.cc.o.d"
+  "CMakeFiles/tcsim_storage.dir/ext3_model.cc.o"
+  "CMakeFiles/tcsim_storage.dir/ext3_model.cc.o.d"
+  "CMakeFiles/tcsim_storage.dir/mirror_volume.cc.o"
+  "CMakeFiles/tcsim_storage.dir/mirror_volume.cc.o.d"
+  "libtcsim_storage.a"
+  "libtcsim_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_timetravel.dir/basic_run.cc.o"
+  "CMakeFiles/tcsim_timetravel.dir/basic_run.cc.o.d"
+  "CMakeFiles/tcsim_timetravel.dir/checkpoint_tree.cc.o"
+  "CMakeFiles/tcsim_timetravel.dir/checkpoint_tree.cc.o.d"
+  "CMakeFiles/tcsim_timetravel.dir/distributed_run.cc.o"
+  "CMakeFiles/tcsim_timetravel.dir/distributed_run.cc.o.d"
+  "libtcsim_timetravel.a"
+  "libtcsim_timetravel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_timetravel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

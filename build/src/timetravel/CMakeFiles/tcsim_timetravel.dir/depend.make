@@ -1,0 +1,2 @@
+# Empty dependencies file for tcsim_timetravel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_xen.dir/domain.cc.o"
+  "CMakeFiles/tcsim_xen.dir/domain.cc.o.d"
+  "CMakeFiles/tcsim_xen.dir/hypervisor.cc.o"
+  "CMakeFiles/tcsim_xen.dir/hypervisor.cc.o.d"
+  "libtcsim_xen.a"
+  "libtcsim_xen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_xen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dummynet_test.dir/dummynet_test.cc.o"
+  "CMakeFiles/dummynet_test.dir/dummynet_test.cc.o.d"
+  "dummynet_test"
+  "dummynet_test.pdb"
+  "dummynet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dummynet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulab_test.dir/emulab_test.cc.o"
+  "CMakeFiles/emulab_test.dir/emulab_test.cc.o.d"
+  "emulab_test"
+  "emulab_test.pdb"
+  "emulab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

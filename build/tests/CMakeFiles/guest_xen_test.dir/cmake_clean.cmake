@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_xen_test.dir/guest_xen_test.cc.o"
+  "CMakeFiles/guest_xen_test.dir/guest_xen_test.cc.o.d"
+  "guest_xen_test"
+  "guest_xen_test.pdb"
+  "guest_xen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_xen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timetravel_test.dir/timetravel_test.cc.o"
+  "CMakeFiles/timetravel_test.dir/timetravel_test.cc.o.d"
+  "timetravel_test"
+  "timetravel_test.pdb"
+  "timetravel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timetravel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
