@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "src/apps/iperf.h"
@@ -38,7 +39,7 @@ struct Outcome {
   bool completed = false;
 };
 
-Outcome Run(Mode mode) {
+Outcome Run(Mode mode, MultiRunAudit* audit) {
   Simulator sim;
   TestbedConfig cfg;
   if (mode == Mode::kBaselineTime) {
@@ -53,6 +54,13 @@ Outcome Run(Mode mode) {
   Experiment* experiment = testbed.CreateExperiment(spec);
   experiment->SwapIn(true, nullptr);
   sim.RunUntil(sim.Now() + 10 * kSecond);
+
+  std::unique_ptr<InvariantRegistry> reg;
+  if (audit->enabled) {
+    reg = std::make_unique<InvariantRegistry>(&sim);
+    experiment->RegisterInvariants(reg.get());
+    reg->StartPeriodic(100 * kMillisecond);
+  }
 
   IperfApp::Params params;
   params.total_bytes = 512ull * 1024 * 1024;
@@ -107,6 +115,7 @@ Outcome Run(Mode mode) {
   out.retransmits = iperf.sender_stats().retransmits;
   out.timeouts = iperf.sender_stats().timeouts;
   out.dup_acks = iperf.sender_stats().dup_acks_received;
+  audit->Collect(sim, reg.get());
   return out;
 }
 
@@ -119,12 +128,13 @@ void Print(const char* name, const Outcome& o) {
               static_cast<unsigned long>(o.dup_acks), o.completed);
 }
 
-void RunAll() {
+int RunAll(bool audit_enabled) {
   PrintHeader("Ablation", "checkpoint coordination strategies (iperf, one checkpoint)");
-  const Outcome scheduled = Run(Mode::kScheduled);
-  const Outcome immediate = Run(Mode::kImmediate);
-  const Outcome uncoordinated = Run(Mode::kUncoordinated);
-  const Outcome baseline = Run(Mode::kBaselineTime);
+  MultiRunAudit audit(audit_enabled);
+  const Outcome scheduled = Run(Mode::kScheduled, &audit);
+  const Outcome immediate = Run(Mode::kImmediate, &audit);
+  const Outcome uncoordinated = Run(Mode::kUncoordinated, &audit);
+  const Outcome baseline = Run(Mode::kBaselineTime, &audit);
 
   PrintSection("results");
   Print("scheduled", scheduled);
@@ -139,12 +149,13 @@ void RunAll() {
   PrintNote("  and in-flight buildup of Section 3.2).");
   PrintNote("baseline-time: downtime leaks into guest clocks; RTO state is no longer");
   PrintNote("  aligned with the stream, risking spurious retransmissions.");
+
+  return audit.Finish();
 }
 
 }  // namespace
 }  // namespace tcsim
 
-int main() {
-  tcsim::RunAll();
-  return 0;
+int main(int argc, char** argv) {
+  return tcsim::RunAll(tcsim::HasFlag(argc, argv, "--audit"));
 }

@@ -29,7 +29,7 @@ constexpr uint64_t kStoreBlocks = 1 << 21;  // 8 GB logical disk
 // Writes `count` random 16-block extents, then merges (with or without
 // reordering), then sequentially reads the written range back. Returns the
 // read phase's duration.
-SimTime MergeReorderReadTime(bool reorder) {
+SimTime MergeReorderReadTime(bool reorder, MultiRunAudit* audit) {
   Simulator sim;
   Disk disk(&sim, DiskParams{});
   BranchStore store(&disk, kStoreBlocks);
@@ -66,11 +66,12 @@ SimTime MergeReorderReadTime(bool reorder) {
   };
   read_next();
   sim.Run();
+  audit->Collect(sim);
   return sim.Now() - read_start;
 }
 
 // Random first-writes through the two write modes.
-SimTime RandomWriteTime(BranchStore::WriteMode mode) {
+SimTime RandomWriteTime(BranchStore::WriteMode mode, MultiRunAudit* audit) {
   Simulator sim;
   Disk disk(&sim, DiskParams{});
   BranchStore store(&disk, kStoreBlocks, mode);
@@ -85,23 +86,27 @@ SimTime RandomWriteTime(BranchStore::WriteMode mode) {
   };
   write_next();
   sim.Run();
+  audit->Collect(sim);
   return sim.Now();
 }
 
-void Run() {
+int Run(bool audit_enabled) {
   PrintHeader("Ablation", "branching-storage design choices (Section 5)");
+  // This bench exercises the storage layer alone (no clocks, NICs or guests),
+  // so no layer audits apply; --audit still prints the combined run digest.
+  MultiRunAudit audit(audit_enabled);
 
   PrintSection("redo log vs read-before-write (random 64 KB first-writes)");
-  const SimTime redo = RandomWriteTime(BranchStore::WriteMode::kRedoLog);
-  const SimTime rbw = RandomWriteTime(BranchStore::WriteMode::kReadBeforeWrite);
+  const SimTime redo = RandomWriteTime(BranchStore::WriteMode::kRedoLog, &audit);
+  const SimTime rbw = RandomWriteTime(BranchStore::WriteMode::kReadBeforeWrite, &audit);
   PrintValue("redo log (ours)", ToSeconds(redo), "s");
   PrintValue("read-before-write (original LVM)", ToSeconds(rbw), "s");
   PrintValue("slowdown from read-before-write",
              (static_cast<double>(rbw) / static_cast<double>(redo) - 1.0) * 100.0, "%");
 
   PrintSection("merge-time reordering vs none (sequential read after merge)");
-  const SimTime ordered = MergeReorderReadTime(/*reorder=*/true);
-  const SimTime scattered = MergeReorderReadTime(/*reorder=*/false);
+  const SimTime ordered = MergeReorderReadTime(/*reorder=*/true, &audit);
+  const SimTime scattered = MergeReorderReadTime(/*reorder=*/false, &audit);
   PrintValue("read after reordered merge", ToSeconds(ordered), "s");
   PrintValue("read after unordered merge", ToSeconds(scattered), "s");
   PrintValue("reordering speedup",
@@ -118,12 +123,13 @@ void Run() {
   PrintValue("delta transfer with elimination", with_s, "s");
   PrintValue("transfer time saved", without_s - with_s, "s");
   PrintNote("delta sizes from bench/tab_free_block_elim (measured, matches paper).");
+
+  return audit.Finish();
 }
 
 }  // namespace
 }  // namespace tcsim
 
-int main() {
-  tcsim::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
 }

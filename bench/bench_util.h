@@ -9,12 +9,69 @@
 #define TCSIM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
+#include "src/sim/invariants.h"
+#include "src/sim/simulator.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
 namespace tcsim {
+
+// True when `flag` (e.g. "--audit") appears among the arguments.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Prints the run's event-dispatch digest. Two runs of the same scenario with
+// the same seed must print the same value — the deterministic-replay check.
+inline void PrintDigest(const Simulator& sim) {
+  std::printf("\nevent digest: %016llx\n",
+              static_cast<unsigned long long>(sim.Digest()));
+}
+
+// Ends an audit pass: runs the final end-of-run audits, prints the summary,
+// and returns the process exit code (0 = all audits pass).
+inline int FinishAudit(InvariantRegistry* reg) {
+  if (reg == nullptr) {
+    return 0;
+  }
+  reg->FinishRun();
+  std::printf("\n--- audit ---\n%s\n", reg->Summary().c_str());
+  return reg->ok() ? 0 : 1;
+}
+
+// Accumulator for benches that run several independent simulations: combines
+// each run's digest (XOR — deterministic and order-independent) and audit
+// outcome into one printout / exit code.
+struct MultiRunAudit {
+  bool enabled = false;
+  int rc = 0;
+  uint64_t digest = 0;
+
+  explicit MultiRunAudit(bool audit) : enabled(audit) {}
+
+  // Call once per finished simulation; `reg` may be null (no audit run).
+  void Collect(const Simulator& sim, InvariantRegistry* reg = nullptr) {
+    digest ^= sim.Digest();
+    if (reg != nullptr) {
+      rc |= FinishAudit(reg);
+    }
+  }
+
+  // Prints the combined digest and returns the exit code.
+  int Finish() const {
+    std::printf("\nevent digest (combined): %016llx\n",
+                static_cast<unsigned long long>(digest));
+    return rc;
+  }
+};
 
 inline void PrintHeader(const std::string& id, const std::string& title) {
   std::printf("==============================================================\n");

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "src/apps/microbench.h"
@@ -19,7 +20,7 @@
 namespace tcsim {
 namespace {
 
-void Run() {
+int Run(bool audit) {
   PrintHeader("Figure 4", "periodic checkpointing of a 10 ms usleep loop");
 
   Simulator sim;
@@ -28,6 +29,13 @@ void Run() {
   cfg.id = 1;
   ExperimentNode node(&sim, Rng(3), cfg);
   LocalCheckpointEngine engine(&sim, &node, CheckpointPolicy{});
+
+  std::unique_ptr<InvariantRegistry> reg;
+  if (audit) {
+    reg = std::make_unique<InvariantRegistry>(&sim);
+    node.RegisterInvariants(reg.get());
+    reg->StartPeriodic(50 * kMillisecond);
+  }
 
   SleepLoopApp::Params params;
   params.iterations = 6000;
@@ -87,12 +95,14 @@ void Run() {
     series.Add(records[i].virtual_time, records[i].value);
   }
   PrintSeries("fig4.iteration_time_ms", series);
+
+  PrintDigest(sim);
+  return FinishAudit(reg.get());
 }
 
 }  // namespace
 }  // namespace tcsim
 
-int main() {
-  tcsim::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
 }

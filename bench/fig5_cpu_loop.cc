@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "src/apps/microbench.h"
@@ -22,13 +23,21 @@ namespace {
 
 Summary RunLoop(size_t iterations, bool checkpointing,
                 const std::function<void(Simulator&, ExperimentNode&)>& mid_run_hook,
-                Samples* out = nullptr) {
+                Samples* out = nullptr, bool audit = false, int* audit_rc = nullptr,
+                uint64_t* digest = nullptr) {
   Simulator sim;
   NodeConfig cfg;
   cfg.name = "pc1";
   cfg.id = 1;
   ExperimentNode node(&sim, Rng(3), cfg);
   LocalCheckpointEngine engine(&sim, &node, CheckpointPolicy{});
+
+  std::unique_ptr<InvariantRegistry> reg;
+  if (audit) {
+    reg = std::make_unique<InvariantRegistry>(&sim);
+    node.RegisterInvariants(reg.get());
+    reg->StartPeriodic(50 * kMillisecond);
+  }
 
   CpuLoopApp::Params params;
   params.iterations = iterations;
@@ -55,6 +64,12 @@ Summary RunLoop(size_t iterations, bool checkpointing,
   if (out != nullptr) {
     *out = app.iteration_times_ms();
   }
+  if (audit_rc != nullptr) {
+    *audit_rc = FinishAudit(reg.get());
+  }
+  if (digest != nullptr) {
+    *digest = sim.Digest();
+  }
   return app.iteration_times_ms().Summarize();
 }
 
@@ -70,12 +85,14 @@ double Dom0JobImpactMs(const char* name, double cpu_fraction, SimTime duration) 
   return with_job.max - base.mean;
 }
 
-void Run() {
+int Run(bool audit) {
   PrintHeader("Figure 5", "CPU-intensive loop under periodic checkpointing");
 
   Samples iters;
+  int audit_rc = 0;
+  uint64_t digest = 0;
   const Summary base = RunLoop(100, false, nullptr);
-  const Summary ckpt = RunLoop(600, true, nullptr, &iters);
+  const Summary ckpt = RunLoop(600, true, nullptr, &iters, audit, &audit_rc, &digest);
 
   PrintSection("iteration time");
   PrintRow("nominal iteration (no checkpointing)", 236.6, base.mean, "ms");
@@ -101,12 +118,14 @@ void Run() {
     series.Add(static_cast<SimTime>(i++) * kSecond / 4, v);
   }
   PrintSeries("fig5.iteration_time_ms", series);
+
+  std::printf("\nevent digest: %016llx\n", static_cast<unsigned long long>(digest));
+  return audit_rc;
 }
 
 }  // namespace
 }  // namespace tcsim
 
-int main() {
-  tcsim::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
 }

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -22,7 +23,7 @@
 namespace tcsim {
 namespace {
 
-void Run() {
+int Run(bool audit) {
   PrintHeader("Figure 6", "iperf on a 1 Gbps link, checkpoint every 5 s");
 
   Simulator sim;
@@ -43,6 +44,13 @@ void Run() {
   bool in = false;
   experiment->SwapIn(true, [&] { in = true; });
   sim.RunUntil(sim.Now() + 10 * kSecond);
+
+  std::unique_ptr<InvariantRegistry> reg;
+  if (audit) {
+    reg = std::make_unique<InvariantRegistry>(&sim);
+    experiment->RegisterInvariants(reg.get());
+    reg->StartPeriodic(50 * kMillisecond);
+  }
 
   IperfApp::Params params;
   params.total_bytes = 2ull * 1024 * 1024 * 1024;  // ~25 s at ~85 MB/s goodput
@@ -109,12 +117,14 @@ void Run() {
   PrintValue("peak 20 ms-bucket throughput", peak, "MB/s");
   PrintValue("delivered", static_cast<double>(iperf.bytes_delivered()) / (1 << 20), "MiB");
   PrintSeries("fig6.throughput_MBps_20ms_buckets", series, 50);
+
+  PrintDigest(sim);
+  return FinishAudit(reg.get());
 }
 
 }  // namespace
 }  // namespace tcsim
 
-int main() {
-  tcsim::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
 }

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -25,7 +26,7 @@
 namespace tcsim {
 namespace {
 
-void Run(uint64_t file_bytes) {
+int Run(uint64_t file_bytes, bool audit) {
   PrintHeader("Figure 7", "four-node BitTorrent under periodic checkpointing");
 
   Simulator sim;
@@ -39,6 +40,13 @@ void Run(uint64_t file_bytes) {
   Experiment* experiment = testbed.CreateExperiment(spec);
   experiment->SwapIn(true, nullptr);
   sim.RunUntil(sim.Now() + 10 * kSecond);
+
+  std::unique_ptr<InvariantRegistry> reg;
+  if (audit) {
+    reg = std::make_unique<InvariantRegistry>(&sim);
+    experiment->RegisterInvariants(reg.get());
+    reg->StartPeriodic(50 * kMillisecond);
+  }
 
   BitTorrentSwarm::Params params;
   params.file_bytes = file_bytes;
@@ -95,6 +103,9 @@ void Run(uint64_t file_bytes) {
 
   const TimeSeries c1_series = swarm.seeder_upload_meter(nodes[1]->id()).Bucketize();
   PrintSeries("fig7.seeder_to_client1_MBps_1s_buckets", c1_series, 50);
+
+  PrintDigest(sim);
+  return FinishAudit(reg.get());
 }
 
 }  // namespace
@@ -102,9 +113,8 @@ void Run(uint64_t file_bytes) {
 
 int main(int argc, char** argv) {
   uint64_t file_bytes = 768ull * 1024 * 1024;
-  if (argc > 1) {
+  if (argc > 1 && argv[1][0] != '-') {
     file_bytes = std::strtoull(argv[1], nullptr, 10);
   }
-  tcsim::Run(file_bytes);
-  return 0;
+  return tcsim::Run(file_bytes, tcsim::HasFlag(argc, argv, "--audit"));
 }

@@ -10,6 +10,7 @@
 // writes are 74% slower than Branch because of read-before-write.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "src/apps/diskbench.h"
@@ -25,7 +26,7 @@ struct Config {
   BranchStore::WriteMode write_mode;
 };
 
-BonnieApp::Results RunBonnie(const Config& config, bool aged) {
+BonnieApp::Results RunBonnie(const Config& config, bool aged, MultiRunAudit* audit) {
   Simulator sim;
   NodeConfig cfg;
   cfg.name = "pc1";
@@ -33,6 +34,13 @@ BonnieApp::Results RunBonnie(const Config& config, bool aged) {
   cfg.storage_mode = config.storage;
   cfg.write_mode = config.write_mode;
   ExperimentNode node(&sim, Rng(5), cfg);
+
+  std::unique_ptr<InvariantRegistry> reg;
+  if (audit->enabled) {
+    reg = std::make_unique<InvariantRegistry>(&sim);
+    node.RegisterInvariants(reg.get());
+    reg->StartPeriodic(kSecond);
+  }
 
   BonnieApp::Params params;
   params.file_bytes = 512ull * 1024 * 1024;
@@ -59,6 +67,7 @@ BonnieApp::Results RunBonnie(const Config& config, bool aged) {
   while (!finished && sim.Now() < 7200 * kSecond) {
     sim.RunUntil(sim.Now() + 10 * kSecond);
   }
+  audit->Collect(sim, reg.get());
   return results;
 }
 
@@ -69,8 +78,9 @@ void PrintResults(const char* label, const BonnieApp::Results& r) {
               r.char_write_mbs);
 }
 
-void Run() {
+int Run(bool audit_enabled) {
   PrintHeader("Figure 8", "copy-on-write storage vs native disk (Bonnie++)");
+  MultiRunAudit audit(audit_enabled);
 
   const Config base{"Base", NodeConfig::StorageMode::kRaw, BranchStore::WriteMode::kRedoLog};
   const Config branch{"Branch", NodeConfig::StorageMode::kBranch,
@@ -79,9 +89,9 @@ void Run() {
                            BranchStore::WriteMode::kReadBeforeWrite};
 
   PrintSection("fresh disk");
-  const BonnieApp::Results r_base = RunBonnie(base, false);
-  const BonnieApp::Results r_branch = RunBonnie(branch, false);
-  const BonnieApp::Results r_orig = RunBonnie(branch_orig, false);
+  const BonnieApp::Results r_base = RunBonnie(base, false, &audit);
+  const BonnieApp::Results r_branch = RunBonnie(branch, false, &audit);
+  const BonnieApp::Results r_orig = RunBonnie(branch_orig, false, &audit);
   PrintResults("Base", r_base);
   PrintResults("Branch", r_branch);
   PrintResults("Branch-Orig", r_orig);
@@ -93,9 +103,9 @@ void Run() {
            (1.0 - r_orig.block_write_mbs / r_branch.block_write_mbs) * 100.0, "%");
 
   PrintSection("aged disk (second pass: metadata filled, first-writes done)");
-  const BonnieApp::Results r_base_aged = RunBonnie(base, true);
-  const BonnieApp::Results r_branch_aged = RunBonnie(branch, true);
-  const BonnieApp::Results r_orig_aged = RunBonnie(branch_orig, true);
+  const BonnieApp::Results r_base_aged = RunBonnie(base, true, &audit);
+  const BonnieApp::Results r_branch_aged = RunBonnie(branch, true, &audit);
+  const BonnieApp::Results r_orig_aged = RunBonnie(branch_orig, true, &audit);
   PrintResults("Base", r_base_aged);
   PrintResults("Branch", r_branch_aged);
   PrintResults("Branch-Orig", r_orig_aged);
@@ -104,12 +114,13 @@ void Run() {
   PrintRow("Branch-Orig slowdown vs Branch (aged)", 0.0,
            (1.0 - r_orig_aged.block_write_mbs / r_branch_aged.block_write_mbs) * 100.0, "%");
   PrintNote("paper: as the disk ages, metadata and read-before-write overheads vanish.");
+
+  return audit.Finish();
 }
 
 }  // namespace
 }  // namespace tcsim
 
-int main() {
-  tcsim::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
 }

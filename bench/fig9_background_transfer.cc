@@ -9,6 +9,7 @@
 // rate-limited copy-out (a noted limitation of their rate limiter).
 
 #include <cstdio>
+#include <memory>
 #include <set>
 
 #include "bench/bench_util.h"
@@ -27,7 +28,7 @@ struct Outcome {
 
 enum class Scenario { kNoSwap, kLazyCopyIn, kEagerCopyOut };
 
-Outcome RunScenario(Scenario scenario) {
+Outcome RunScenario(Scenario scenario, MultiRunAudit* audit) {
   Simulator sim;
   NodeConfig cfg;
   cfg.name = "pc1";
@@ -37,6 +38,13 @@ Outcome RunScenario(Scenario scenario) {
   cfg.mirror.sync_rate_bytes_per_sec =
       scenario == Scenario::kLazyCopyIn ? 15'000'000 : 4'000'000;
   ExperimentNode node(&sim, Rng(5), cfg);
+
+  std::unique_ptr<InvariantRegistry> reg;
+  if (audit->enabled) {
+    reg = std::make_unique<InvariantRegistry>(&sim);
+    node.RegisterInvariants(reg.get());
+    reg->StartPeriodic(kSecond);
+  }
 
   if (scenario == Scenario::kLazyCopyIn) {
     // A previous session left a large aggregated delta on the file server;
@@ -71,15 +79,17 @@ Outcome RunScenario(Scenario scenario) {
   out.seconds = ToSeconds(app.elapsed());
   out.mean_mbps = static_cast<double>(params.total_bytes) / (1 << 20) / out.seconds;
   out.series = app.ThroughputSeries();
+  audit->Collect(sim, reg.get());
   return out;
 }
 
-void Run() {
+int Run(bool audit_enabled) {
   PrintHeader("Figure 9", "background swap transfer vs guest disk throughput");
+  MultiRunAudit audit(audit_enabled);
 
-  const Outcome none = RunScenario(Scenario::kNoSwap);
-  const Outcome lazy = RunScenario(Scenario::kLazyCopyIn);
-  const Outcome eager = RunScenario(Scenario::kEagerCopyOut);
+  const Outcome none = RunScenario(Scenario::kNoSwap, &audit);
+  const Outcome lazy = RunScenario(Scenario::kLazyCopyIn, &audit);
+  const Outcome eager = RunScenario(Scenario::kEagerCopyOut, &audit);
 
   PrintSection("execution time of the 1 GB file copy");
   PrintValue("no swap activity", none.seconds, "s");
@@ -103,12 +113,13 @@ void Run() {
   PrintSeries("fig9.no_swap_MBps", none.series, 30);
   PrintSeries("fig9.lazy_copy_in_MBps", lazy.series, 30);
   PrintSeries("fig9.eager_copy_out_MBps", eager.series, 30);
+
+  return audit.Finish();
 }
 
 }  // namespace
 }  // namespace tcsim
 
-int main() {
-  tcsim::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
 }

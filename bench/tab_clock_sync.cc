@@ -18,7 +18,7 @@
 namespace tcsim {
 namespace {
 
-void Run() {
+int Run(bool audit) {
   PrintHeader("Section 4.3", "NTP clock synchronization over the control LAN");
 
   Simulator sim;
@@ -29,9 +29,20 @@ void Run() {
 
   constexpr size_t kNodes = 10;
   std::vector<std::unique_ptr<HardwareClock>> clocks;
+  std::unique_ptr<InvariantRegistry> reg;
+  if (audit) {
+    reg = std::make_unique<InvariantRegistry>(&sim);
+  }
   for (size_t i = 0; i < kNodes; ++i) {
     clocks.push_back(std::make_unique<HardwareClock>(&sim, rng.Fork(), params));
     clocks.back()->StartNtp();
+    if (reg) {
+      clocks.back()->RegisterInvariants(reg.get(),
+                                        "clock.monotonic.n" + std::to_string(i));
+    }
+  }
+  if (reg) {
+    reg->StartPeriodic(100 * kMillisecond);
   }
 
   // Convergence: sample the worst absolute error every second.
@@ -62,12 +73,14 @@ void Run() {
   PrintNote("checkpoint suspension skew (Figure 6 gaps) is bounded by this error.");
 
   PrintSeries("clock.worst_error_us", worst_error_us, 30);
+
+  PrintDigest(sim);
+  return FinishAudit(reg.get());
 }
 
 }  // namespace
 }  // namespace tcsim
 
-int main() {
-  tcsim::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
 }

@@ -7,6 +7,7 @@
 // snoops bitmap writes below the guest.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "src/apps/diskbench.h"
@@ -16,7 +17,7 @@
 namespace tcsim {
 namespace {
 
-void Run() {
+int Run(bool audit) {
   PrintHeader("Section 5.1", "free-block elimination (make; make clean)");
 
   Simulator sim;
@@ -24,6 +25,13 @@ void Run() {
   cfg.name = "pc1";
   cfg.id = 1;
   ExperimentNode node(&sim, Rng(5), cfg);
+
+  std::unique_ptr<InvariantRegistry> reg;
+  if (audit) {
+    reg = std::make_unique<InvariantRegistry>(&sim);
+    node.RegisterInvariants(reg.get());
+    reg->StartPeriodic(kSecond);
+  }
 
   KernelBuildApp::Params params;
   params.churn_bytes = 454ull * 1024 * 1024;      // object files built then cleaned
@@ -47,12 +55,14 @@ void Run() {
              "x");
   PrintValue("blocks known free by the plugin",
              static_cast<double>(app.fs().plugin()->known_free_blocks()), "");
+
+  PrintDigest(sim);
+  return FinishAudit(reg.get());
 }
 
 }  // namespace
 }  // namespace tcsim
 
-int main() {
-  tcsim::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
 }

@@ -12,6 +12,7 @@
 //     blocks get overwritten and re-sent, and the pre-copy is rate-limited).
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -32,7 +33,8 @@ struct CycleTimes {
 };
 
 // Runs four swap cycles; returns per-cycle durations.
-CycleTimes RunCycles(bool lazy, bool disk_intensive_during_swapout) {
+CycleTimes RunCycles(bool lazy, bool disk_intensive_during_swapout,
+                     MultiRunAudit* audit) {
   Simulator sim;
   Testbed testbed(&sim, 7);
   ExperimentSpec spec("swap");
@@ -41,6 +43,13 @@ CycleTimes RunCycles(bool lazy, bool disk_intensive_during_swapout) {
   experiment->SwapIn(true, nullptr);
   sim.RunUntil(sim.Now() + 30 * kSecond);
   ExperimentNode* node = experiment->node("pc1");
+
+  std::unique_ptr<InvariantRegistry> reg;
+  if (audit->enabled) {
+    reg = std::make_unique<InvariantRegistry>(&sim);
+    experiment->RegisterInvariants(reg.get());
+    reg->StartPeriodic(kSecond);
+  }
 
   CycleTimes times;
   uint64_t next_area = 100'000;
@@ -111,11 +120,13 @@ CycleTimes RunCycles(bool lazy, bool disk_intensive_during_swapout) {
     }
     sim.RunUntil(sim.Now() + 5 * kSecond);
   }
+  audit->Collect(sim, reg.get());
   return times;
 }
 
-void Run() {
+int Run(bool audit_enabled) {
   PrintHeader("Section 7.2", "stateful swapping performance (4 swap cycles)");
+  MultiRunAudit audit(audit_enabled);
 
   PrintSection("initial swap-in");
   {
@@ -134,8 +145,8 @@ void Run() {
              ToSeconds(uncached->swap_history().front().duration()), "s");
   }
 
-  const CycleTimes eager = RunCycles(/*lazy=*/false, false);
-  const CycleTimes lazy = RunCycles(/*lazy=*/true, false);
+  const CycleTimes eager = RunCycles(/*lazy=*/false, false, &audit);
+  const CycleTimes lazy = RunCycles(/*lazy=*/true, false, &audit);
 
   PrintSection("swap-in times per cycle (without lazy optimisation)");
   for (size_t i = 0; i < eager.swap_in_s.size(); ++i) {
@@ -156,18 +167,20 @@ void Run() {
   PrintRow("steady swap-out", 60.0, lazy.swap_out_s.back(), "s");
 
   PrintSection("disk-intensive workload during eager swap-out");
-  const CycleTimes busy = RunCycles(/*lazy=*/true, /*disk_intensive_during_swapout=*/true);
+  const CycleTimes busy =
+      RunCycles(/*lazy=*/true, /*disk_intensive_during_swapout=*/true, &audit);
   const double slowdown =
       (busy.swap_out_s.back() / lazy.swap_out_s.back() - 1.0) * 100.0;
   PrintRow("swap-out slowdown under disk load", 20.0, slowdown, "%");
   PrintNote("pre-copied blocks overwritten during the copy are sent twice, and the");
   PrintNote("pre-copy rate limiter trades swap time for workload fidelity.");
+
+  return audit.Finish();
 }
 
 }  // namespace
 }  // namespace tcsim
 
-int main() {
-  tcsim::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
 }

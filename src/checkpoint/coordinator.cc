@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <sstream>
+#include <unordered_set>
 #include <utility>
 
 namespace tcsim {
@@ -40,6 +43,32 @@ uint64_t DistributedCheckpointRecord::TotalImageBytes() const {
   return total;
 }
 
+std::vector<std::string> AuditCheckpointRecord(const DistributedCheckpointRecord& record,
+                                               SimTime scheduled_skew_bound) {
+  std::vector<std::string> violations;
+  if (record.expected_participants > 0 &&
+      record.locals.size() != record.expected_participants) {
+    std::ostringstream out;
+    out << "barrier collected " << record.locals.size() << " locals, expected "
+        << record.expected_participants;
+    violations.push_back(out.str());
+  }
+  std::unordered_set<std::string> seen;
+  for (const LocalCheckpointRecord& local : record.locals) {
+    if (!seen.insert(local.participant).second) {
+      violations.push_back("participant counted twice at the barrier: " + local.participant);
+    }
+  }
+  if (scheduled_skew_bound > 0 && record.scheduled_local_time != 0 &&
+      record.SuspendSkew() > scheduled_skew_bound) {
+    std::ostringstream out;
+    out << "scheduled checkpoint suspend skew " << ToMicroseconds(record.SuspendSkew())
+        << " us exceeds bound " << ToMicroseconds(scheduled_skew_bound) << " us";
+    violations.push_back(out.str());
+  }
+  return violations;
+}
+
 DistributedCoordinator::DistributedCoordinator(Simulator* sim, NotificationBus* bus,
                                                HardwareClock* boss_clock)
     : sim_(sim), bus_(bus), boss_clock_(boss_clock) {
@@ -48,19 +77,28 @@ DistributedCoordinator::DistributedCoordinator(Simulator* sim, NotificationBus* 
       OnDone(msg.record);
     }
   });
-  expected_ = bus_->subscriber_count();
+}
+
+void DistributedCoordinator::BeginRound(
+    std::function<void(const DistributedCheckpointRecord&)> done, bool hold) {
+  assert(!in_progress_);
+  in_progress_ = true;
+  hold_ = hold;
+  held_ = false;
+  current_ = DistributedCheckpointRecord{};
+  done_participants_.clear();
+  done_cb_ = std::move(done);
+  // The barrier counts the *live* subscriber set at round start: participants
+  // subscribing after the coordinator was built (or between rounds) must be
+  // waited for, or the barrier completes early and resumes a half-suspended
+  // experiment.
+  expected_ = expected_override_ > 0 ? expected_override_ : bus_->subscriber_count();
+  current_.expected_participants = expected_;
 }
 
 void DistributedCoordinator::CheckpointScheduled(
     SimTime lead, std::function<void(const DistributedCheckpointRecord&)> done) {
-  assert(!in_progress_);
-  in_progress_ = true;
-  hold_ = false;
-  current_ = DistributedCheckpointRecord{};
-  done_cb_ = std::move(done);
-  if (expected_ == 0) {
-    expected_ = bus_->subscriber_count();
-  }
+  BeginRound(std::move(done), /*hold=*/false);
 
   auto msg = std::make_shared<CheckpointControlMessage>();
   msg->type = CheckpointControlMessage::Type::kCheckpointAt;
@@ -71,14 +109,7 @@ void DistributedCoordinator::CheckpointScheduled(
 
 void DistributedCoordinator::CheckpointImmediate(
     std::function<void(const DistributedCheckpointRecord&)> done) {
-  assert(!in_progress_);
-  in_progress_ = true;
-  hold_ = false;
-  current_ = DistributedCheckpointRecord{};
-  done_cb_ = std::move(done);
-  if (expected_ == 0) {
-    expected_ = bus_->subscriber_count();
-  }
+  BeginRound(std::move(done), /*hold=*/false);
 
   auto msg = std::make_shared<CheckpointControlMessage>();
   msg->type = CheckpointControlMessage::Type::kCheckpointNow;
@@ -89,6 +120,24 @@ void DistributedCoordinator::OnDone(const LocalCheckpointRecord& record) {
   if (!in_progress_) {
     return;
   }
+  if (!done_participants_.insert(record.participant).second) {
+    // A duplicate kDone (retransmission, confused daemon) must not count
+    // toward the barrier — it would complete the round while some
+    // participant is still saving. Record it as an audit violation rather
+    // than silently finishing early.
+    ++duplicate_done_count_;
+    if (invariants_ != nullptr) {
+      invariants_->ReportViolation(
+          "checkpoint.barrier", "duplicate kDone from participant " + record.participant);
+    }
+    return;
+  }
+  if (current_.locals.size() >= expected_) {
+    // The barrier already completed (possible when the expected count is
+    // pinned below the live subscriber set): a straggler reporting during the
+    // resume window must not mutate the completed round's record.
+    return;
+  }
   current_.locals.push_back(record);
   if (current_.locals.size() >= expected_) {
     FinishRound();
@@ -97,15 +146,7 @@ void DistributedCoordinator::OnDone(const LocalCheckpointRecord& record) {
 
 void DistributedCoordinator::CheckpointScheduledAndHold(
     SimTime lead, std::function<void(const DistributedCheckpointRecord&)> saved) {
-  assert(!in_progress_);
-  in_progress_ = true;
-  hold_ = true;
-  held_ = false;
-  current_ = DistributedCheckpointRecord{};
-  done_cb_ = std::move(saved);
-  if (expected_ == 0) {
-    expected_ = bus_->subscriber_count();
-  }
+  BeginRound(std::move(saved), /*hold=*/true);
 
   auto msg = std::make_shared<CheckpointControlMessage>();
   msg->type = CheckpointControlMessage::Type::kCheckpointAt;
@@ -158,6 +199,29 @@ void DistributedCoordinator::FinishRound() {
     if (done_cb_) {
       auto cb = std::move(done_cb_);
       cb(history_.back());
+    }
+  });
+}
+
+void DistributedCoordinator::RegisterInvariants(InvariantRegistry* reg,
+                                                SimTime scheduled_skew_bound) {
+  invariants_ = reg;
+  // Each completed record is audited exactly once (the history only grows),
+  // so a bad round is reported once rather than on every subsequent pass.
+  auto audited = std::make_shared<size_t>(0);
+  reg->Register("checkpoint.barrier",
+                [this, scheduled_skew_bound, audited](AuditReport& report) {
+    if (in_progress_ && current_.locals.size() > expected_) {
+      std::ostringstream out;
+      out << "in-progress round holds " << current_.locals.size()
+          << " locals, more than the expected " << expected_;
+      report.Fail(out.str());
+    }
+    for (; *audited < history_.size(); ++*audited) {
+      for (std::string& violation :
+           AuditCheckpointRecord(history_[*audited], scheduled_skew_bound)) {
+        report.Fail(std::move(violation));
+      }
     }
   });
 }

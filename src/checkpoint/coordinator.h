@@ -17,11 +17,14 @@
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/checkpoint/notification_bus.h"
 #include "src/checkpoint/participant.h"
 #include "src/clock/hardware_clock.h"
+#include "src/sim/invariants.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
 
@@ -31,6 +34,7 @@ namespace tcsim {
 struct DistributedCheckpointRecord {
   SimTime scheduled_local_time = 0;  // 0 for event-driven checkpoints
   SimTime resume_local_time = 0;
+  size_t expected_participants = 0;  // barrier size when the round started
   std::vector<LocalCheckpointRecord> locals;
 
   // Spread of actual suspension instants across participants — the
@@ -44,6 +48,15 @@ struct DistributedCheckpointRecord {
   uint64_t TotalImageBytes() const;
 };
 
+// Sanity-checks one completed checkpoint record: the barrier collected
+// exactly the expected number of locals, no participant appears twice, and —
+// for scheduled checkpoints, when `scheduled_skew_bound` > 0 — the suspend
+// skew stays within the clock-synchronization bound. Returns one message per
+// violation (empty == sane). Exposed as a free function so tests can prove
+// the audit fires on deliberately broken records.
+std::vector<std::string> AuditCheckpointRecord(const DistributedCheckpointRecord& record,
+                                               SimTime scheduled_skew_bound);
+
 class DistributedCoordinator {
  public:
   // `boss_clock` is the coordinator's own synchronized clock; notifications
@@ -53,9 +66,11 @@ class DistributedCoordinator {
   DistributedCoordinator(const DistributedCoordinator&) = delete;
   DistributedCoordinator& operator=(const DistributedCoordinator&) = delete;
 
-  // Number of participants expected at the barrier (== bus subscribers that
-  // act on checkpoint notifications).
-  void SetExpectedParticipants(size_t n) { expected_ = n; }
+  // Overrides the barrier size. By default each round counts the bus's *live*
+  // subscriber set at the instant the round starts (participants may
+  // subscribe between rounds); pass a nonzero `n` to pin it, 0 to restore
+  // the live-count behaviour.
+  void SetExpectedParticipants(size_t n) { expected_override_ = n; }
 
   // Publishes "checkpoint at now + lead" and, once the barrier completes,
   // "resume at <barrier + margin>". `done` fires after the resume time.
@@ -78,25 +93,42 @@ class DistributedCoordinator {
   // Slack between barrier completion and the synchronized resume instant.
   void set_resume_margin(SimTime margin) { resume_margin_ = margin; }
 
+  // Registers barrier-sanity audits (and event-driven duplicate reporting)
+  // with `reg`. Completed rounds are checked with AuditCheckpointRecord; an
+  // in-progress round must never have collected more locals than the
+  // barrier expects. `scheduled_skew_bound` > 0 additionally bounds the
+  // suspend skew of scheduled rounds (pass 0 to skip, e.g. for
+  // non-transparent baselines).
+  void RegisterInvariants(InvariantRegistry* reg, SimTime scheduled_skew_bound = 0);
+
   const std::vector<DistributedCheckpointRecord>& history() const { return history_; }
   bool in_progress() const { return in_progress_; }
 
+  // Duplicate kDone messages observed (same participant reporting twice in
+  // one round). Duplicates never count toward the barrier.
+  uint64_t duplicate_done_count() const { return duplicate_done_count_; }
+
  private:
+  void BeginRound(std::function<void(const DistributedCheckpointRecord&)> done, bool hold);
   void OnDone(const LocalCheckpointRecord& record);
   void FinishRound();
 
   Simulator* sim_;
   NotificationBus* bus_;
   HardwareClock* boss_clock_;
-  size_t expected_ = 0;
+  size_t expected_ = 0;           // barrier size of the current round
+  size_t expected_override_ = 0;  // nonzero pins the barrier size
   SimTime resume_margin_ = 5 * kMillisecond;
 
   bool in_progress_ = false;
   bool hold_ = false;
   bool held_ = false;
   DistributedCheckpointRecord current_;
+  std::unordered_set<std::string> done_participants_;
   std::function<void(const DistributedCheckpointRecord&)> done_cb_;
   std::vector<DistributedCheckpointRecord> history_;
+  uint64_t duplicate_done_count_ = 0;
+  InvariantRegistry* invariants_ = nullptr;
 };
 
 }  // namespace tcsim

@@ -98,7 +98,9 @@ void LocalCheckpointEngine::OnStateSaved() {
   if (hold_after_save_) {
     held_ = true;
     if (saved_cb_) {
-      saved_cb_(current_);
+      auto cb = std::move(saved_cb_);
+      saved_cb_ = nullptr;
+      cb(current_);
     }
     return;
   }
@@ -135,7 +137,12 @@ void LocalCheckpointEngine::AtomicResume() {
   saver_.BackgroundWriteback(current_.image_bytes, nullptr);
 
   if (!hold_after_save_ && saved_cb_) {
-    saved_cb_(history_.back());
+    // Consume the callback (the pattern FinishRound uses): a stale callback
+    // left behind here could be re-fired into a dead frame by a later misuse
+    // of the engine.
+    auto cb = std::move(saved_cb_);
+    saved_cb_ = nullptr;
+    cb(history_.back());
   }
 }
 

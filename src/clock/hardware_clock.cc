@@ -51,8 +51,23 @@ void HardwareClock::StartNtp() {
 }
 
 void HardwareClock::StopNtp() {
+  if (!ntp_running_) {
+    return;
+  }
   ntp_running_ = false;
   ntp_event_.Cancel();
+  // The slew is a *temporary* rate correction whose lifetime is one poll
+  // interval; with the discipline loop stopped nothing would ever retire it,
+  // and the clock would keep slewing forever (e.g. across a stateful
+  // swap-out). Fold the correction applied so far into the offset and
+  // free-run on oscillator drift alone.
+  Rebase();
+  slew_rate_ = 0.0;
+}
+
+void HardwareClock::RegisterInvariants(InvariantRegistry* reg,
+                                       const std::string& name) {
+  RegisterMonotonicAudit(reg, name, [this] { return LocalNow(); });
 }
 
 void HardwareClock::NtpPoll() {

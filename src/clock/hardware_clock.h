@@ -14,8 +14,10 @@
 #define TCSIM_SRC_CLOCK_HARDWARE_CLOCK_H_
 
 #include <functional>
+#include <string>
 
 #include "src/sim/event_queue.h"
+#include "src/sim/invariants.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
@@ -80,6 +82,11 @@ class HardwareClock {
 
   // Stops the discipline loop; the clock free-runs (and drifts) afterwards.
   void StopNtp();
+
+  // Registers the local-time monotonicity audit under `name`: successive
+  // LocalNow() reads must never go backwards, even across NTP slews and
+  // checkpoint rebases.
+  void RegisterInvariants(InvariantRegistry* reg, const std::string& name);
 
   // Error samples (in microseconds) recorded at each NTP poll, for
   // convergence analysis.

@@ -36,6 +36,16 @@ std::vector<uint8_t> DelayNode::SaveState() const {
   return w.Take();
 }
 
+void DelayNode::RegisterInvariants(InvariantRegistry* reg) {
+  clock_.RegisterInvariants(reg, "clock.monotonic." + name_);
+  if (pipe_ab_) {
+    pipe_ab_->RegisterInvariants(reg, "net.conservation." + name_ + ".ab");
+  }
+  if (pipe_ba_) {
+    pipe_ba_->RegisterInvariants(reg, "net.conservation." + name_ + ".ba");
+  }
+}
+
 size_t DelayNode::PacketsHeld() const {
   size_t held = 0;
   if (pipe_ab_) {

@@ -56,6 +56,10 @@ class DelayNode {
   Pipe* pipe_ab() { return pipe_ab_.get(); }
   Pipe* pipe_ba() { return pipe_ba_.get(); }
 
+  // Registers packet conservation for both pipe directions and local-clock
+  // monotonicity, all named under this node's name.
+  void RegisterInvariants(InvariantRegistry* reg);
+
  private:
   Simulator* sim_;
   Rng rng_;

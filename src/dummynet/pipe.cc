@@ -50,6 +50,11 @@ SimTime Pipe::SerializationTime(uint32_t bytes) const {
 }
 
 void Pipe::HandlePacket(const Packet& pkt) {
+  ++ingress_total_;
+  Ingest(pkt);
+}
+
+void Pipe::Ingest(const Packet& pkt) {
   if (suspended_) {
     suspend_ingress_log_.push_back(pkt);
     return;
@@ -132,11 +137,20 @@ void Pipe::Resume() {
     t.event = sim_->ScheduleAt(t.due, [this, id] { Deliver(id); });
   }
   // Ingest packets that arrived while we were frozen, in arrival order.
+  // They were counted at arrival, so bypass the ingress counter.
   std::deque<Packet> log;
   log.swap(suspend_ingress_log_);
   for (const Packet& pkt : log) {
-    HandlePacket(pkt);
+    Ingest(pkt);
   }
+}
+
+void Pipe::RegisterInvariants(InvariantRegistry* reg, const std::string& name) {
+  RegisterConservationAudit(reg, name, [this] {
+    return ConservationCounts{ingress_total_, forwarded_,
+                              queue_drops_ + loss_drops_,
+                              PacketsHeld() + suspend_ingress_log_.size()};
+  });
 }
 
 size_t Pipe::PacketsHeld() const {
@@ -178,6 +192,7 @@ void Pipe::Restore(ArchiveReader& r) {
 
   const bool had_tx = r.Read<uint8_t>() != 0;
   if (had_tx) {
+    ++ingress_total_;
     tx_active_ = true;
     tx_packet_ = ReadPacket(r);
     tx_remaining_ = r.Read<SimTime>();
@@ -196,6 +211,9 @@ void Pipe::Restore(ArchiveReader& r) {
   for (uint64_t i = 0; i < n_queued; ++i) {
     queue_.push_back(ReadPacket(r));
   }
+  // Restored packets entered this pipe's accounting via the archive, not
+  // HandlePacket — credit them so the conservation audit stays balanced.
+  ingress_total_ += n_transit + n_queued;
   StartTransmissionIfIdle();
 }
 

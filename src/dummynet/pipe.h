@@ -19,12 +19,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "src/net/packet.h"
 #include "src/net/wire.h"
 #include "src/sim/archive.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/invariants.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 
@@ -78,6 +80,16 @@ class Pipe : public PacketHandler {
   uint64_t queue_drops() const { return queue_drops_; }
   uint64_t loss_drops() const { return loss_drops_; }
 
+  // Total packets accepted at ingress (including those logged while
+  // suspended, and those reconstructed by Restore()). Conservation:
+  // ingress == forwarded + drops + held + pending suspend-log ingest.
+  uint64_t ingress_total() const { return ingress_total_; }
+
+  // Registers the packet-conservation audit under `name`: every packet that
+  // entered the pipe was forwarded, dropped (loss or queue tail-drop), is
+  // still held in the shaping stages, or awaits ingest after a resume.
+  void RegisterInvariants(InvariantRegistry* reg, const std::string& name);
+
  private:
   struct InTransit {
     uint64_t id;
@@ -86,6 +98,10 @@ class Pipe : public PacketHandler {
     SimTime remaining;  // remaining delay while suspended
     EventHandle event;
   };
+
+  // Shaping-path entry without the ingress count — used by Resume() to
+  // re-inject logged packets that were already counted on arrival.
+  void Ingest(const Packet& pkt);
 
   void StartTransmissionIfIdle();
   void OnTransmitDone();
@@ -113,6 +129,7 @@ class Pipe : public PacketHandler {
   uint64_t forwarded_ = 0;
   uint64_t queue_drops_ = 0;
   uint64_t loss_drops_ = 0;
+  uint64_t ingress_total_ = 0;
 };
 
 }  // namespace tcsim

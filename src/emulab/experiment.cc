@@ -137,7 +137,36 @@ void Experiment::BuildTopology(const ExperimentSpec& spec) {
     lans_.push_back(std::move(lan));
   }
 
-  coordinator_->SetExpectedParticipants(bus_->subscriber_count());
+  // The coordinator sizes each barrier from the live subscriber set, so
+  // nothing to pin here — participants registered above (and any added
+  // later) are counted when a round starts.
+}
+
+void Experiment::RegisterInvariants(InvariantRegistry* reg) {
+  bool all_transparent = true;
+  SimTime max_initial_jitter = 0;
+  for (const std::string& name : node_order_) {
+    MappedNode& mapped = nodes_.at(name);
+    mapped.node->RegisterInvariants(reg);
+    all_transparent &= mapped.engine->policy().transparent_time;
+    max_initial_jitter = std::max(
+        max_initial_jitter, mapped.node->clock().params().initial_offset_jitter);
+  }
+  for (auto& delay_node : delay_nodes_) {
+    delay_node->RegisterInvariants(reg);
+    max_initial_jitter = std::max(max_initial_jitter,
+                                  delay_node->clock().params().initial_offset_jitter);
+  }
+  // With transparent time every participant suspends at the same scheduled
+  // local instant, so recorded skews are bounded by clock sync error. Before
+  // NTP converges two clocks can sit at opposite extremes of the configured
+  // boot-time jitter (worst-case pairwise skew 2x the jitter); 2 ms of slack
+  // on top covers the converged residual — an order of magnitude above the
+  // ~200 us worst-case NTP error the paper quotes. Non-transparent baselines
+  // skip the bound: their guest clocks legitimately diverge.
+  const SimTime skew_bound =
+      all_transparent ? 2 * max_initial_jitter + 2 * kMillisecond : 0;
+  coordinator_->RegisterInvariants(reg, skew_bound);
 }
 
 void Experiment::SwapIn(bool golden_cached, std::function<void()> done) {

@@ -84,6 +84,13 @@ class Experiment {
 
   const std::vector<SwapRecord>& swap_history() const { return swap_history_; }
 
+  // Registers every layer's audits for this experiment: per-node (clock,
+  // NICs, guest quiescence, firewall), per-delay-node (pipes, clock), and
+  // the coordinator's barrier sanity. The scheduled-skew bound is enforced
+  // only when every engine runs with transparent time (the non-transparent
+  // baselines deliberately let guest clocks diverge).
+  void RegisterInvariants(InvariantRegistry* reg);
+
   // Bytes of disk delta this experiment would ship at swap-out right now
   // (after free-block elimination).
   uint64_t PendingDeltaBytes() const;

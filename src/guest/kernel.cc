@@ -165,6 +165,9 @@ void GuestKernel::Dispatch(ActivityClass cls, std::function<void()> fn) {
 
 void GuestKernel::NoteActivityRun(ActivityClass cls) {
   ++activity_counter_;
+  if (!RunsOutsideFirewall(cls)) {
+    ++inside_activity_counter_;
+  }
   if (firewall_.engaged()) {
     ++engaged_runs_[cls];
   }

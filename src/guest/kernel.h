@@ -148,6 +148,11 @@ class GuestKernel : public TimerHost {
   // The idle monitor diffs this to detect quiet experiments.
   uint64_t activity_counter() const { return activity_counter_; }
 
+  // Like activity_counter(), restricted to inside-firewall classes. Must be
+  // flat while the guest is suspended: outside-firewall drain work (block
+  // IRQs) legitimately continues, inside work must not.
+  uint64_t inside_activity_counter() const { return inside_activity_counter_; }
+
   // Configures the small extra latency frozen timers experience when they
   // are rescheduled at resume (suspend/resume bookkeeping in the resume
   // path). This bounded, per-checkpoint effect is the empirical limit on
@@ -191,6 +196,7 @@ class GuestKernel : public TimerHost {
   SimTime resume_timer_latency_ = 0;
   Rng resume_latency_rng_{0};
   uint64_t activity_counter_ = 0;
+  uint64_t inside_activity_counter_ = 0;
 };
 
 }  // namespace tcsim

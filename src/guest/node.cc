@@ -49,4 +49,38 @@ ExperimentNode::ExperimentNode(Simulator* sim, Rng rng, NodeConfig config)
   clock_.StartNtp();
 }
 
+void ExperimentNode::RegisterInvariants(InvariantRegistry* reg) {
+  const std::string& n = config_.name;
+  clock_.RegisterInvariants(reg, "clock.monotonic." + n);
+  experimental_nic_->RegisterInvariants(reg, "net.conservation." + n + ".expt-nic");
+  control_nic_->RegisterInvariants(reg, "net.conservation." + n + ".ctrl-nic");
+  dom0_control_nic_->RegisterInvariants(reg, "net.conservation." + n + ".dom0-nic");
+  // While the guest is suspended, inside-firewall activity must be flat
+  // (outside-firewall drain work may continue).
+  RegisterFrozenAudit(reg, "guest.quiescent." + n,
+                      [this] { return kernel_->suspended(); },
+                      [this] { return kernel_->inside_activity_counter(); });
+  // While the domain's time is frozen, its virtual clock must not advance.
+  RegisterFrozenAudit(reg, "xen.frozen-clock." + n,
+                      [this] { return domain_->time_frozen(); },
+                      [this] { return static_cast<uint64_t>(domain_->VirtualNow()); });
+  // The temporal firewall must never let inside-class activity execute while
+  // engaged — that is the atomicity the paper's Section 4.1 guarantees.
+  reg->Register("guest.firewall." + n, [this](AuditReport& report) {
+    static constexpr ActivityClass kInside[] = {
+        ActivityClass::kUserThread, ActivityClass::kKernelThread,
+        ActivityClass::kIrq,        ActivityClass::kSoftIrq,
+        ActivityClass::kWorkqueue,  ActivityClass::kTimer,
+    };
+    for (ActivityClass cls : kInside) {
+      const uint64_t runs = kernel_->activities_run_while_engaged(cls);
+      if (runs != 0) {
+        report.Fail("inside-firewall activity class " +
+                    std::to_string(static_cast<int>(cls)) + " ran " +
+                    std::to_string(runs) + " time(s) while engaged");
+      }
+    }
+  });
+}
+
 }  // namespace tcsim

@@ -81,6 +81,11 @@ class ExperimentNode {
 
   static constexpr NodeId kDom0IdOffset = 0x10000;
 
+  // Registers this node's audits: clock monotonicity, per-NIC packet
+  // conservation, suspended-guest quiescence, frozen-domain virtual-clock
+  // stasis, and zero inside-firewall leakage while engaged.
+  void RegisterInvariants(InvariantRegistry* reg);
+
   Disk& data_disk() { return data_disk_; }
   Disk& snapshot_disk() { return snapshot_disk_; }
   BranchStore& store() { return store_; }

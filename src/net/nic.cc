@@ -10,6 +10,7 @@ void Nic::Send(const Packet& pkt) {
 }
 
 void Nic::HandlePacket(const Packet& pkt) {
+  ++packets_arrived_;
   if (suspended_) {
     suspend_log_.push_back({pkt, sim_->Now()});
     ++packets_logged_;
@@ -19,6 +20,13 @@ void Nic::HandlePacket(const Packet& pkt) {
   if (receiver_) {
     receiver_(pkt);
   }
+}
+
+void Nic::RegisterInvariants(InvariantRegistry* reg, const std::string& name) {
+  RegisterConservationAudit(reg, name, [this] {
+    return ConservationCounts{packets_arrived_, packets_received_, /*dropped=*/0,
+                              suspend_log_.size()};
+  });
 }
 
 void Nic::Suspend() { suspended_ = true; }

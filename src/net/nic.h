@@ -4,10 +4,12 @@
 #define TCSIM_SRC_NET_NIC_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/net/packet.h"
 #include "src/net/wire.h"
+#include "src/sim/invariants.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
 
@@ -55,6 +57,16 @@ class Nic : public PacketHandler {
   uint64_t packets_received() const { return packets_received_; }
   uint64_t packets_logged() const { return packets_logged_; }
 
+  // Total arrivals from the wire (delivered upward or sitting in the suspend
+  // log). Conservation: arrivals == received + pending replay.
+  uint64_t packets_arrived() const { return packets_arrived_; }
+  size_t packets_pending_replay() const { return suspend_log_.size(); }
+
+  // Registers the receive-path conservation audit under `name`: every packet
+  // the wire handed to this NIC was either delivered upward or is logged
+  // awaiting replay — none lost to a checkpoint.
+  void RegisterInvariants(InvariantRegistry* reg, const std::string& name);
+
   // Delays (in microseconds of physical time) experienced by replayed
   // packets: replay instant minus original arrival.
   const Samples& replay_delays() const { return replay_delays_; }
@@ -73,6 +85,7 @@ class Nic : public PacketHandler {
   std::vector<LoggedPacket> suspend_log_;
   uint64_t packets_received_ = 0;
   uint64_t packets_logged_ = 0;
+  uint64_t packets_arrived_ = 0;
   Samples replay_delays_;
 };
 

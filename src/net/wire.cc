@@ -17,12 +17,26 @@ void Wire::Transmit(const Packet& pkt) {
   const SimTime tx_done = start + SerializationTime(pkt.size_bytes);
   busy_until_ = tx_done;
   ++packets_sent_;
+  bytes_sent_ += pkt.size_bytes;
   if (loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_)) {
     ++packets_dropped_;
+    bytes_dropped_ += pkt.size_bytes;
     return;
   }
+  bytes_in_flight_ += pkt.size_bytes;
   Packet copy = pkt;
-  sim_->ScheduleAt(tx_done + delay_, [this, copy] { sink_->HandlePacket(copy); });
+  sim_->ScheduleAt(tx_done + delay_, [this, copy] {
+    bytes_in_flight_ -= copy.size_bytes;
+    bytes_delivered_ += copy.size_bytes;
+    sink_->HandlePacket(copy);
+  });
+}
+
+void Wire::RegisterInvariants(InvariantRegistry* reg, const std::string& name) {
+  RegisterConservationAudit(reg, name, [this] {
+    return ConservationCounts{bytes_sent_, bytes_delivered_, bytes_dropped_,
+                              bytes_in_flight_};
+  });
 }
 
 }  // namespace tcsim

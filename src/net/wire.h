@@ -4,8 +4,10 @@
 #define TCSIM_SRC_NET_WIRE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/net/packet.h"
+#include "src/sim/invariants.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
@@ -53,6 +55,18 @@ class Wire {
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_dropped() const { return packets_dropped_; }
 
+  // Byte-level accounting for conservation audits: every byte accepted for
+  // transmission is delivered to the sink, dropped by loss, or still on the
+  // wire.
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_delivered() const { return bytes_delivered_; }
+  uint64_t bytes_dropped() const { return bytes_dropped_; }
+  uint64_t bytes_in_flight() const { return bytes_in_flight_; }
+
+  // Registers the byte-conservation audit under `name` (sent == delivered +
+  // dropped + in-flight).
+  void RegisterInvariants(InvariantRegistry* reg, const std::string& name);
+
  private:
   SimTime SerializationTime(uint32_t bytes) const;
 
@@ -65,6 +79,10 @@ class Wire {
   SimTime busy_until_ = 0;
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_delivered_ = 0;
+  uint64_t bytes_dropped_ = 0;
+  uint64_t bytes_in_flight_ = 0;
 };
 
 }  // namespace tcsim

@@ -1,0 +1,12 @@
+#include "src/sim/digest.h"
+
+namespace tcsim {
+
+void Fnv1aDigest::MixBytes(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    MixByte(p[i]);
+  }
+}
+
+}  // namespace tcsim

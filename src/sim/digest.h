@@ -1,0 +1,52 @@
+// Running FNV-1a determinism digest.
+//
+// The simulator mixes every event dispatch — its timestamp and its queue
+// sequence number — into one 64-bit FNV-1a hash. Two runs of the same
+// scenario with the same seed must execute the same events in the same order,
+// so their digests are bit-identical; any divergence (an uninitialized value,
+// an iteration-order dependence, a hidden source of nondeterminism) changes
+// the digest at the first diverging dispatch. Tests and the fig-bench
+// harnesses compare digests across runs to enforce deterministic replay.
+
+#ifndef TCSIM_SRC_SIM_DIGEST_H_
+#define TCSIM_SRC_SIM_DIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tcsim {
+
+// 64-bit FNV-1a accumulator. Mixing is order-sensitive: the digest is a
+// fingerprint of the exact byte sequence fed to it.
+class Fnv1aDigest {
+ public:
+  static constexpr uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+
+  void MixByte(uint8_t b) {
+    state_ ^= b;
+    state_ *= kPrime;
+  }
+
+  // Mixes a 64-bit value, little-endian byte order (endianness-independent
+  // across hosts that agree on the value).
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      MixByte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  // Mixes an arbitrary byte range.
+  void MixBytes(const void* data, size_t n);
+
+  uint64_t value() const { return state_; }
+
+  void Reset() { state_ = kOffsetBasis; }
+
+ private:
+  uint64_t state_ = kOffsetBasis;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_SIM_DIGEST_H_

@@ -49,6 +49,11 @@ std::function<void()> EventQueue::Pop(SimTime* t) {
   *t = top.time;
   std::function<void()> fn = std::move(top.fn);
   top.state->fired = true;
+  // The dispatch order of (time, seq) pairs is the run's determinism
+  // fingerprint: seq captures the scheduling site's position in the global
+  // event-creation order, time the instant it fired.
+  digest_.Mix(static_cast<uint64_t>(top.time));
+  digest_.Mix(top.seq);
   heap_.pop();
   --size_;
   return fn;

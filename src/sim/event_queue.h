@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/sim/digest.h"
 #include "src/sim/time.h"
 
 namespace tcsim {
@@ -64,6 +65,11 @@ class EventQueue {
   // Number of live events currently queued.
   size_t Size() const { return size_; }
 
+  // Determinism digest over every dispatched event's (time, sequence) pair,
+  // in dispatch order. Two same-seed runs of one scenario must agree on this
+  // value after any equal number of steps (see src/sim/digest.h).
+  uint64_t digest() const { return digest_.value(); }
+
  private:
   struct Entry {
     SimTime time;
@@ -85,6 +91,7 @@ class EventQueue {
   mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   mutable size_t size_ = 0;
   uint64_t next_seq_ = 0;
+  Fnv1aDigest digest_;
 };
 
 }  // namespace tcsim

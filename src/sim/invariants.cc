@@ -1,0 +1,127 @@
+#include "src/sim/invariants.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "src/sim/simulator.h"
+
+namespace tcsim {
+
+void InvariantRegistry::Register(std::string name, AuditFn audit) {
+  audits_.push_back(NamedAudit{std::move(name), std::move(audit)});
+}
+
+size_t InvariantRegistry::AuditNow() {
+  const size_t before = violations_.size();
+  const SimTime now = sim_ != nullptr ? sim_->Now() : 0;
+  for (const NamedAudit& audit : audits_) {
+    AuditReport report;
+    audit.fn(report);
+    for (const std::string& detail : report.failures()) {
+      violations_.push_back(InvariantViolation{audit.name, now, detail});
+    }
+  }
+  ++passes_run_;
+  return violations_.size() - before;
+}
+
+void InvariantRegistry::StartPeriodic(SimTime interval) {
+  StopPeriodic();
+  interval_ = interval;
+  periodic_event_ = sim_->Schedule(interval_, [this] { PeriodicTick(); });
+}
+
+void InvariantRegistry::StopPeriodic() { periodic_event_.Cancel(); }
+
+void InvariantRegistry::PeriodicTick() {
+  AuditNow();
+  // Re-arm only while the simulation still has work: a periodic audit must
+  // never keep an exhausted event queue alive (Simulator::Run would spin
+  // forever auditing an idle world). FinishRun covers the final state.
+  if (sim_->pending_events() > 0) {
+    periodic_event_ = sim_->Schedule(interval_, [this] { PeriodicTick(); });
+  }
+}
+
+size_t InvariantRegistry::FinishRun() {
+  StopPeriodic();
+  return AuditNow();
+}
+
+void InvariantRegistry::ReportViolation(std::string invariant, std::string detail) {
+  const SimTime now = sim_ != nullptr ? sim_->Now() : 0;
+  violations_.push_back(InvariantViolation{std::move(invariant), now, std::move(detail)});
+}
+
+std::string InvariantRegistry::Summary() const {
+  std::ostringstream out;
+  if (violations_.empty()) {
+    out << "invariants: all " << audits_.size() << " audits pass (" << passes_run_
+        << " passes)";
+    return out.str();
+  }
+  out << "invariants: " << violations_.size() << " violation(s) across " << audits_.size()
+      << " audits (" << passes_run_ << " passes)";
+  for (const InvariantViolation& v : violations_) {
+    out << "\n  [" << v.invariant << "] t=" << ToSeconds(v.time) << "s: " << v.detail;
+  }
+  return out.str();
+}
+
+void RegisterConservationAudit(InvariantRegistry* reg, std::string name,
+                               std::function<ConservationCounts()> sample) {
+  reg->Register(std::move(name), [sample = std::move(sample)](AuditReport& report) {
+    const ConservationCounts c = sample();
+    const uint64_t accounted = c.delivered + c.dropped + c.in_flight;
+    if (c.sent != accounted) {
+      std::ostringstream out;
+      out << "conservation broken: sent=" << c.sent << " != delivered=" << c.delivered
+          << " + dropped=" << c.dropped << " + in_flight=" << c.in_flight << " ("
+          << accounted << ")";
+      report.Fail(out.str());
+    }
+  });
+}
+
+void RegisterMonotonicAudit(InvariantRegistry* reg, std::string name,
+                            std::function<SimTime()> read) {
+  struct State {
+    bool seen = false;
+    SimTime last = 0;
+  };
+  auto state = std::make_shared<State>();
+  reg->Register(std::move(name), [state, read = std::move(read)](AuditReport& report) {
+    const SimTime v = read();
+    if (state->seen && v < state->last) {
+      std::ostringstream out;
+      out << "time ran backwards: " << v << " < previous " << state->last;
+      report.Fail(out.str());
+    }
+    state->seen = true;
+    state->last = v;
+  });
+}
+
+void RegisterFrozenAudit(InvariantRegistry* reg, std::string name,
+                         std::function<bool()> frozen, std::function<uint64_t()> counter) {
+  struct State {
+    bool was_frozen = false;
+    uint64_t value = 0;
+  };
+  auto state = std::make_shared<State>();
+  reg->Register(std::move(name), [state, frozen = std::move(frozen),
+                                  counter = std::move(counter)](AuditReport& report) {
+    const bool f = frozen();
+    const uint64_t v = counter();
+    if (f && state->was_frozen && v != state->value) {
+      std::ostringstream out;
+      out << "activity advanced while frozen: counter " << state->value << " -> " << v;
+      report.Fail(out.str());
+    }
+    state->was_frozen = f;
+    state->value = v;
+  });
+}
+
+}  // namespace tcsim

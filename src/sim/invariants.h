@@ -1,0 +1,139 @@
+// Machine-checked simulation invariants.
+//
+// Transparency bugs are silent: a barrier that completes early or a clock
+// that keeps slewing after its NTP loop stopped produces plausible-looking
+// numbers. The invariant registry turns the properties the paper's design
+// guarantees into audits that run mechanically — at a configurable sim-time
+// interval while a scenario executes, and once more at end-of-run. Each
+// layer registers its own audits (packet/byte conservation in net and
+// dummynet, local-time monotonicity in clock, barrier sanity in checkpoint,
+// frozen-domain quiescence in xen/guest); a violation is recorded with the
+// sim time at which it was observed and never silently dropped.
+//
+// The registry is passive by default: nothing runs unless a harness attaches
+// one (tests always do; fig-benches do under --audit).
+
+#ifndef TCSIM_SRC_SIM_INVARIANTS_H_
+#define TCSIM_SRC_SIM_INVARIANTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace tcsim {
+
+class Simulator;
+
+// One observed violation of a registered invariant.
+struct InvariantViolation {
+  std::string invariant;  // registered audit name
+  SimTime time = 0;       // sim time at which it was observed
+  std::string detail;
+};
+
+// Failure collector passed to each audit. An audit that records nothing
+// passed.
+class AuditReport {
+ public:
+  void Fail(std::string detail) { failures_.push_back(std::move(detail)); }
+  const std::vector<std::string>& failures() const { return failures_; }
+
+ private:
+  std::vector<std::string> failures_;
+};
+
+// Registry of named audits plus the violations they (or event-driven
+// reporters) recorded. Audits must be safe to run at any instant between
+// events; they observe state, never mutate it.
+class InvariantRegistry {
+ public:
+  using AuditFn = std::function<void(AuditReport&)>;
+
+  explicit InvariantRegistry(Simulator* sim) : sim_(sim) {}
+
+  InvariantRegistry(const InvariantRegistry&) = delete;
+  InvariantRegistry& operator=(const InvariantRegistry&) = delete;
+
+  // Registers `audit` under `name`. Names need not be unique; they label
+  // violations.
+  void Register(std::string name, AuditFn audit);
+
+  // Runs every registered audit once. Returns the number of new violations.
+  size_t AuditNow();
+
+  // Runs all audits every `interval` of sim time. The periodic event
+  // re-arms itself only while other events are pending, so it never keeps an
+  // otherwise-exhausted simulation alive; call FinishRun() (or AuditNow())
+  // for the end-of-run pass.
+  void StartPeriodic(SimTime interval);
+  void StopPeriodic();
+
+  // End-of-run audit pass: stops the periodic event and runs every audit one
+  // final time against the quiesced state.
+  size_t FinishRun();
+
+  // Records a violation directly — for event-driven checks that observe the
+  // violation at the moment it happens (e.g. the coordinator receiving a
+  // duplicate barrier message) rather than at an audit interval.
+  void ReportViolation(std::string invariant, std::string detail);
+
+  const std::vector<InvariantViolation>& violations() const { return violations_; }
+  bool ok() const { return violations_.empty(); }
+  size_t audit_count() const { return audits_.size(); }
+  uint64_t passes_run() const { return passes_run_; }
+
+  // Human-readable multi-line summary ("all N audits pass" or one line per
+  // violation).
+  std::string Summary() const;
+
+ private:
+  struct NamedAudit {
+    std::string name;
+    AuditFn fn;
+  };
+
+  void PeriodicTick();
+
+  Simulator* sim_;
+  std::vector<NamedAudit> audits_;
+  std::vector<InvariantViolation> violations_;
+  uint64_t passes_run_ = 0;
+  SimTime interval_ = 0;
+  EventHandle periodic_event_;
+};
+
+// --- Standard audit shapes -----------------------------------------------------
+//
+// Reusable invariant patterns. Layers wire them to live counters; tests wire
+// them to synthetic samplers to prove each audit fires on a broken setup.
+
+// Flow-conservation snapshot: everything injected must be accounted for.
+struct ConservationCounts {
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t in_flight = 0;
+};
+
+// Audits sent == delivered + dropped + in_flight on every pass.
+void RegisterConservationAudit(InvariantRegistry* reg, std::string name,
+                               std::function<ConservationCounts()> sample);
+
+// Audits that consecutive reads of `read` never decrease (e.g. a hardware
+// clock's local time).
+void RegisterMonotonicAudit(InvariantRegistry* reg, std::string name,
+                            std::function<SimTime()> read);
+
+// Audits quiescence: while `frozen` reads true at consecutive passes,
+// `counter` must not change (e.g. a suspended guest's inside-activity count,
+// or a frozen domain's virtual clock).
+void RegisterFrozenAudit(InvariantRegistry* reg, std::string name,
+                         std::function<bool()> frozen, std::function<uint64_t()> counter);
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_SIM_INVARIANTS_H_

@@ -50,6 +50,13 @@ class Simulator {
   // Number of events currently pending.
   size_t pending_events() const { return queue_.Size(); }
 
+  // Running determinism digest: an FNV-1a hash over every event dispatched so
+  // far (its time and queue sequence number, in dispatch order). Running the
+  // same scenario twice with the same seed must yield identical digests; any
+  // difference pinpoints nondeterminism. Compared by tests and printed by the
+  // fig-bench harnesses.
+  uint64_t Digest() const { return queue_.digest(); }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
