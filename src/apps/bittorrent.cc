@@ -1,5 +1,6 @@
 #include "src/apps/bittorrent.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -170,6 +171,75 @@ void BitTorrentPeer::RequestMore(NodeId from) {
   }
 }
 
+namespace {
+
+// Piece bitmaps are written one byte per piece: simple, and bit-stable.
+void WriteBitmap(ArchiveWriter* w, const std::vector<bool>& bits) {
+  w->Write<uint64_t>(bits.size());
+  for (const bool b : bits) {
+    w->Write<uint8_t>(b ? 1 : 0);
+  }
+}
+
+std::vector<bool> ReadBitmap(ArchiveReader& r) {
+  const uint64_t n = r.Read<uint64_t>();
+  if (!r.ok() || n > r.remaining()) {
+    return {};
+  }
+  std::vector<bool> bits(n, false);
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    bits[i] = r.Read<uint8_t>() != 0;
+  }
+  return bits;
+}
+
+}  // namespace
+
+void BitTorrentPeer::Save(ArchiveWriter* w) const {
+  WriteBitmap(w, have_);
+  w->Write<uint64_t>(pieces_held_);
+  WriteBitmap(w, requested_);
+  w->Write<SimTime>(completion_time_);
+  rng_.Save(w);
+  // Per-link bookkeeping, in sorted peer order for bit-stable images.
+  std::vector<NodeId> peer_ids;
+  peer_ids.reserve(links_.size());
+  for (const auto& [peer_id, l] : links_) {
+    peer_ids.push_back(peer_id);
+  }
+  std::sort(peer_ids.begin(), peer_ids.end());
+  w->Write<uint64_t>(peer_ids.size());
+  for (const NodeId peer_id : peer_ids) {
+    const PeerLink& l = links_.at(peer_id);
+    w->Write<NodeId>(peer_id);
+    WriteBitmap(w, l.remote_has);
+    w->Write<uint32_t>(l.outstanding);
+  }
+}
+
+void BitTorrentPeer::Restore(ArchiveReader& r) {
+  have_ = ReadBitmap(r);
+  pieces_held_ = static_cast<size_t>(r.Read<uint64_t>());
+  requested_ = ReadBitmap(r);
+  completion_time_ = r.Read<SimTime>();
+  rng_.Restore(r);
+  const uint64_t n_links = r.Read<uint64_t>();
+  for (uint64_t i = 0; i < n_links && r.ok(); ++i) {
+    const NodeId peer_id = r.Read<NodeId>();
+    std::vector<bool> remote_has = ReadBitmap(r);
+    const uint32_t outstanding = r.Read<uint32_t>();
+    if (!r.ok()) {
+      break;
+    }
+    // A link the fresh swarm did not re-create is skipped: its connection
+    // cannot be rebuilt from here.
+    if (PeerLink* l = link(peer_id); l != nullptr) {
+      l->remote_has = std::move(remote_has);
+      l->outstanding = outstanding;
+    }
+  }
+}
+
 // --- BitTorrentSwarm ------------------------------------------------------------
 
 BitTorrentSwarm::BitTorrentSwarm(std::vector<ExperimentNode*> nodes, Params params)
@@ -193,6 +263,31 @@ void BitTorrentSwarm::Start(std::function<void()> all_done) {
     for (size_t j = 0; j < i; ++j) {
       peers_[i]->ConnectTo(peers_[j].get());
     }
+  }
+}
+
+void BitTorrentSwarm::SaveState(ArchiveWriter* w) const {
+  w->Write<uint64_t>(complete_clients_);
+  rng_.Save(w);
+  w->Write<uint64_t>(peers_.size());
+  for (const auto& peer : peers_) {
+    ArchiveWriter sub;
+    peer->Save(&sub);
+    w->WriteVector(sub.data());
+  }
+}
+
+void BitTorrentSwarm::RestoreState(ArchiveReader& r) {
+  complete_clients_ = static_cast<size_t>(r.Read<uint64_t>());
+  rng_.Restore(r);
+  const uint64_t n = r.Read<uint64_t>();
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    const std::vector<uint8_t> blob = r.ReadVector<uint8_t>();
+    if (!r.ok() || i >= peers_.size()) {
+      continue;
+    }
+    ArchiveReader sub(blob);
+    peers_[i]->Restore(sub);
   }
 }
 

@@ -17,6 +17,7 @@
 
 #include "src/guest/node.h"
 #include "src/net/tcp.h"
+#include "src/sim/checkpointable.h"
 #include "src/sim/random.h"
 #include "src/sim/stats.h"
 
@@ -48,6 +49,8 @@ class BitTorrentPeer {
 
   void Listen();
   void ConnectTo(BitTorrentPeer* remote);
+  void Save(ArchiveWriter* w) const;
+  void Restore(ArchiveReader& r);
   void OnMessage(NodeId from, std::shared_ptr<AppPayload> payload);
   void OnPieceReceived(NodeId from, uint32_t piece);
   void RequestMore(NodeId from);
@@ -68,7 +71,7 @@ class BitTorrentPeer {
 };
 
 // The swarm: wiring, parameters, and completion tracking.
-class BitTorrentSwarm {
+class BitTorrentSwarm : public Checkpointable {
  public:
   struct Params {
     uint64_t file_bytes = 3ull * 1024 * 1024 * 1024;  // the paper's 3 GB file
@@ -97,6 +100,14 @@ class BitTorrentSwarm {
     return seeder_upload_meters_.try_emplace(client, params_.throughput_bucket)
         .first->second;
   }
+
+  // Checkpointable: swarm progress — every peer's piece map, request
+  // pipeline and per-link bookkeeping, in peer order. Restore targets a
+  // freshly wired swarm with the same topology: link connections belong to
+  // the fresh experiment; only their data state is overwritten.
+  std::string checkpoint_id() const override { return "app.bittorrent"; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
 
  private:
   friend class BitTorrentPeer;

@@ -7,6 +7,7 @@
 
 #include "src/guest/node.h"
 #include "src/net/tcp.h"
+#include "src/sim/checkpointable.h"
 #include "src/sim/stats.h"
 
 namespace tcsim {
@@ -14,7 +15,7 @@ namespace tcsim {
 // One-directional TCP stream between two experiment nodes. The receiver
 // captures a packet trace (in its own virtual time, like tcpdump on the
 // receiving node) and a bucketed throughput series.
-class IperfApp {
+class IperfApp : public Checkpointable {
  public:
   struct Params {
     uint16_t port = 5001;
@@ -39,6 +40,20 @@ class IperfApp {
 
   // Inter-packet arrival gaps at the receiver, microseconds of virtual time.
   Samples InterPacketGapsUs() const;
+
+  // Checkpointable: stream progress. The connection's protocol state lives
+  // in the net.stack chunk; this records how much the application has
+  // queued and seen delivered, so a restored run's write loop continues
+  // from the same high-water position.
+  std::string checkpoint_id() const override { return "app.iperf"; }
+  void SaveState(ArchiveWriter* w) const override {
+    w->Write<uint64_t>(delivered_);
+    w->Write<uint64_t>(queued_);
+  }
+  void RestoreState(ArchiveReader& r) override {
+    delivered_ = r.Read<uint64_t>();
+    queued_ = r.Read<uint64_t>();
+  }
 
  private:
   // Keeps the send queue topped up without buffering the whole stream in

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "src/guest/node.h"
+#include "src/sim/checkpointable.h"
 #include "src/sim/random.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
@@ -18,7 +19,7 @@ namespace tcsim {
 // usleep(10ms) in a loop. The Linux timer tick quantizes a 10 ms sleep to
 // two ticks, giving the paper's nominal 20 ms iteration; a small dispatch
 // jitter models hardware timer accuracy (97% of iterations within 28 us).
-class SleepLoopApp {
+class SleepLoopApp : public Checkpointable {
  public:
   struct Params {
     SimTime sleep = 10 * kMillisecond;
@@ -40,12 +41,25 @@ class SleepLoopApp {
   // Guest-observable trace for transparency comparisons.
   const TraceLog& trace() const { return trace_; }
 
+  // Checkpointable: loop progress and the pending wakeup's virtual
+  // deadline. Measurement series (samples, trace) are observations, not
+  // state the loop needs to continue, and are not serialized. Restore
+  // re-registers the pending sleep as a frozen guest timer; the kernel's
+  // resume pass arms it.
+  std::string checkpoint_id() const override { return "app.sleep_loop"; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
+
  private:
-  void Iterate(size_t remaining);
+  void Iterate();
+  void OnWakeup();
 
   ExperimentNode* node_;
   Params params_;
   Rng rng_;
+  size_t remaining_ = 0;
+  bool wakeup_pending_ = false;
+  SimTime next_wakeup_vdeadline_ = 0;  // virtual-time deadline of the sleep
   SimTime last_wakeup_ = 0;
   Samples iterations_ms_;
   TraceLog trace_;
@@ -55,7 +69,7 @@ class SleepLoopApp {
 // A fixed CPU-bound job in a loop. Nominal iteration time is the work
 // divided by the CPU capacity; Dom0 activity (including checkpoint pre-copy
 // and writeback) stretches iterations.
-class CpuLoopApp {
+class CpuLoopApp : public Checkpointable {
  public:
   struct Params {
     SimTime work = 236'600 * kMicrosecond;  // the paper's 236.6 ms job
@@ -72,11 +86,24 @@ class CpuLoopApp {
 
   const TraceLog& trace() const { return trace_; }
 
+  // Checkpointable: loop progress plus the in-flight job's remaining work,
+  // read from the CPU scheduler at save time (the loop is the only CPU job
+  // the microbenchmark node runs). Restore re-submits the remainder while
+  // the scheduler is suspended; the resume pass starts it.
+  std::string checkpoint_id() const override { return "app.cpu_loop"; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
+
  private:
-  void Iterate(size_t remaining);
+  void Iterate();
+  void OnIterationDone();
+  void SubmitWork(SimTime work);
 
   ExperimentNode* node_;
   Params params_;
+  size_t remaining_ = 0;
+  bool job_active_ = false;
+  SimTime iter_start_v_ = 0;  // virtual time the current iteration began
   Samples iterations_ms_;
   TraceLog trace_;
   std::function<void()> done_;

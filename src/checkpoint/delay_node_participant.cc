@@ -12,9 +12,10 @@ void DelayNodeParticipant::CheckpointAtLocal(
     current_.request_time = sim_->Now();
     current_.suspended_at = sim_->Now();
     node_->Suspend();
-    // Serialize the pipe hierarchy non-destructively.
-    const auto image = node_->SaveState();
-    current_.image_bytes = image.size();
+    // Serialize the pipe hierarchy non-destructively and hold the image:
+    // this is the state the checkpoint promises to resume from.
+    held_image_ = node_->SaveState();
+    current_.image_bytes = held_image_.size();
     sim_->Schedule(serialize_time_, [this, saved] {
       current_.saved_at = sim_->Now();
       saved(current_);
@@ -25,6 +26,14 @@ void DelayNodeParticipant::CheckpointAtLocal(
 void DelayNodeParticipant::ResumeAtLocal(SimTime local_time) {
   node_->clock().ScheduleAtLocal(local_time, [this] {
     current_.resumed_at = sim_->Now();
+    // Re-apply the held image before unfreezing: resume proceeds from the
+    // serialized checkpoint state, not from whatever the live structures
+    // drifted to, so the saved image is authoritative. Packets that arrived
+    // during the suspension stay logged and are ingested by Resume().
+    if (!held_image_.empty()) {
+      ArchiveReader r(held_image_);
+      node_->ApplyImageInPlace(r);
+    }
     node_->Resume();
   });
 }

@@ -10,7 +10,9 @@
 #ifndef TCSIM_SRC_CHECKPOINT_DELAY_NODE_PARTICIPANT_H_
 #define TCSIM_SRC_CHECKPOINT_DELAY_NODE_PARTICIPANT_H_
 
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/checkpoint/participant.h"
 #include "src/dummynet/delay_node.h"
@@ -34,11 +36,16 @@ class DelayNodeParticipant : public CheckpointParticipant {
 
   DelayNode* node() { return node_; }
 
+  // The serialized delay-node image captured by the last checkpoint; resume
+  // restores from this image rather than trusting the live in-memory state.
+  const std::vector<uint8_t>& held_image() const { return held_image_; }
+
  private:
   Simulator* sim_;
   DelayNode* node_;
   SimTime serialize_time_;
   LocalCheckpointRecord current_;
+  std::vector<uint8_t> held_image_;
 };
 
 }  // namespace tcsim

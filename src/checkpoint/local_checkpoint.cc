@@ -92,9 +92,96 @@ void LocalCheckpointEngine::DrainAndSave() {
   });
 }
 
+const std::vector<Checkpointable*>& LocalCheckpointEngine::Components() {
+  if (!components_built_) {
+    components_built_ = true;
+    node_->AppendCheckpointables(&components_);
+    components_.insert(components_.end(), extra_components_.begin(),
+                       extra_components_.end());
+    extra_components_.clear();
+  }
+  return components_;
+}
+
+void LocalCheckpointEngine::AddCheckpointable(Checkpointable* component) {
+  if (components_built_) {
+    components_.push_back(component);
+  } else {
+    extra_components_.push_back(component);
+  }
+}
+
+void LocalCheckpointEngine::BuildCompositeImage() {
+  CheckpointImageBuilder builder;
+  // Engine metadata: the saved instant plus the record and accounting a
+  // restore target needs to continue exactly where the original paused.
+  ArchiveWriter meta;
+  meta.Write<SimTime>(current_.saved_at);
+  meta.Write<SimTime>(current_.request_time);
+  meta.Write<SimTime>(current_.suspended_at);
+  meta.Write<uint64_t>(current_.image_bytes);
+  meta.Write<uint64_t>(residual_dirty_);
+  meta.Write<uint64_t>(saver_.last_image_bytes());
+  rng_.Save(&meta);
+  builder.AddChunk("sim.time", meta.data());
+  for (const Checkpointable* component : Components()) {
+    builder.Add(*component);
+  }
+  last_image_ =
+      std::make_shared<const std::vector<uint8_t>>(builder.Serialize());
+}
+
+bool LocalCheckpointEngine::RestoreImage(const std::vector<uint8_t>& image_bytes) {
+  assert(!in_progress_);
+  CheckpointImageView view(image_bytes);
+  if (!view.ok() || !view.HasChunk("sim.time")) {
+    return false;
+  }
+  ArchiveReader meta(view.Chunk("sim.time"));
+  const SimTime saved_at = meta.Read<SimTime>();
+  const SimTime request_time = meta.Read<SimTime>();
+  const SimTime suspended_at = meta.Read<SimTime>();
+  const uint64_t recorded_image_bytes = meta.Read<uint64_t>();
+  const uint64_t residual = meta.Read<uint64_t>();
+  const uint64_t saver_bytes = meta.Read<uint64_t>();
+  if (!meta.ok()) {
+    return false;
+  }
+
+  // Rewind: every event the freshly booted experiment scheduled is dropped;
+  // components re-arm their own events (at absolute saved deadlines) as
+  // they restore, and the resume pass arms the frozen guest timers.
+  sim_->ResetForRestore(saved_at);
+  for (Checkpointable* component : Components()) {
+    view.RestoreInto(*component);
+  }
+  rng_.Restore(meta);
+
+  current_ = LocalCheckpointRecord{};
+  current_.participant = node_->name();
+  current_.request_time = request_time;
+  current_.suspended_at = suspended_at;
+  current_.saved_at = saved_at;
+  current_.image_bytes = recorded_image_bytes;
+  residual_dirty_ = residual;
+  saver_.RestoreImageBytes(saver_bytes);
+  last_image_ = std::make_shared<const std::vector<uint8_t>>(image_bytes);
+
+  in_progress_ = true;
+  hold_after_save_ = true;  // a restored run has no saved-callback to fire
+  held_ = true;
+  saved_cb_ = nullptr;
+  return true;
+}
+
+void LocalCheckpointEngine::ResumeRestored() { ResumeNow(); }
+
 void LocalCheckpointEngine::OnStateSaved() {
   current_.saved_at = sim_->Now();
   current_.image_bytes = saver_.last_image_bytes() + node_->kernel().StateSizeBytes();
+  // Capture point: the composite image is serialized inside the suspended
+  // window, after the memory image is saved and before any resume.
+  BuildCompositeImage();
   if (hold_after_save_) {
     held_ = true;
     if (saved_cb_) {

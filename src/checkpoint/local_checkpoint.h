@@ -21,10 +21,13 @@
 #define TCSIM_SRC_CHECKPOINT_LOCAL_CHECKPOINT_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/checkpoint/participant.h"
 #include "src/guest/node.h"
+#include "src/sim/checkpointable.h"
+#include "src/sim/image.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/xen/hypervisor.h"
@@ -82,6 +85,37 @@ class LocalCheckpointEngine : public CheckpointParticipant {
   const CheckpointPolicy& policy() const { return policy_; }
   bool in_progress() const { return in_progress_; }
 
+  // --- Universal checkpoint-image layer ----------------------------------------
+  //
+  // Every checkpoint serializes the node's component list into a versioned
+  // chunked container (src/sim/image.h) at the capture point — inside the
+  // suspended window, after the memory image is saved and before resume.
+  // Restore applies such an image to a freshly built experiment: rewind the
+  // simulator to the saved instant, overwrite each component's data state
+  // from its chunk, and run the ordinary atomic-resume path. Closures are
+  // never serialized; components re-register their own events (the
+  // DMTCP-plugin-style discipline of src/sim/checkpointable.h).
+
+  // Appends an extra component (typically workload progress state) after
+  // the node's own components. Call before the first checkpoint.
+  void AddCheckpointable(Checkpointable* component);
+
+  // The composite image captured by the last completed save; null before
+  // the first checkpoint. Shared, so time-travel tree nodes can retain
+  // thousands of images cheaply.
+  std::shared_ptr<const std::vector<uint8_t>> last_image() const { return last_image_; }
+
+  // Applies a composite image to this engine's (freshly built, running)
+  // experiment and leaves it suspended-held at the saved instant. Returns
+  // false without touching the run if the container is malformed (bad
+  // magic, unsupported version, truncated, or CRC mismatch) or the engine
+  // metadata chunk is missing. Components without a matching chunk keep
+  // their freshly built state (forward compatibility).
+  bool RestoreImage(const std::vector<uint8_t>& image_bytes);
+
+  // Resumes a run primed by RestoreImage — the O(image) restore path.
+  void ResumeRestored();
+
  private:
   // Phase entry points.
   void BeginPreCopy(SimTime suspend_at_physical);
@@ -89,6 +123,13 @@ class LocalCheckpointEngine : public CheckpointParticipant {
   void DrainAndSave();
   void OnStateSaved();
   void AtomicResume();
+
+  // The node's components plus registered extras, built on first use.
+  const std::vector<Checkpointable*>& Components();
+
+  // Serializes all components into the composite container and publishes it
+  // as last_image(). Called at the capture point of every checkpoint.
+  void BuildCompositeImage();
 
   Simulator* sim_;
   ExperimentNode* node_;
@@ -103,6 +144,11 @@ class LocalCheckpointEngine : public CheckpointParticipant {
   LocalCheckpointRecord current_;
   std::function<void(const LocalCheckpointRecord&)> saved_cb_;
   std::vector<LocalCheckpointRecord> history_;
+
+  bool components_built_ = false;
+  std::vector<Checkpointable*> components_;
+  std::vector<Checkpointable*> extra_components_;
+  std::shared_ptr<const std::vector<uint8_t>> last_image_;
 };
 
 }  // namespace tcsim

@@ -47,6 +47,7 @@ void HardwareClock::StartNtp() {
     return;
   }
   ntp_running_ = true;
+  ntp_next_poll_ = sim_->Now() + params_.ntp_poll_interval;
   ntp_event_ = sim_->Schedule(params_.ntp_poll_interval, [this] { NtpPoll(); });
 }
 
@@ -85,7 +86,35 @@ void HardwareClock::NtpPoll() {
   slew_rate_ = -params_.ntp_gain * static_cast<double>(measured) /
                static_cast<double>(params_.ntp_poll_interval);
   error_history_.Add(ToMicroseconds(CurrentError()));
+  ntp_next_poll_ = sim_->Now() + params_.ntp_poll_interval;
   ntp_event_ = sim_->Schedule(params_.ntp_poll_interval, [this] { NtpPoll(); });
+}
+
+void HardwareClock::SaveState(ArchiveWriter* w) const {
+  w->Write<double>(drift_);
+  w->Write<double>(slew_rate_);
+  w->Write<SimTime>(offset_);
+  w->Write<SimTime>(ref_);
+  w->Write<uint8_t>(ntp_running_ ? 1 : 0);
+  w->Write<SimTime>(ntp_next_poll_);
+  rng_.Save(w);
+}
+
+void HardwareClock::RestoreState(ArchiveReader& r) {
+  drift_ = r.Read<double>();
+  slew_rate_ = r.Read<double>();
+  offset_ = r.Read<SimTime>();
+  ref_ = r.Read<SimTime>();
+  ntp_running_ = r.Read<uint8_t>() != 0;
+  ntp_next_poll_ = r.Read<SimTime>();
+  rng_.Restore(r);
+  ntp_event_.Cancel();
+  if (ntp_running_ && r.ok()) {
+    // Re-arm the discipline loop at its saved absolute deadline so the
+    // restored timeline polls (and draws jitter) at the instants the
+    // original would have.
+    ntp_event_ = sim_->ScheduleAt(ntp_next_poll_, [this] { NtpPoll(); });
+  }
 }
 
 }  // namespace tcsim

@@ -16,6 +16,7 @@
 #include <functional>
 #include <string>
 
+#include "src/sim/checkpointable.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/invariants.h"
 #include "src/sim/random.h"
@@ -54,7 +55,7 @@ struct ClockParams {
 // A disciplined per-node clock. LocalNow() is what gettimeofday-style reads
 // on the node's *host* (hypervisor) return; guest virtual time is layered on
 // top of this by the Xen model.
-class HardwareClock {
+class HardwareClock : public Checkpointable {
  public:
   HardwareClock(Simulator* sim, Rng rng, ClockParams params);
 
@@ -94,6 +95,13 @@ class HardwareClock {
 
   const ClockParams& params() const { return params_; }
 
+  // Checkpointable: the discipline state (offset, drift, slew, rebase anchor)
+  // and the NTP rng round-trip; the poll event is re-armed at its saved
+  // absolute deadline on restore.
+  std::string checkpoint_id() const override { return "clock"; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
+
  private:
   void NtpPoll();
 
@@ -109,6 +117,7 @@ class HardwareClock {
   SimTime offset_ = 0;      // phase error at ref_
   SimTime ref_ = 0;         // physical time of last rebase
   bool ntp_running_ = false;
+  SimTime ntp_next_poll_ = 0;  // absolute physical time of the pending poll
   EventHandle ntp_event_;
   Samples error_history_;
 };

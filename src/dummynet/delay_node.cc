@@ -31,9 +31,47 @@ void DelayNode::Resume() {
 
 std::vector<uint8_t> DelayNode::SaveState() const {
   ArchiveWriter w;
-  pipe_ab_->Save(&w);
-  pipe_ba_->Save(&w);
+  SaveState(&w);
   return w.Take();
+}
+
+void DelayNode::SaveState(ArchiveWriter* w) const {
+  // The clock is a nested blob so the in-place resume path can skip it:
+  // the node's clock keeps running during a suspension, and rewinding its
+  // NTP discipline would break local-clock monotonicity.
+  ArchiveWriter clock_chunk;
+  clock_.SaveState(&clock_chunk);
+  w->WriteVector(clock_chunk.data());
+  const bool has_pipes = pipe_ab_ != nullptr && pipe_ba_ != nullptr;
+  w->Write<uint8_t>(has_pipes ? 1 : 0);
+  if (has_pipes) {
+    pipe_ab_->Save(w);
+    pipe_ba_->Save(w);
+  }
+}
+
+void DelayNode::RestoreState(ArchiveReader& r) {
+  const std::vector<uint8_t> clock_blob = r.ReadVector<uint8_t>();
+  ArchiveReader clock_reader(clock_blob);
+  clock_.RestoreState(clock_reader);
+  const bool has_pipes = r.Read<uint8_t>() != 0;
+  if (has_pipes && pipe_ab_ && pipe_ba_ && r.ok()) {
+    pipe_ab_->ResetForRestore();
+    pipe_ab_->Restore(r, /*credit_ingress=*/true);
+    pipe_ba_->ResetForRestore();
+    pipe_ba_->Restore(r, /*credit_ingress=*/true);
+  }
+}
+
+void DelayNode::ApplyImageInPlace(ArchiveReader& r) {
+  r.ReadVector<uint8_t>();  // clock chunk: the live clock stays authoritative
+  const bool has_pipes = r.Read<uint8_t>() != 0;
+  if (has_pipes && pipe_ab_ && pipe_ba_ && r.ok()) {
+    pipe_ab_->ResetForRestore();
+    pipe_ab_->Restore(r, /*credit_ingress=*/false);
+    pipe_ba_->ResetForRestore();
+    pipe_ba_->Restore(r, /*credit_ingress=*/false);
+  }
 }
 
 void DelayNode::RegisterInvariants(InvariantRegistry* reg) {

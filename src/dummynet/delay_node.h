@@ -10,6 +10,7 @@
 #include "src/clock/hardware_clock.h"
 #include "src/dummynet/pipe.h"
 #include "src/sim/archive.h"
+#include "src/sim/checkpointable.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 
@@ -22,7 +23,7 @@ namespace tcsim {
 // checkpoint like any other node — it has its own NTP-disciplined clock and
 // suspends at the scheduled instant — but checkpoints only its Dummynet
 // state rather than a whole VM image.
-class DelayNode {
+class DelayNode : public Checkpointable {
  public:
   DelayNode(Simulator* sim, Rng rng, std::string name, ClockParams clock_params);
 
@@ -47,6 +48,16 @@ class DelayNode {
 
   // Serializes the Dummynet state — the delay-node checkpoint image.
   std::vector<uint8_t> SaveState() const;
+
+  // Checkpointable: the node's NTP-disciplined clock plus both pipe
+  // directions. RestoreState targets a freshly built node (ingress is
+  // credited for the reconstructed packets); ApplyImageInPlace re-applies a
+  // held image to this same node on resume, where the packets were already
+  // counted at original ingress.
+  std::string checkpoint_id() const override { return "dummynet." + name_; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
+  void ApplyImageInPlace(ArchiveReader& r);
 
   // In-flight packets currently captured in the node.
   size_t PacketsHeld() const;

@@ -18,7 +18,15 @@ void WritePacket(ArchiveWriter* w, const Packet& pkt) {
   w->Write(pkt.dst_port);
   w->Write(pkt.proto);
   w->Write(pkt.size_bytes);
-  w->Write(pkt.tcp);
+  // TcpHeader fields are written individually: struct padding bytes are
+  // not deterministic and would break bit-identical image round-trips.
+  w->Write(pkt.tcp.seq);
+  w->Write(pkt.tcp.ack);
+  w->Write(pkt.tcp.payload_len);
+  w->Write(pkt.tcp.window);
+  w->Write<uint8_t>(pkt.tcp.syn ? 1 : 0);
+  w->Write<uint8_t>(pkt.tcp.fin ? 1 : 0);
+  w->Write<uint8_t>(pkt.tcp.is_retransmit ? 1 : 0);
   w->Write(pkt.first_sent);
 }
 
@@ -31,7 +39,13 @@ Packet ReadPacket(ArchiveReader& r) {
   pkt.dst_port = r.Read<uint16_t>();
   pkt.proto = r.Read<Protocol>();
   pkt.size_bytes = r.Read<uint32_t>();
-  pkt.tcp = r.Read<TcpHeader>();
+  pkt.tcp.seq = r.Read<uint64_t>();
+  pkt.tcp.ack = r.Read<uint64_t>();
+  pkt.tcp.payload_len = r.Read<uint32_t>();
+  pkt.tcp.window = r.Read<uint32_t>();
+  pkt.tcp.syn = r.Read<uint8_t>() != 0;
+  pkt.tcp.fin = r.Read<uint8_t>() != 0;
+  pkt.tcp.is_retransmit = r.Read<uint8_t>() != 0;
   pkt.first_sent = r.Read<SimTime>();
   return pkt;
 }
@@ -181,9 +195,26 @@ void Pipe::Save(ArchiveWriter* w) const {
   for (const Packet& pkt : queue_) {
     WritePacket(w, pkt);
   }
+
+  // Shaping rng: loss draws after a restore must match the draws the
+  // original run would have made, or a restored run diverges from a
+  // from-scratch replay on lossy links.
+  rng_.Save(w);
+  w->Write(next_transit_id_);
 }
 
-void Pipe::Restore(ArchiveReader& r) {
+void Pipe::ResetForRestore() {
+  tx_event_.Cancel();
+  tx_active_ = false;
+  tx_remaining_ = 0;
+  queue_.clear();
+  for (InTransit& t : delay_line_) {
+    t.event.Cancel();
+  }
+  delay_line_.clear();
+}
+
+void Pipe::Restore(ArchiveReader& r, bool credit_ingress) {
   assert(!tx_active_ && queue_.empty() && delay_line_.empty());
   config_.bandwidth_bps = r.Read<uint64_t>();
   config_.delay = r.Read<SimTime>();
@@ -191,29 +222,58 @@ void Pipe::Restore(ArchiveReader& r) {
   config_.queue_limit_packets = static_cast<size_t>(r.Read<uint64_t>());
 
   const bool had_tx = r.Read<uint8_t>() != 0;
-  if (had_tx) {
-    ++ingress_total_;
+  if (had_tx && r.ok()) {
     tx_active_ = true;
     tx_packet_ = ReadPacket(r);
     tx_remaining_ = r.Read<SimTime>();
-    tx_done_at_ = sim_->Now() + tx_remaining_;
-    tx_event_ = sim_->ScheduleAt(tx_done_at_, [this] { OnTransmitDone(); });
+    if (suspended_) {
+      // Resume() arms the transmit-done event from tx_remaining_.
+    } else {
+      tx_done_at_ = sim_->Now() + tx_remaining_;
+      tx_event_ = sim_->ScheduleAt(tx_done_at_, [this] { OnTransmitDone(); });
+    }
   }
 
   const uint64_t n_transit = r.Read<uint64_t>();
-  for (uint64_t i = 0; i < n_transit; ++i) {
+  for (uint64_t i = 0; i < n_transit && r.ok(); ++i) {
     Packet pkt = ReadPacket(r);
     const SimTime remaining = r.Read<SimTime>();
-    ScheduleDelivery(pkt, remaining);
+    if (!r.ok()) {
+      break;
+    }
+    if (suspended_) {
+      // Hold the packet with its remaining delay; Resume() schedules it.
+      InTransit transit;
+      transit.id = next_transit_id_++;
+      transit.pkt = pkt;
+      transit.due = 0;
+      transit.remaining = remaining;
+      delay_line_.push_back(std::move(transit));
+    } else {
+      ScheduleDelivery(pkt, remaining);
+    }
   }
 
   const uint64_t n_queued = r.Read<uint64_t>();
-  for (uint64_t i = 0; i < n_queued; ++i) {
-    queue_.push_back(ReadPacket(r));
+  for (uint64_t i = 0; i < n_queued && r.ok(); ++i) {
+    Packet pkt = ReadPacket(r);
+    if (r.ok()) {
+      queue_.push_back(std::move(pkt));
+    }
   }
-  // Restored packets entered this pipe's accounting via the archive, not
-  // HandlePacket — credit them so the conservation audit stays balanced.
-  ingress_total_ += n_transit + n_queued;
+
+  rng_.Restore(r);
+  if (const uint64_t next_id = r.Read<uint64_t>(); r.ok()) {
+    next_transit_id_ = std::max(next_transit_id_, next_id);
+  }
+
+  if (credit_ingress) {
+    // Restored packets entered this pipe's accounting via the archive, not
+    // HandlePacket — credit them so the conservation audit stays balanced.
+    // Skipped when the image is re-applied in place over state this pipe
+    // already counted at original ingress.
+    ingress_total_ += PacketsHeld();
+  }
   StartTransmissionIfIdle();
 }
 

@@ -62,12 +62,24 @@ class Pipe : public PacketHandler {
   bool suspended() const { return suspended_; }
 
   // Serializes the pipe state (config + queued and in-flight packet
-  // metadata). This is the delay-node checkpoint image.
+  // metadata + shaping rng and counters). This is the delay-node
+  // checkpoint image.
   void Save(ArchiveWriter* w) const;
 
-  // Restores a state saved by Save() into an idle pipe. Packets resume with
-  // the remaining delays they had at save time.
-  void Restore(ArchiveReader& r);
+  // Restores a state saved by Save() into an idle (or reset) pipe. Packets
+  // resume with the remaining delays they had at save time. While the pipe
+  // is suspended, remaining times are stored without scheduling events —
+  // Resume() arms them. `credit_ingress` credits the reconstructed packets
+  // to the ingress counter; pass false when restoring in place over state
+  // this pipe already counted (the delay-node resume-from-image path),
+  // true when populating a fresh pipe.
+  void Restore(ArchiveReader& r, bool credit_ingress = true);
+
+  // Clears the shaping stages (queue, transmission, delay line) so a held
+  // image can be re-applied in place. The suspend-time ingress log and the
+  // counters are preserved: packets logged during the suspension were
+  // already counted, and will be ingested by Resume() after the restore.
+  void ResetForRestore();
 
   const PipeConfig& config() const { return config_; }
   void set_sink(PacketHandler* sink) { sink_ = sink; }

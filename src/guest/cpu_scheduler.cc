@@ -64,6 +64,29 @@ void CpuScheduler::Reschedule() {
   completion_event_ = sim_->Schedule(until_done, [this] { OnCompletion(); });
 }
 
+std::vector<SimTime> CpuScheduler::JobRemainders() const {
+  std::vector<SimTime> out;
+  out.reserve(jobs_.size());
+  for (const Job& job : jobs_) {
+    out.push_back(job.remaining);
+  }
+  return out;
+}
+
+void CpuScheduler::SaveState(ArchiveWriter* w) const {
+  w->Write<double>(capacity_);
+  w->Write<uint8_t>(suspended_ ? 1 : 0);
+  w->Write<SimTime>(last_update_);
+}
+
+void CpuScheduler::RestoreState(ArchiveReader& r) {
+  capacity_ = r.Read<double>();
+  suspended_ = r.Read<uint8_t>() != 0;
+  last_update_ = r.Read<SimTime>();
+  completion_event_.Cancel();
+  jobs_.clear();
+}
+
 void CpuScheduler::OnCompletion() {
   ChargeProgress();
   // Complete every job that has (numerically) finished.

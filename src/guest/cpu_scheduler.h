@@ -15,15 +15,17 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <vector>
 
 #include "src/guest/firewall.h"
+#include "src/sim/checkpointable.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
 
 namespace tcsim {
 
-class CpuScheduler {
+class CpuScheduler : public Checkpointable {
  public:
   explicit CpuScheduler(Simulator* sim) : sim_(sim) {}
 
@@ -44,6 +46,17 @@ class CpuScheduler {
   bool suspended() const { return suspended_; }
   size_t runnable_jobs() const { return jobs_.size(); }
   double capacity() const { return capacity_; }
+
+  // Remaining work (at full speed) of each queued job, in queue order. Job
+  // owners persist these in their own chunks and re-submit via Run() during
+  // restore — completion closures never cross the image boundary.
+  std::vector<SimTime> JobRemainders() const;
+
+  // Checkpointable: scheduler bookkeeping only. RestoreState drops any jobs
+  // the freshly built experiment enqueued; owners re-register theirs.
+  std::string checkpoint_id() const override { return "guest.cpu"; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
 
  private:
   struct Job {

@@ -70,6 +70,13 @@ class TemporalFirewall {
     return false;
   }
 
+  // Checkpoint support: reinstalls engagement state and enforcement
+  // accounting captured in an image.
+  void RestoreForCheckpoint(bool engaged, uint64_t deferred_count) {
+    engaged_ = engaged;
+    deferred_count_ = deferred_count;
+  }
+
   // Number of inside-firewall dispatch attempts refused while engaged.
   // A correct suspend protocol stops all inside activity *sources* first,
   // so in practice this stays near zero; any nonzero value is activity the

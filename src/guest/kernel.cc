@@ -227,6 +227,76 @@ void GuestKernel::ResumeInsideActivities() {
   }
 }
 
+TimerHandle GuestKernel::RestoreFrozenTimer(SimTime virtual_deadline,
+                                            ActivityClass cls,
+                                            std::function<void()> fn) {
+  const uint64_t id = next_timer_id_++;
+  GuestTimer timer;
+  timer.virtual_deadline = virtual_deadline;
+  timer.cls = cls;
+  timer.fn = std::move(fn);
+  timer.state = std::make_shared<TimerState>();
+  TimerHandle handle(timer.state);
+  // No simulator event: the restored kernel is suspended, and the resume
+  // pass schedules every frozen inside-firewall timer.
+  timers_.emplace(id, std::move(timer));
+  return handle;
+}
+
+void GuestKernel::SaveState(ArchiveWriter* w) const {
+  w->Write<uint8_t>(suspended_ ? 1 : 0);
+  w->Write<uint8_t>(firewall_.engaged() ? 1 : 0);
+  w->Write<uint64_t>(firewall_.deferred_count());
+  w->Write<uint64_t>(next_timer_id_);
+  w->Write<uint64_t>(activity_counter_);
+  w->Write<uint64_t>(inside_activity_counter_);
+  w->Write<uint64_t>(engaged_runs_.size());
+  for (const auto& [cls, runs] : engaged_runs_) {
+    w->Write<uint8_t>(static_cast<uint8_t>(cls));
+    w->Write<uint64_t>(runs);
+  }
+  w->Write<SimTime>(resume_timer_latency_);
+  resume_latency_rng_.Save(w);
+  w->Write<uint8_t>(block_frontend_ != nullptr ? 1 : 0);
+  if (block_frontend_ != nullptr) {
+    w->Write<uint64_t>(block_frontend_->in_flight_);
+    w->Write<uint8_t>(block_frontend_->quiescing_ ? 1 : 0);
+    w->Write<uint8_t>(block_frontend_->quiesced_ ? 1 : 0);
+  }
+}
+
+void GuestKernel::RestoreState(ArchiveReader& r) {
+  suspended_ = r.Read<uint8_t>() != 0;
+  const bool engaged = r.Read<uint8_t>() != 0;
+  const uint64_t deferred = r.Read<uint64_t>();
+  firewall_.RestoreForCheckpoint(engaged, deferred);
+  next_timer_id_ = r.Read<uint64_t>();
+  activity_counter_ = r.Read<uint64_t>();
+  inside_activity_counter_ = r.Read<uint64_t>();
+  engaged_runs_.clear();
+  const uint64_t n_classes = r.Read<uint64_t>();
+  for (uint64_t i = 0; i < n_classes && r.ok(); ++i) {
+    const auto cls = static_cast<ActivityClass>(r.Read<uint8_t>());
+    engaged_runs_[cls] = r.Read<uint64_t>();
+  }
+  resume_timer_latency_ = r.Read<SimTime>();
+  resume_latency_rng_.Restore(r);
+  // The freshly built experiment booted its own timers and queues; every
+  // entry is replaced by what the owners re-register during their restores.
+  for (auto& [id, timer] : timers_) {
+    timer.sim_event.Cancel();
+  }
+  timers_.clear();
+  deferred_dispatches_.clear();
+  if (r.Read<uint8_t>() != 0 && block_frontend_ != nullptr) {
+    block_frontend_->in_flight_ = r.Read<uint64_t>();
+    block_frontend_->quiescing_ = r.Read<uint8_t>() != 0;
+    block_frontend_->quiesced_ = r.Read<uint8_t>() != 0;
+    block_frontend_->deferred_completions_.clear();
+    block_frontend_->drained_cb_ = nullptr;
+  }
+}
+
 uint64_t GuestKernel::StateSizeBytes() const {
   uint64_t bytes = 4096;  // static kernel control state
   bytes += timers_.size() * 64;

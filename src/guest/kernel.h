@@ -22,6 +22,7 @@
 #include "src/guest/firewall.h"
 #include "src/net/stack.h"
 #include "src/net/timer_host.h"
+#include "src/sim/checkpointable.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/storage/block_device.h"
@@ -59,7 +60,15 @@ class BlockFrontend : public BlockDevice {
 
   void set_backend(BlockDevice* backend) { backend_ = backend; }
 
+  // Re-registers a completion callback that was deferred behind the firewall
+  // when the image was captured. Owners call this during restore (deferred
+  // closures are not serialized); Unquiesce() delivers them at resume.
+  void RestoreDeferredCompletion(std::function<void()> deliver) {
+    deferred_completions_.push_back(std::move(deliver));
+  }
+
  private:
+  friend class GuestKernel;
   void OnCompletion(std::function<void()> deliver);
 
   GuestKernel* kernel_;
@@ -71,7 +80,7 @@ class BlockFrontend : public BlockDevice {
   std::deque<std::function<void()>> deferred_completions_;
 };
 
-class GuestKernel : public TimerHost {
+class GuestKernel : public TimerHost, public Checkpointable {
  public:
   GuestKernel(Simulator* sim, Domain* domain, std::string name);
 
@@ -116,6 +125,10 @@ class GuestKernel : public TimerHost {
 
   TimerHandle ScheduleVirtual(SimTime delay, std::function<void()> fn) override {
     return ScheduleActivity(delay, ActivityClass::kTimer, std::move(fn));
+  }
+
+  TimerHandle RestoreTimerAtVirtual(SimTime deadline, std::function<void()> fn) override {
+    return RestoreFrozenTimer(deadline, ActivityClass::kTimer, std::move(fn));
   }
 
   // Schedules a timer with an explicit activity class (outside-firewall
@@ -164,6 +177,20 @@ class GuestKernel : public TimerHost {
 
   // Approximate kernel state size for checkpoint image accounting.
   uint64_t StateSizeBytes() const;
+
+  // Re-creates a frozen timer from a checkpoint image: the entry carries its
+  // saved virtual deadline but no simulator event — ResumeInsideActivities
+  // arms it exactly as it does the original frozen timers. Owners call this
+  // during restore (timer closures are not serialized).
+  TimerHandle RestoreFrozenTimer(SimTime virtual_deadline, ActivityClass cls,
+                                 std::function<void()> fn);
+
+  // Checkpointable: firewall + suspension flags, activity accounting and the
+  // block-frontend drain state. Timer entries, deferred dispatches and
+  // deferred completions are dropped and re-registered by their owners.
+  std::string checkpoint_id() const override { return "guest.kernel"; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
 
  private:
   friend class BlockFrontend;

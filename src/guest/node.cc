@@ -46,7 +46,31 @@ ExperimentNode::ExperimentNode(Simulator* sim, Rng rng, NodeConfig config)
   hypervisor_.SetCapacityListener(
       [this](double capacity) { kernel_->cpu().SetCapacity(capacity); });
 
+  // Stable per-instance chunk ids for the composite node image.
+  experimental_nic_->SetCheckpointId("net.nic.expt");
+  control_nic_->SetCheckpointId("net.nic.ctrl");
+  dom0_control_nic_->SetCheckpointId("net.nic.dom0");
+  dom0_stack_->SetCheckpointId("net.stack.dom0");
+  data_disk_.SetCheckpointId("storage.disk.data");
+  snapshot_disk_.SetCheckpointId("storage.disk.snapshot");
+
   clock_.StartNtp();
+}
+
+void ExperimentNode::AppendCheckpointables(std::vector<Checkpointable*>* out) {
+  out->push_back(&clock_);
+  out->push_back(&hypervisor_);
+  out->push_back(domain_);
+  out->push_back(kernel_.get());
+  out->push_back(&kernel_->cpu());
+  out->push_back(net_);
+  out->push_back(experimental_nic_);
+  out->push_back(control_nic_);
+  out->push_back(dom0_stack_.get());
+  out->push_back(dom0_control_nic_);
+  out->push_back(&data_disk_);
+  out->push_back(&snapshot_disk_);
+  out->push_back(&store_);
 }
 
 void ExperimentNode::RegisterInvariants(InvariantRegistry* reg) {

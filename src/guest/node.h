@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/clock/hardware_clock.h"
 #include "src/guest/kernel.h"
@@ -85,6 +86,11 @@ class ExperimentNode {
   // conservation, suspended-guest quiescence, frozen-domain virtual-clock
   // stasis, and zero inside-firewall leakage while engaged.
   void RegisterInvariants(InvariantRegistry* reg);
+
+  // Appends this node's checkpointable components in restore order. Order
+  // matters: the kernel clears its timer table and job queues before the
+  // layers that re-register timers (network stack, workloads) are restored.
+  void AppendCheckpointables(std::vector<Checkpointable*>* out);
 
   Disk& data_disk() { return data_disk_; }
   Disk& snapshot_disk() { return snapshot_disk_; }

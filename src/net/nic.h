@@ -9,6 +9,7 @@
 
 #include "src/net/packet.h"
 #include "src/net/wire.h"
+#include "src/sim/checkpointable.h"
 #include "src/sim/invariants.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
@@ -22,9 +23,13 @@ namespace tcsim {
 // preserved (Section 3.2). The extra delay each logged packet experienced is
 // recorded — it is bounded by the checkpoint synchronization error plus the
 // checkpoint downtime.
-class Nic : public PacketHandler {
+class Nic : public PacketHandler, public Checkpointable {
  public:
   Nic(Simulator* sim, NodeId addr) : sim_(sim), addr_(addr) {}
+
+  // Names this interface's chunk in a composite node image (a node owns
+  // several NICs, so ids like "net.nic.expt" are assigned by the owner).
+  void SetCheckpointId(std::string id) { checkpoint_id_ = std::move(id); }
 
   NodeId addr() const { return addr_; }
 
@@ -71,6 +76,14 @@ class Nic : public PacketHandler {
   // packets: replay instant minus original arrival.
   const Samples& replay_delays() const { return replay_delays_; }
 
+  // Checkpointable: suspend flag, conservation counters, and the suspend
+  // log's packet headers + arrival stamps. Application payloads (shared
+  // pointers) do not cross the image boundary; replayed packets restored
+  // from an image carry headers only.
+  std::string checkpoint_id() const override { return checkpoint_id_; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
+
  private:
   struct LoggedPacket {
     Packet pkt;
@@ -79,6 +92,7 @@ class Nic : public PacketHandler {
 
   Simulator* sim_;
   NodeId addr_;
+  std::string checkpoint_id_ = "net.nic";
   Wire* tx_ = nullptr;
   std::function<void(const Packet&)> receiver_;
   bool suspended_ = false;

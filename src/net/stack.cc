@@ -101,6 +101,42 @@ void NetworkStack::OnReceive(const Packet& pkt) {
   }
 }
 
+void NetworkStack::SaveState(ArchiveWriter* w) const {
+  w->Write<uint16_t>(next_ephemeral_port_);
+  w->Write<uint64_t>(next_packet_id_);
+  w->Write<uint64_t>(connections_.size());
+  for (const auto& [key, conn] : connections_) {
+    w->Write<NodeId>(key.peer);
+    w->Write<uint16_t>(key.peer_port);
+    w->Write<uint16_t>(key.local_port);
+    ArchiveWriter sub;
+    conn->Save(&sub);
+    w->WriteVector(sub.data());
+  }
+}
+
+void NetworkStack::RestoreState(ArchiveReader& r) {
+  next_ephemeral_port_ = r.Read<uint16_t>();
+  next_packet_id_ = r.Read<uint64_t>();
+  const uint64_t n = r.Read<uint64_t>();
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    ConnKey key;
+    key.peer = r.Read<NodeId>();
+    key.peer_port = r.Read<uint16_t>();
+    key.local_port = r.Read<uint16_t>();
+    const std::vector<uint8_t> blob = r.ReadVector<uint8_t>();
+    if (!r.ok()) {
+      break;
+    }
+    auto it = connections_.find(key);
+    if (it == connections_.end()) {
+      continue;  // endpoint the fresh experiment did not re-create
+    }
+    ArchiveReader sub(blob);
+    it->second->Restore(sub);
+  }
+}
+
 std::vector<TcpConnection*> NetworkStack::Connections() const {
   std::vector<TcpConnection*> out;
   out.reserve(connections_.size());

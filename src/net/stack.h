@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "src/net/packet.h"
 #include "src/net/tcp.h"
 #include "src/net/timer_host.h"
+#include "src/sim/checkpointable.h"
 #include "src/sim/simulator.h"
 
 namespace tcsim {
@@ -21,7 +23,7 @@ namespace tcsim {
 // The transport layer of one node. Owns the node's NICs and live TCP
 // connections; demultiplexes inbound packets to UDP handlers and TCP
 // endpoints; routes outbound packets to the correct interface.
-class NetworkStack {
+class NetworkStack : public Checkpointable {
  public:
   NetworkStack(Simulator* sim, TimerHost* timers, NodeId addr);
 
@@ -74,6 +76,19 @@ class NetworkStack {
   // All live TCP connections (diagnostics; aggregate state sizing).
   std::vector<TcpConnection*> Connections() const;
 
+  // Names this stack's chunk in a composite node image (a node owns both a
+  // guest stack and a dom0 stack, so unique ids are assigned by the owner).
+  void SetCheckpointId(std::string id) { checkpoint_id_ = std::move(id); }
+
+  // Checkpointable: port/packet-id allocators plus one nested blob per live
+  // TCP connection, keyed by (peer, peer port, local port). Restore matches
+  // blobs to the connections the freshly built experiment created — an
+  // unmatched blob is skipped (its endpoint's callbacks cannot be rebuilt
+  // here), keeping restore forward compatible with topology changes.
+  std::string checkpoint_id() const override { return checkpoint_id_; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
+
  private:
   struct Listener {
     std::function<void(TcpConnection*)> on_accept;
@@ -107,6 +122,7 @@ class NetworkStack {
   std::unordered_map<uint16_t, std::function<void(const Packet&)>> udp_handlers_;
   std::unordered_map<uint16_t, Listener> tcp_listeners_;
   std::map<ConnKey, std::unique_ptr<TcpConnection>> connections_;
+  std::string checkpoint_id_ = "net.stack";
   uint16_t next_ephemeral_port_ = 40000;
   uint64_t next_packet_id_ = 1;
 };

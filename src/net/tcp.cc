@@ -167,6 +167,8 @@ void TcpConnection::TrySend() {
   // nothing in flight to clock us, probe periodically.
   if (peer_window_ == 0 && in_flight_.empty() && snd_nxt_ < stream_end_) {
     rto_timer_.Cancel();
+    rto_kind_ = RtoKind::kWindowProbe;
+    rto_deadline_v_ = timers_->VirtualNow() + rto_;
     rto_timer_ = timers_->ScheduleVirtual(rto_, [this] {
       SendAck();  // window probe
       TrySend();
@@ -176,6 +178,8 @@ void TcpConnection::TrySend() {
 
 void TcpConnection::ArmRto() {
   rto_timer_.Cancel();
+  rto_kind_ = RtoKind::kRto;
+  rto_deadline_v_ = timers_->VirtualNow() + rto_;
   rto_timer_ = timers_->ScheduleVirtual(rto_, [this] { OnRto(); });
 }
 
@@ -234,6 +238,137 @@ void TcpConnection::OnRto() {
   RetransmitFirstUnacked();
   rto_ = std::min<SimTime>(rto_ * 2, params_.max_rto);
   ArmRto();
+}
+
+void TcpConnection::Save(ArchiveWriter* w) const {
+  w->Write<uint8_t>(static_cast<uint8_t>(state_));
+  w->Write<uint64_t>(snd_una_);
+  w->Write<uint64_t>(snd_nxt_);
+  w->Write<uint64_t>(stream_end_);
+  w->Write<uint8_t>(fin_queued_ ? 1 : 0);
+  w->Write<uint8_t>(fin_sent_ ? 1 : 0);
+  w->Write<double>(cwnd_);
+  w->Write<double>(ssthresh_);
+  w->Write<uint32_t>(peer_window_);
+  w->Write<uint32_t>(dup_ack_count_);
+  w->Write<uint8_t>(in_recovery_ ? 1 : 0);
+  w->Write<uint64_t>(recovery_point_);
+  w->Write<uint64_t>(in_flight_.size());
+  for (const InFlightSegment& seg : in_flight_) {
+    w->Write<uint64_t>(seg.seq);
+    w->Write<uint32_t>(seg.len);
+    w->Write<SimTime>(seg.sent_vtime);
+    w->Write<uint8_t>(seg.retransmitted ? 1 : 0);
+  }
+  w->Write<uint64_t>(outgoing_messages_.size());
+  for (const auto& [end_seq, msg] : outgoing_messages_) {
+    w->Write<uint64_t>(end_seq);
+  }
+  w->Write<SimTime>(srtt_);
+  w->Write<SimTime>(rttvar_);
+  w->Write<SimTime>(rto_);
+  w->Write<uint8_t>(have_rtt_ ? 1 : 0);
+  w->Write<uint8_t>(rto_timer_.pending() ? static_cast<uint8_t>(rto_kind_) : 0);
+  w->Write<SimTime>(rto_deadline_v_);
+  w->Write<uint64_t>(rcv_nxt_);
+  w->Write<uint64_t>(delivered_up_to_);
+  w->Write<uint64_t>(out_of_order_.size());
+  for (const auto& [seq, len] : out_of_order_) {
+    w->Write<uint64_t>(seq);
+    w->Write<uint32_t>(len);
+  }
+  w->Write<uint64_t>(ooo_bytes_);
+  w->Write<uint8_t>(peer_fin_received_ ? 1 : 0);
+  w->Write<uint64_t>(peer_fin_seq_);
+  w->Write<uint64_t>(incoming_messages_.size());
+  for (const auto& [end_seq, msg] : incoming_messages_) {
+    w->Write<uint64_t>(end_seq);
+  }
+  w->Write<uint64_t>(stats_.segments_sent);
+  w->Write<uint64_t>(stats_.segments_received);
+  w->Write<uint64_t>(stats_.retransmits);
+  w->Write<uint64_t>(stats_.fast_retransmits);
+  w->Write<uint64_t>(stats_.timeouts);
+  w->Write<uint64_t>(stats_.dup_acks_received);
+  w->Write<uint64_t>(stats_.bytes_acked);
+  w->Write<uint64_t>(stats_.bytes_delivered);
+  w->Write<uint64_t>(stats_.window_changes);
+  w->Write<uint32_t>(last_peer_window_seen_);
+}
+
+void TcpConnection::Restore(ArchiveReader& r) {
+  state_ = static_cast<State>(r.Read<uint8_t>());
+  snd_una_ = r.Read<uint64_t>();
+  snd_nxt_ = r.Read<uint64_t>();
+  stream_end_ = r.Read<uint64_t>();
+  fin_queued_ = r.Read<uint8_t>() != 0;
+  fin_sent_ = r.Read<uint8_t>() != 0;
+  cwnd_ = r.Read<double>();
+  ssthresh_ = r.Read<double>();
+  peer_window_ = r.Read<uint32_t>();
+  dup_ack_count_ = r.Read<uint32_t>();
+  in_recovery_ = r.Read<uint8_t>() != 0;
+  recovery_point_ = r.Read<uint64_t>();
+  in_flight_.clear();
+  const uint64_t n_flight = r.Read<uint64_t>();
+  for (uint64_t i = 0; i < n_flight && r.ok(); ++i) {
+    InFlightSegment seg;
+    seg.seq = r.Read<uint64_t>();
+    seg.len = r.Read<uint32_t>();
+    seg.sent_vtime = r.Read<SimTime>();
+    seg.retransmitted = r.Read<uint8_t>() != 0;
+    in_flight_.push_back(seg);
+  }
+  // Message records restore with their stream offsets only; the payload
+  // objects lived on the saved timeline and are not reconstructable here.
+  outgoing_messages_.clear();
+  const uint64_t n_out = r.Read<uint64_t>();
+  for (uint64_t i = 0; i < n_out && r.ok(); ++i) {
+    outgoing_messages_[r.Read<uint64_t>()] = FramedMessage{nullptr};
+  }
+  srtt_ = r.Read<SimTime>();
+  rttvar_ = r.Read<SimTime>();
+  rto_ = r.Read<SimTime>();
+  have_rtt_ = r.Read<uint8_t>() != 0;
+  const auto rto_kind = static_cast<RtoKind>(r.Read<uint8_t>());
+  rto_deadline_v_ = r.Read<SimTime>();
+  rcv_nxt_ = r.Read<uint64_t>();
+  delivered_up_to_ = r.Read<uint64_t>();
+  out_of_order_.clear();
+  const uint64_t n_ooo = r.Read<uint64_t>();
+  for (uint64_t i = 0; i < n_ooo && r.ok(); ++i) {
+    const uint64_t seq = r.Read<uint64_t>();
+    out_of_order_[seq] = r.Read<uint32_t>();
+  }
+  ooo_bytes_ = r.Read<uint64_t>();
+  peer_fin_received_ = r.Read<uint8_t>() != 0;
+  peer_fin_seq_ = r.Read<uint64_t>();
+  incoming_messages_.clear();
+  const uint64_t n_in = r.Read<uint64_t>();
+  for (uint64_t i = 0; i < n_in && r.ok(); ++i) {
+    incoming_messages_[r.Read<uint64_t>()] = FramedMessage{nullptr};
+  }
+  stats_.segments_sent = r.Read<uint64_t>();
+  stats_.segments_received = r.Read<uint64_t>();
+  stats_.retransmits = r.Read<uint64_t>();
+  stats_.fast_retransmits = r.Read<uint64_t>();
+  stats_.timeouts = r.Read<uint64_t>();
+  stats_.dup_acks_received = r.Read<uint64_t>();
+  stats_.bytes_acked = r.Read<uint64_t>();
+  stats_.bytes_delivered = r.Read<uint64_t>();
+  stats_.window_changes = r.Read<uint64_t>();
+  last_peer_window_seen_ = r.Read<uint32_t>();
+
+  rto_timer_.Cancel();
+  rto_kind_ = r.ok() ? rto_kind : RtoKind::kNone;
+  if (r.ok() && rto_kind != RtoKind::kNone) {
+    auto fire = rto_kind == RtoKind::kRto ? std::function<void()>([this] { OnRto(); })
+                                          : std::function<void()>([this] {
+                                              SendAck();
+                                              TrySend();
+                                            });
+    rto_timer_ = timers_->RestoreTimerAtVirtual(rto_deadline_v_, std::move(fire));
+  }
 }
 
 void TcpConnection::HandleSegment(const Packet& pkt) {

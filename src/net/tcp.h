@@ -22,6 +22,7 @@
 
 #include "src/net/packet.h"
 #include "src/net/timer_host.h"
+#include "src/sim/archive.h"
 #include "src/sim/time.h"
 
 namespace tcsim {
@@ -114,6 +115,14 @@ class TcpConnection {
   // buffered data — the state a memory checkpoint must capture.
   uint64_t StateSizeBytes() const;
 
+  // Serializes / restores the full protocol control block: sequence space,
+  // congestion state, RTO machinery (re-armed at its absolute virtual
+  // deadline), reassembly buffer and stats. Framed-message records keep only
+  // their stream offsets — payload objects do not cross the image boundary.
+  // The stack frames these per-connection blobs inside its own chunk.
+  void Save(ArchiveWriter* w) const;
+  void Restore(ArchiveReader& r);
+
   // --- Stack interface ------------------------------------------------------
 
   // Demultiplexed segment arrival (called by NetworkStack).
@@ -183,6 +192,11 @@ class TcpConnection {
   SimTime rto_;
   bool have_rtt_ = false;
   TimerHandle rto_timer_;
+  // What rto_timer_ will do when it fires, and when (absolute virtual time);
+  // tracked as data so a checkpoint image can re-arm the timer on restore.
+  enum class RtoKind : uint8_t { kNone = 0, kRto = 1, kWindowProbe = 2 };
+  RtoKind rto_kind_ = RtoKind::kNone;
+  SimTime rto_deadline_v_ = 0;
 
   // Receiver state.
   uint64_t rcv_nxt_ = 1;

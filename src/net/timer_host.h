@@ -58,6 +58,14 @@ class TimerHost {
   // suspended in between, the remaining delay is preserved across the
   // suspension (transparent mode) or elapses during it (baseline mode).
   virtual TimerHandle ScheduleVirtual(SimTime delay, std::function<void()> fn) = 0;
+
+  // Re-creates a timer captured in a checkpoint image at an absolute virtual
+  // deadline. Checkpointable hosts override this to re-register the timer as
+  // frozen (their resume pass arms it); the default arms it directly.
+  virtual TimerHandle RestoreTimerAtVirtual(SimTime deadline, std::function<void()> fn) {
+    const SimTime now = VirtualNow();
+    return ScheduleVirtual(deadline > now ? deadline - now : 0, std::move(fn));
+  }
 };
 
 // TimerHost running directly on physical simulator time. Used for components

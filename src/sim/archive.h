@@ -6,11 +6,15 @@
 // memory image plus the serialized device/Dummynet state. Archives are also
 // what stateful swap-out ships to the Emulab file server and what time-travel
 // keeps in its checkpoint tree.
+//
+// ArchiveReader never trusts its input: every read is bounds-checked, and a
+// short or corrupt image trips a sticky error flag (ok() == false) instead of
+// reading out of bounds. Reads after an error return value-initialized
+// results, so restore loops must check ok() rather than assume progress.
 
 #ifndef TCSIM_SRC_SIM_ARCHIVE_H_
 #define TCSIM_SRC_SIM_ARCHIVE_H_
 
-#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -45,6 +49,11 @@ class ArchiveWriter {
     data_.insert(data_.end(), p, p + v.size() * sizeof(T));
   }
 
+  // Writes raw bytes without a length prefix (the caller frames them).
+  void WriteBytes(const uint8_t* p, size_t n) {
+    data_.insert(data_.end(), p, p + n);
+  }
+
   // Size of the serialized image so far, in bytes.
   size_t size() const { return data_.size(); }
 
@@ -57,17 +66,21 @@ class ArchiveWriter {
   std::vector<uint8_t> data_;
 };
 
-// Sequential binary reader over an archive image.
+// Sequential binary reader over an archive image. Does not own the bytes; the
+// backing vector must outlive the reader.
 class ArchiveReader {
  public:
   explicit ArchiveReader(const std::vector<uint8_t>& data) : data_(data) {}
 
-  // Reads a trivially-copyable value written by ArchiveWriter::Write.
+  // Reads a trivially-copyable value written by ArchiveWriter::Write. Returns
+  // a value-initialized T and sets the error flag if the image is truncated.
   template <typename T>
   T Read() {
     static_assert(std::is_trivially_copyable_v<T>, "Archive requires POD types");
-    assert(pos_ + sizeof(T) <= data_.size());
-    T value;
+    T value{};
+    if (!CheckAvailable(sizeof(T))) {
+      return value;
+    }
     std::memcpy(&value, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return value;
@@ -76,7 +89,9 @@ class ArchiveReader {
   // Reads a string written by WriteString.
   std::string ReadString() {
     const uint64_t n = Read<uint64_t>();
-    assert(pos_ + n <= data_.size());
+    if (!CheckAvailable(n)) {
+      return std::string();
+    }
     std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
     pos_ += n;
     return s;
@@ -87,19 +102,59 @@ class ArchiveReader {
   std::vector<T> ReadVector() {
     static_assert(std::is_trivially_copyable_v<T>, "Archive requires POD types");
     const uint64_t n = Read<uint64_t>();
-    assert(pos_ + n * sizeof(T) <= data_.size());
+    // Guard the multiply: a corrupt count must not overflow to a small byte
+    // total and pass the bounds check below.
+    if (!ok_ || n > (data_.size() - pos_) / sizeof(T)) {
+      Fail();
+      return {};
+    }
     std::vector<T> v(n);
     std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
     return v;
   }
 
-  // True once every byte has been consumed.
-  bool AtEnd() const { return pos_ == data_.size(); }
+  // Reads exactly `n` raw bytes (framed by the caller).
+  std::vector<uint8_t> ReadBytes(size_t n) {
+    if (!CheckAvailable(n)) {
+      return {};
+    }
+    std::vector<uint8_t> v(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return v;
+  }
+
+  // Skips `n` bytes (e.g. an unknown chunk's payload).
+  void Skip(size_t n) {
+    if (CheckAvailable(n)) {
+      pos_ += n;
+    }
+  }
+
+  // True while every read so far stayed inside the image. Sticky: once a read
+  // runs past the end (truncated or corrupt image), all later reads fail too.
+  bool ok() const { return ok_; }
+
+  // Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+
+  // True once every byte has been consumed (and no read has failed).
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
 
  private:
+  bool CheckAvailable(uint64_t n) {
+    if (!ok_ || n > data_.size() - pos_) {
+      Fail();
+      return false;
+    }
+    return true;
+  }
+
+  void Fail() { ok_ = false; }
+
   const std::vector<uint8_t>& data_;
   size_t pos_ = 0;
+  bool ok_ = true;
 };
 
 }  // namespace tcsim

@@ -22,6 +22,14 @@ EventHandle EventQueue::Push(SimTime t, std::function<void()> fn) {
   return EventHandle(std::move(state));
 }
 
+void EventQueue::Clear() {
+  while (!heap_.empty()) {
+    const_cast<Entry&>(heap_.top()).state->cancelled = true;
+    heap_.pop();
+  }
+  size_ = 0;
+}
+
 void EventQueue::SkipCancelled() const {
   while (!heap_.empty() && heap_.top().state->cancelled) {
     heap_.pop();

@@ -65,6 +65,12 @@ class EventQueue {
   // Number of live events currently queued.
   size_t Size() const { return size_; }
 
+  // Discards every pending event (marking outstanding handles as cancelled).
+  // Used when a fresh simulator state is installed from a checkpoint image:
+  // components re-arm their own events during restore. The sequence counter
+  // and digest are NOT reset — they keep fingerprinting the whole run.
+  void Clear();
+
   // Determinism digest over every dispatched event's (time, sequence) pair,
   // in dispatch order. Two same-seed runs of one scenario must agree on this
   // value after any equal number of steps (see src/sim/digest.h).

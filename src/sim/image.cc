@@ -1,0 +1,127 @@
+#include "src/sim/image.h"
+
+#include <utility>
+
+#include "src/sim/archive.h"
+
+namespace tcsim {
+namespace {
+
+// Lazily built table for the reflected IEEE CRC-32.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void CheckpointImageBuilder::AddChunk(const std::string& id,
+                                      std::vector<uint8_t> payload) {
+  chunks_.emplace_back(id, std::move(payload));
+}
+
+void CheckpointImageBuilder::Add(const Checkpointable& c) {
+  ArchiveWriter w;
+  c.SaveState(&w);
+  AddChunk(c.checkpoint_id(), w.Take());
+}
+
+std::vector<uint8_t> CheckpointImageBuilder::Serialize() const {
+  ArchiveWriter w;
+  w.Write<uint32_t>(kImageMagic);
+  w.Write<uint32_t>(kImageFormatVersion);
+  w.Write<uint64_t>(chunks_.size());
+  for (const auto& [id, payload] : chunks_) {
+    w.WriteString(id);
+    w.Write<uint64_t>(payload.size());
+    w.Write<uint32_t>(Crc32(payload));
+    w.WriteBytes(payload.data(), payload.size());
+  }
+  return w.Take();
+}
+
+CheckpointImageView::CheckpointImageView(const std::vector<uint8_t>& image) {
+  ArchiveReader r(image);
+  const uint32_t magic = r.Read<uint32_t>();
+  if (!r.ok() || magic != kImageMagic) {
+    Fail("bad magic");
+    return;
+  }
+  version_ = r.Read<uint32_t>();
+  if (!r.ok() || version_ != kImageFormatVersion) {
+    Fail("unsupported format version " + std::to_string(version_));
+    return;
+  }
+  const uint64_t count = r.Read<uint64_t>();
+  if (!r.ok()) {
+    Fail("truncated header");
+    return;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::string id = r.ReadString();
+    const uint64_t len = r.Read<uint64_t>();
+    const uint32_t crc = r.Read<uint32_t>();
+    if (!r.ok() || len > r.remaining()) {
+      Fail("truncated chunk table");
+      return;
+    }
+    std::vector<uint8_t> payload = r.ReadBytes(len);
+    if (!r.ok()) {
+      Fail("truncated chunk payload");
+      return;
+    }
+    if (Crc32(payload) != crc) {
+      Fail("CRC mismatch in chunk '" + id + "'");
+      return;
+    }
+    // Later duplicates lose; ids are unique in well-formed images.
+    chunks_.emplace(id, std::move(payload));
+  }
+  ok_ = true;
+}
+
+void CheckpointImageView::Fail(const std::string& why) {
+  ok_ = false;
+  error_ = why;
+  chunks_.clear();
+}
+
+bool CheckpointImageView::HasChunk(const std::string& id) const {
+  return ok_ && chunks_.count(id) != 0;
+}
+
+const std::vector<uint8_t>& CheckpointImageView::Chunk(
+    const std::string& id) const {
+  return chunks_.at(id);
+}
+
+bool CheckpointImageView::RestoreInto(Checkpointable& c) const {
+  const std::string id = c.checkpoint_id();
+  if (!HasChunk(id)) {
+    return false;
+  }
+  ArchiveReader r(Chunk(id));
+  c.RestoreState(r);
+  return r.ok();
+}
+
+}  // namespace tcsim

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/sim/archive.h"
+
 namespace tcsim {
 namespace {
 
@@ -84,5 +86,21 @@ double Rng::Normal(double mean, double stddev) {
 }
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
+
+void Rng::Save(ArchiveWriter* w) const {
+  for (uint64_t s : s_) {
+    w->Write<uint64_t>(s);
+  }
+  w->Write<uint8_t>(have_cached_normal_ ? 1 : 0);
+  w->Write<double>(cached_normal_);
+}
+
+void Rng::Restore(ArchiveReader& r) {
+  for (auto& s : s_) {
+    s = r.Read<uint64_t>();
+  }
+  have_cached_normal_ = r.Read<uint8_t>() != 0;
+  cached_normal_ = r.Read<double>();
+}
 
 }  // namespace tcsim

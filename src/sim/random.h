@@ -12,6 +12,9 @@
 
 namespace tcsim {
 
+class ArchiveWriter;
+class ArchiveReader;
+
 // xoshiro256** generator seeded via SplitMix64. Small, fast and adequate for
 // simulation workloads; deliberately not cryptographic.
 class Rng {
@@ -42,6 +45,12 @@ class Rng {
   // Derives an independent child generator; used to give each subsystem its
   // own stream so that adding draws in one subsystem does not perturb others.
   Rng Fork();
+
+  // Checkpoint support: the generator's full state (xoshiro words plus the
+  // Box-Muller cache) round-trips through an archive, so a restored run draws
+  // the exact sequence the original would have drawn.
+  void Save(ArchiveWriter* w) const;
+  void Restore(ArchiveReader& r);
 
  private:
   uint64_t s_[4];

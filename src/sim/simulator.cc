@@ -32,6 +32,11 @@ void Simulator::RunUntil(SimTime t) {
   }
 }
 
+void Simulator::ResetForRestore(SimTime t) {
+  queue_.Clear();
+  now_ = t;
+}
+
 bool Simulator::Step() {
   if (queue_.Empty()) {
     return false;

@@ -50,6 +50,13 @@ class Simulator {
   // Number of events currently pending.
   size_t pending_events() const { return queue_.Size(); }
 
+  // Prepares the simulator to receive a checkpoint image captured at time
+  // `t`: discards every pending event and jumps the clock to `t` (forward or
+  // backward). Components re-arm their own events while restoring; see
+  // Checkpointable. The event digest keeps accumulating across the reset —
+  // it fingerprints the whole process run, not one timeline.
+  void ResetForRestore(SimTime t);
+
   // Running determinism digest: an FNV-1a hash over every event dispatched so
   // far (its time and queue sequence number, in dispatch order). Running the
   // same scenario twice with the same seed must yield identical digests; any

@@ -215,4 +215,63 @@ uint64_t BranchStore::LiveDeltaBlocks() const {
   return live;
 }
 
+namespace {
+
+// Writes an extent map in sorted block order: unordered_map iteration order
+// is not stable across processes, and images must be bit-reproducible.
+void SaveExtentMap(ArchiveWriter* w,
+                   const std::unordered_map<uint64_t, BranchStore::Extent>& map) {
+  std::vector<uint64_t> blocks;
+  blocks.reserve(map.size());
+  for (const auto& [block, extent] : map) {
+    blocks.push_back(block);
+  }
+  std::sort(blocks.begin(), blocks.end());
+  w->Write<uint64_t>(blocks.size());
+  for (uint64_t block : blocks) {
+    const BranchStore::Extent& extent = map.at(block);
+    w->Write<uint64_t>(block);
+    w->Write<uint64_t>(extent.content);
+    w->Write<uint64_t>(extent.slot);
+  }
+}
+
+void RestoreExtentMap(ArchiveReader& r,
+                      std::unordered_map<uint64_t, BranchStore::Extent>* map) {
+  map->clear();
+  const uint64_t n = r.Read<uint64_t>();
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    const uint64_t block = r.Read<uint64_t>();
+    BranchStore::Extent extent;
+    extent.content = r.Read<uint64_t>();
+    extent.slot = r.Read<uint64_t>();
+    if (r.ok()) {
+      (*map)[block] = extent;
+    }
+  }
+}
+
+}  // namespace
+
+void BranchStore::SaveState(ArchiveWriter* w) const {
+  SaveExtentMap(w, aggregated_);
+  SaveExtentMap(w, current_);
+  w->Write<uint64_t>(log_head_);
+  w->Write<uint64_t>(agg_next_slot_);
+  std::vector<uint64_t> regions(initialized_meta_regions_.begin(),
+                                initialized_meta_regions_.end());
+  std::sort(regions.begin(), regions.end());
+  w->WriteVector(regions);
+}
+
+void BranchStore::RestoreState(ArchiveReader& r) {
+  RestoreExtentMap(r, &aggregated_);
+  RestoreExtentMap(r, &current_);
+  log_head_ = r.Read<uint64_t>();
+  agg_next_slot_ = r.Read<uint64_t>();
+  const std::vector<uint64_t> regions = r.ReadVector<uint64_t>();
+  initialized_meta_regions_.clear();
+  initialized_meta_regions_.insert(regions.begin(), regions.end());
+}
+
 }  // namespace tcsim

@@ -27,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/sim/checkpointable.h"
 #include "src/storage/block_device.h"
 #include "src/storage/disk.h"
 
@@ -51,7 +52,7 @@ class RawDisk : public BlockDevice {
 };
 
 // The branching store.
-class BranchStore : public BlockDevice {
+class BranchStore : public BlockDevice, public Checkpointable {
  public:
   enum class WriteMode {
     kRedoLog,           // our modified LVM: append-only log, no read-before-write
@@ -108,12 +109,23 @@ class BranchStore : public BlockDevice {
   enum class Level { kCurrent, kAggregated, kGolden };
   Level ResolveLevel(uint64_t block) const;
 
- private:
+  // A delta-level mapping entry: logical content plus the physical slot it
+  // occupies within the level's disk area. Public for serialization helpers.
   struct Extent {
     uint64_t content;
     uint64_t slot;  // physical slot within the level's disk area
   };
 
+  // Checkpointable: both delta levels (extent maps, written in sorted block
+  // order for bit-stable images), allocator heads and the touched metadata
+  // regions. The golden image is immutable and deliberately excluded — the
+  // restore target rebuilds it the same way the original node did, which is
+  // what keeps per-checkpoint images O(delta), not O(disk).
+  std::string checkpoint_id() const override { return "storage.branch"; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
+
+ private:
   // Disk layout (block addresses on the physical disk).
   uint64_t GoldenBase() const { return 0; }
   uint64_t AggregatedBase() const { return size_blocks_; }

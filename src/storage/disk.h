@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 
+#include "src/sim/checkpointable.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
 
@@ -34,9 +35,13 @@ struct DiskParams {
 
 // FIFO-service disk with asynchronous completion callbacks. Offsets and
 // lengths are in blocks.
-class Disk {
+class Disk : public Checkpointable {
  public:
   Disk(Simulator* sim, DiskParams params) : sim_(sim), params_(params) {}
+
+  // Names this disk's chunk in a composite node image (a node owns several
+  // disks, so ids like "storage.disk.data" are assigned by the owner).
+  void SetCheckpointId(std::string id) { checkpoint_id_ = std::move(id); }
 
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
@@ -57,6 +62,29 @@ class Disk {
 
   const DiskParams& params() const { return params_; }
 
+  // Checkpointable: head position and accounting counters. Captured only at
+  // quiescent points (the checkpoint engine drains block I/O first), so the
+  // request queue is empty by construction and is not serialized.
+  std::string checkpoint_id() const override { return checkpoint_id_; }
+  void SaveState(ArchiveWriter* w) const override {
+    w->Write<uint64_t>(head_pos_);
+    w->Write<uint64_t>(blocks_read_);
+    w->Write<uint64_t>(blocks_written_);
+    w->Write<uint64_t>(seeks_);
+    w->Write<uint64_t>(short_seeks_);
+    w->Write<SimTime>(busy_time_);
+  }
+  void RestoreState(ArchiveReader& r) override {
+    head_pos_ = r.Read<uint64_t>();
+    blocks_read_ = r.Read<uint64_t>();
+    blocks_written_ = r.Read<uint64_t>();
+    seeks_ = r.Read<uint64_t>();
+    short_seeks_ = r.Read<uint64_t>();
+    busy_time_ = r.Read<SimTime>();
+    busy_ = false;
+    queue_.clear();
+  }
+
  private:
   struct Request {
     bool write;
@@ -69,6 +97,7 @@ class Disk {
 
   Simulator* sim_;
   DiskParams params_;
+  std::string checkpoint_id_ = "storage.disk";
   std::deque<Request> queue_;
   bool busy_ = false;
   uint64_t head_pos_ = 0;  // block address just past the last transfer

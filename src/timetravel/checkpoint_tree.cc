@@ -14,13 +14,15 @@ std::vector<int> TimeTravelTree::RunSegment(ReplayableRun* run, SimTime base, Si
   SimTime next = base + interval;
   while (next <= until) {
     run->AdvanceTo(next);
+    const CheckpointCapture cap = run->CaptureCheckpoint();
     TreeNode node;
     node.id = static_cast<int>(nodes_.size());
     node.parent = parent;
     node.branch = branch;
     node.time = next;
-    node.image_bytes = run->CaptureCheckpoint();
-    node.digest = run->StateDigest();
+    node.image_bytes = cap.image_bytes;
+    node.digest = cap.digest;
+    node.image = cap.image;
     parent = node.id;
     nodes_.push_back(node);
     ids.push_back(node.id);
@@ -37,13 +39,15 @@ std::vector<int> TimeTravelTree::RecordOriginalRun(SimTime until, SimTime interv
   return RunSegment(active_.get(), active_->Now(), until, interval, /*parent=*/-1, branch);
 }
 
-std::unique_ptr<ReplayableRun> TimeTravelTree::RebuildTo(int checkpoint_id) {
+TimeTravelTree::Rebuilt TimeTravelTree::RebuildTo(int checkpoint_id) {
   assert(checkpoint_id >= 0 && checkpoint_id < static_cast<int>(nodes_.size()));
   // Only checkpoints on the original (unperturbed) branch can be rebuilt by
   // plain re-execution; perturbed branches would need their perturbation
   // schedule replayed, which the recording in `nodes_` doesn't retain.
+  // (Image restore has no such restriction: the perturbed workload rng is
+  // part of the image.)
   assert(nodes_[checkpoint_id].branch == 0 &&
-         "rollback target must lie on the original run");
+         "re-execution rollback target must lie on the original run");
 
   // Collect the root -> target checkpoint path.
   std::vector<int> path;
@@ -54,17 +58,38 @@ std::unique_ptr<ReplayableRun> TimeTravelTree::RebuildTo(int checkpoint_id) {
 
   // Re-execute, re-taking each checkpoint at its recorded instant so the
   // reconstruction experiences the same perturbations the original did.
-  auto run = factory_();
+  Rebuilt rebuilt;
+  rebuilt.run = factory_();
   for (int id : path) {
-    run->AdvanceTo(nodes_[id].time);
-    run->CaptureCheckpoint();
+    rebuilt.run->AdvanceTo(nodes_[id].time);
+    rebuilt.last = rebuilt.run->CaptureCheckpoint();
   }
-  return run;
+  return rebuilt;
+}
+
+std::unique_ptr<ReplayableRun> TimeTravelTree::RestoreTo(int checkpoint_id,
+                                                         RestoreMode mode) {
+  assert(checkpoint_id >= 0 && checkpoint_id < static_cast<int>(nodes_.size()));
+  const TreeNode& target = nodes_[checkpoint_id];
+  if (mode != RestoreMode::kReexecute && target.image != nullptr) {
+    // O(image) path: build a fresh experiment and overwrite its state from
+    // the recorded composite image. No prefix re-execution.
+    auto run = factory_();
+    const std::optional<uint64_t> digest = run->RestoreFromImage(*target.image);
+    if (digest.has_value()) {
+      return run;
+    }
+    assert(mode != RestoreMode::kImage && "run type rejected the recorded image");
+  } else {
+    assert(mode != RestoreMode::kImage && "no image recorded for this checkpoint");
+  }
+  return std::move(RebuildTo(checkpoint_id).run);
 }
 
 std::vector<int> TimeTravelTree::ReplayFrom(int checkpoint_id, SimTime until,
-                                            SimTime interval, uint64_t perturb_seed) {
-  auto run = RebuildTo(checkpoint_id);
+                                            SimTime interval, uint64_t perturb_seed,
+                                            RestoreMode mode) {
+  auto run = RestoreTo(checkpoint_id, mode);
   if (perturb_seed != 0) {
     run->Perturb(perturb_seed);
   }
@@ -77,8 +102,20 @@ std::vector<int> TimeTravelTree::ReplayFrom(int checkpoint_id, SimTime until,
 }
 
 bool TimeTravelTree::VerifyDeterministicReplay(int checkpoint_id) {
-  auto run = RebuildTo(checkpoint_id);
-  return run->StateDigest() == nodes_[checkpoint_id].digest;
+  // Compare the capture digests: both are sampled at the resume instant of
+  // the target checkpoint, on the original run and on the re-execution.
+  return RebuildTo(checkpoint_id).last.digest == nodes_[checkpoint_id].digest;
+}
+
+bool TimeTravelTree::VerifyImageRestore(int checkpoint_id) {
+  assert(checkpoint_id >= 0 && checkpoint_id < static_cast<int>(nodes_.size()));
+  const TreeNode& target = nodes_[checkpoint_id];
+  if (target.image == nullptr) {
+    return false;
+  }
+  auto run = factory_();
+  const std::optional<uint64_t> digest = run->RestoreFromImage(*target.image);
+  return digest.has_value() && *digest == target.digest;
 }
 
 SimTime TimeTravelTree::EstimateRestoreTime(int checkpoint_id,

@@ -4,8 +4,9 @@
 // creates a new branch in the execution history, so sessions form a tree
 // whose internal nodes are checkpoints and whose leaves are checkpoints or
 // active executions. Branching storage keeps thousands of tree nodes cheap;
-// here each node records its image size (from the checkpoint machinery) and
-// a state digest (for determinism verification).
+// each node records its image size, a state digest (for determinism
+// verification) and a shared handle on the composite checkpoint image, so
+// rollback restores in O(image) instead of re-executing the prefix.
 
 #ifndef TCSIM_SRC_TIMETRAVEL_CHECKPOINT_TREE_H_
 #define TCSIM_SRC_TIMETRAVEL_CHECKPOINT_TREE_H_
@@ -28,6 +29,16 @@ struct TreeNode {
   SimTime time = 0;      // simulator time of the checkpoint
   uint64_t image_bytes = 0;
   uint64_t digest = 0;
+  // The serialized composite image; null when the run type only supports
+  // restore by re-execution. Shared, so thousands of nodes stay cheap.
+  std::shared_ptr<const std::vector<uint8_t>> image;
+};
+
+// How ReplayFrom reconstructs the state at the branch point.
+enum class RestoreMode {
+  kAuto,       // image restore when an image is recorded, else re-execute
+  kImage,      // require image restore (asserts the image exists and applies)
+  kReexecute,  // force deterministic re-execution from t=0
 };
 
 class TimeTravelTree {
@@ -47,11 +58,18 @@ class TimeTravelTree {
   // deterministically; nonzero applies relaxed-determinism perturbation at
   // the branch point. Returns the new branch's checkpoint ids.
   std::vector<int> ReplayFrom(int checkpoint_id, SimTime until, SimTime interval,
-                              uint64_t perturb_seed);
+                              uint64_t perturb_seed,
+                              RestoreMode mode = RestoreMode::kAuto);
 
   // Re-executes to `checkpoint_id` and checks the state digest matches the
   // recorded one — the determinism guarantee rollback relies on.
   bool VerifyDeterministicReplay(int checkpoint_id);
+
+  // Restores `checkpoint_id`'s image into a fresh run and checks the
+  // post-resume digest matches the recorded one — image restore and
+  // re-execution reconstruct the same state. False if the node has no image
+  // or the digests differ.
+  bool VerifyImageRestore(int checkpoint_id);
 
   // Models the paper's restore path: time to load the images on the rollback
   // path from the local snapshot disk at `disk_rate_bytes_per_sec`.
@@ -62,11 +80,23 @@ class TimeTravelTree {
   ReplayableRun* active_run() { return active_.get(); }
 
  private:
+  struct Rebuilt {
+    std::unique_ptr<ReplayableRun> run;
+    // The capture re-taken at the target checkpoint. Its digest is sampled
+    // at the resume instant (inside the checkpoint-done callback), the same
+    // instant the recorded digest and a restored run's digest measure.
+    CheckpointCapture last;
+  };
+
   // Rebuilds a run and re-executes it through checkpoint `checkpoint_id`,
   // *re-taking every checkpoint on the path*: checkpoints perturb the
   // system (downtime, dirty-set churn), so a faithful reconstruction must
   // replay the checkpoint schedule, not just the workload.
-  std::unique_ptr<ReplayableRun> RebuildTo(int checkpoint_id);
+  Rebuilt RebuildTo(int checkpoint_id);
+
+  // Reconstructs the state at `checkpoint_id` per `mode`: apply the
+  // recorded image to a fresh run (O(image)), or fall back to RebuildTo.
+  std::unique_ptr<ReplayableRun> RestoreTo(int checkpoint_id, RestoreMode mode);
 
   // Runs `run` until `until` with checkpoints at base + k*interval,
   // appending nodes under `parent` on branch `branch`.

@@ -76,19 +76,23 @@ uint64_t DistributedExperimentRun::StateDigest() const {
   return h;
 }
 
-uint64_t DistributedExperimentRun::CaptureCheckpoint() {
-  uint64_t image = 0;
+CheckpointCapture DistributedExperimentRun::CaptureCheckpoint() {
+  CheckpointCapture cap;
   bool done = false;
   experiment_->coordinator().CheckpointScheduled(
       100 * kMillisecond, [&](const DistributedCheckpointRecord& rec) {
-        image = rec.TotalImageBytes();
+        cap.image_bytes = rec.TotalImageBytes();
+        cap.captured_at = sim_.Now();
+        // Sampled at the coordinated save point — the same deterministic
+        // instant a re-execution's re-taken capture samples.
+        cap.digest = StateDigest();
         done = true;
       });
   const SimTime deadline = sim_.Now() + 120 * kSecond;
   while (!done && sim_.Now() < deadline) {
     sim_.RunUntil(sim_.Now() + 10 * kMillisecond);
   }
-  return image;
+  return cap;
 }
 
 void DistributedExperimentRun::Perturb(uint64_t seed) {

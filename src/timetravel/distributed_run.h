@@ -39,7 +39,11 @@ class DistributedExperimentRun : public ReplayableRun {
   void AdvanceTo(SimTime t) override { sim_.RunUntil(t); }
   SimTime Now() const override { return sim_.Now(); }
   uint64_t StateDigest() const override;
-  uint64_t CaptureCheckpoint() override;
+  // The capture's image handle stays null: a coordinated multi-node image
+  // would need per-node composite images plus in-flight link state, so this
+  // run restores by deterministic re-execution (RestoreMode::kAuto falls
+  // back automatically).
+  CheckpointCapture CaptureCheckpoint() override;
   void Perturb(uint64_t seed) override;
 
   // Observables.

@@ -1,22 +1,37 @@
 // Abstraction over a re-runnable experiment for time travel.
 //
 // Substitution note (see DESIGN.md): the paper restores a checkpoint by
-// loading saved memory/disk images, because re-executing physical hardware
-// to a past state is impossible. This simulator is fully deterministic given
-// its seeds, so "restoring checkpoint k" is implemented by re-executing the
-// experiment from t=0 to checkpoint k's time — which reconstructs the
-// *identical* state by construction (verified via StateDigest). Checkpoint
-// image sizes and restore transfer times are still modelled from the storage
-// layer, so the cost accounting matches the paper's mechanism.
+// loading saved memory/disk images. Since the universal checkpoint-image
+// layer landed, this simulator does the same: every capture serializes the
+// experiment's components into a versioned composite image
+// (src/sim/image.h), and RestoreFromImage applies that image to a freshly
+// built experiment — an O(image) operation, independent of how deep into the
+// run the checkpoint was taken. Deterministic re-execution from t=0 remains
+// available as a fallback restore path (runs are deterministic given their
+// seeds) and as the oracle that *verifies* image restore: a restored run and
+// a from-scratch replay must agree on StateDigest() at the same instant.
 
 #ifndef TCSIM_SRC_TIMETRAVEL_REPLAYABLE_RUN_H_
 #define TCSIM_SRC_TIMETRAVEL_REPLAYABLE_RUN_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "src/sim/time.h"
 
 namespace tcsim {
+
+// What one checkpoint capture produced: the image-size accounting the tree
+// records, the post-resume state digest, and (when the run supports image
+// restore) a shared handle on the serialized composite image itself.
+struct CheckpointCapture {
+  uint64_t image_bytes = 0;  // modelled memory+device image size
+  uint64_t digest = 0;       // StateDigest() immediately after resume
+  SimTime captured_at = 0;   // simulator time the state was saved
+  std::shared_ptr<const std::vector<uint8_t>> image;  // null: re-execute only
+};
 
 // One live instance of an experiment under time-travel control.
 class ReplayableRun {
@@ -33,9 +48,19 @@ class ReplayableRun {
   // reconstructs identical states and that perturbed replay diverges.
   virtual uint64_t StateDigest() const = 0;
 
-  // Takes a checkpoint of the running experiment; returns the image size in
-  // bytes. Called at the tree's checkpoint instants.
-  virtual uint64_t CaptureCheckpoint() = 0;
+  // Takes a checkpoint of the running experiment. Called at the tree's
+  // checkpoint instants; the returned capture is recorded in the tree node.
+  virtual CheckpointCapture CaptureCheckpoint() = 0;
+
+  // Applies a composite checkpoint image to this (freshly built, never
+  // advanced) run and resumes it at the image's saved instant. Returns the
+  // post-resume StateDigest() on success, nullopt if this run type does not
+  // support image restore or the image is rejected. Default: unsupported.
+  virtual std::optional<uint64_t> RestoreFromImage(
+      const std::vector<uint8_t>& image_bytes) {
+    (void)image_bytes;
+    return std::nullopt;
+  }
 
   // Applies a perturbation from this instant on (relaxed-determinism replay:
   // mutate state, reseed workload randomness, skew timings). A seed of 0

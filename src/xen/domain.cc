@@ -100,4 +100,32 @@ void Domain::ClearDirtyBytes(uint64_t bytes) {
   dirty_bytes_ -= std::min(dirty_bytes_, bytes);
 }
 
+void Domain::SaveState(ArchiveWriter* w) const {
+  w->Write<uint8_t>(time_frozen_ ? 1 : 0);
+  w->Write<SimTime>(virtual_offset_);
+  w->Write<SimTime>(frozen_virtual_);
+  w->Write<uint8_t>(runstate_active_ ? 1 : 0);
+  w->Write<SimTime>(runstate_.running);
+  w->Write<SimTime>(runstate_.runnable);
+  w->Write<SimTime>(runstate_.blocked);
+  w->Write<SimTime>(runstate_.offline);
+  w->Write<SimTime>(last_runstate_update_);
+  w->Write<uint64_t>(dirty_bytes_);
+  w->Write<SimTime>(last_dirty_accrual_);
+}
+
+void Domain::RestoreState(ArchiveReader& r) {
+  time_frozen_ = r.Read<uint8_t>() != 0;
+  virtual_offset_ = r.Read<SimTime>();
+  frozen_virtual_ = r.Read<SimTime>();
+  runstate_active_ = r.Read<uint8_t>() != 0;
+  runstate_.running = r.Read<SimTime>();
+  runstate_.runnable = r.Read<SimTime>();
+  runstate_.blocked = r.Read<SimTime>();
+  runstate_.offline = r.Read<SimTime>();
+  last_runstate_update_ = r.Read<SimTime>();
+  dirty_bytes_ = r.Read<uint64_t>();
+  last_dirty_accrual_ = r.Read<SimTime>();
+}
+
 }  // namespace tcsim

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/clock/hardware_clock.h"
+#include "src/sim/checkpointable.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
 
@@ -40,7 +41,7 @@ struct RunstateCounters {
   SimTime offline = 0;
 };
 
-class Domain {
+class Domain : public Checkpointable {
  public:
   Domain(Simulator* sim, HardwareClock* host_clock, DomainConfig config);
 
@@ -115,6 +116,13 @@ class Domain {
   uint64_t memory_bytes() const { return config_.memory_bytes; }
 
   HardwareClock* host_clock() { return host_clock_; }
+
+  // Checkpointable: the time page (frozen flag, TSC offset, frozen value),
+  // runstate counters and the raw dirty-tracking words. Raw fields are saved
+  // — DirtyBytes() would fold background accrual in and mutate state.
+  std::string checkpoint_id() const override { return "xen.domain"; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
 
  private:
   // Folds background dirtying into dirty_bytes_ up to now.

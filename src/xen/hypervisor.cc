@@ -28,19 +28,63 @@ void Hypervisor::RecomputeCapacity() {
 void Hypervisor::RunDom0Job(const std::string& name, double cpu_fraction, SimTime duration) {
   (void)name;
   ++dom0_jobs_run_;
+  const uint64_t id = next_job_id_++;
+  active_jobs_.push_back(Dom0Job{id, cpu_fraction, sim_->Now() + duration});
   active_demand_ += cpu_fraction;
   RecomputeCapacity();
   if (domain_ != nullptr) {
     domain_->ChargeStolenTime(
         static_cast<SimTime>(cpu_fraction * static_cast<double>(duration)));
   }
-  sim_->Schedule(duration, [this, cpu_fraction] {
-    active_demand_ -= cpu_fraction;
-    if (active_demand_ < 1e-12) {
-      active_demand_ = 0.0;
+  sim_->Schedule(duration, [this, id] { FinishJob(id); });
+}
+
+void Hypervisor::FinishJob(uint64_t id) {
+  for (auto it = active_jobs_.begin(); it != active_jobs_.end(); ++it) {
+    if (it->id == id) {
+      active_demand_ -= it->fraction;
+      active_jobs_.erase(it);
+      break;
     }
-    RecomputeCapacity();
-  });
+  }
+  if (active_demand_ < 1e-12) {
+    active_demand_ = 0.0;
+  }
+  RecomputeCapacity();
+}
+
+void Hypervisor::SaveState(ArchiveWriter* w) const {
+  w->Write<double>(active_demand_);
+  w->Write<uint64_t>(dom0_jobs_run_);
+  w->Write<uint64_t>(next_job_id_);
+  w->Write<uint64_t>(active_jobs_.size());
+  for (const Dom0Job& job : active_jobs_) {
+    w->Write<uint64_t>(job.id);
+    w->Write<double>(job.fraction);
+    w->Write<SimTime>(job.end_time);
+  }
+}
+
+void Hypervisor::RestoreState(ArchiveReader& r) {
+  active_demand_ = r.Read<double>();
+  dom0_jobs_run_ = r.Read<uint64_t>();
+  next_job_id_ = r.Read<uint64_t>();
+  const uint64_t n = r.Read<uint64_t>();
+  active_jobs_.clear();
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    Dom0Job job;
+    job.id = r.Read<uint64_t>();
+    job.fraction = r.Read<double>();
+    job.end_time = r.Read<SimTime>();
+    if (!r.ok()) {
+      break;
+    }
+    active_jobs_.push_back(job);
+    // Re-arm only the job's retirement; its stolen-time charge already
+    // happened on the timeline the image captured.
+    sim_->ScheduleAt(job.end_time, [this, id = job.id] { FinishJob(id); });
+  }
+  RecomputeCapacity();
 }
 
 void LiveMemorySaver::PreCopy(std::function<void(uint64_t)> done) {

@@ -20,12 +20,13 @@
 #include <vector>
 
 #include "src/clock/hardware_clock.h"
+#include "src/sim/checkpointable.h"
 #include "src/sim/simulator.h"
 #include "src/xen/domain.h"
 
 namespace tcsim {
 
-class Hypervisor {
+class Hypervisor : public Checkpointable {
  public:
   Hypervisor(Simulator* sim, HardwareClock* host_clock, std::string node_name);
 
@@ -58,8 +59,24 @@ class Hypervisor {
 
   uint64_t dom0_jobs_run() const { return dom0_jobs_run_; }
 
+  // Checkpointable: demand bookkeeping plus the table of in-flight Dom0 jobs
+  // (fraction + absolute end time). Restore re-arms each job's expiry without
+  // re-charging stolen time — the charge happened on the saved timeline.
+  std::string checkpoint_id() const override { return "xen.hypervisor"; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
+
  private:
+  // An in-flight Dom0 job: its CPU demand and when it retires. Tracked as
+  // data (not just a pending closure) so checkpoint images can carry it.
+  struct Dom0Job {
+    uint64_t id;
+    double fraction;
+    SimTime end_time;
+  };
+
   void RecomputeCapacity();
+  void FinishJob(uint64_t id);
 
   Simulator* sim_;
   HardwareClock* host_clock_;
@@ -68,6 +85,8 @@ class Hypervisor {
   double active_demand_ = 0.0;
   std::function<void(double)> capacity_listener_;
   uint64_t dom0_jobs_run_ = 0;
+  uint64_t next_job_id_ = 1;
+  std::vector<Dom0Job> active_jobs_;
 };
 
 // Live-checkpoint memory engine (the live-migration-derived saver).
@@ -104,6 +123,10 @@ class LiveMemorySaver {
 
   // Starts a fresh image accumulation (used when pre-copy is disabled).
   void ResetImage() { last_image_bytes_ = 0; }
+
+  // Reinstalls a saved byte count when the checkpoint engine restores from
+  // an image (the saver itself holds no other state).
+  void RestoreImageBytes(uint64_t bytes) { last_image_bytes_ = bytes; }
 
   const Params& params() const { return params_; }
 

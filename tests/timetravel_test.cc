@@ -89,7 +89,99 @@ TEST(TimeTravelTest, TreeSupportsManyBranchesFromOnePoint) {
   EXPECT_EQ(tree.branch_count(), 5);
 }
 
-TEST(TimeTravelTest, RestoreTimeScalesWithImageSize) {
+// --- Image-based restore (the O(image) rollback path) --------------------------
+
+TimeTravelTree::Factory MakeCpuFactory(uint64_t seed = 21) {
+  return [seed] {
+    CpuExperimentRun::Params params;
+    params.seed = seed;
+    return std::make_unique<CpuExperimentRun>(params);
+  };
+}
+
+TEST(ImageRestoreTest, RestoredDigestMatchesRecordedOnMixedWorkload) {
+  TimeTravelTree tree(MakeFactory());
+  const std::vector<int> ids = tree.RecordOriginalRun(10 * kSecond, 2 * kSecond);
+  ASSERT_GE(ids.size(), 3u);
+  for (int id : ids) {
+    ASSERT_NE(tree.tree()[id].image, nullptr);
+    // A fresh simulator, overwritten from the image, must agree with the
+    // recorded post-resume digest of the original run...
+    EXPECT_TRUE(tree.VerifyImageRestore(id)) << "checkpoint " << id;
+    // ...which the re-execution oracle independently reproduces.
+    EXPECT_TRUE(tree.VerifyDeterministicReplay(id)) << "checkpoint " << id;
+  }
+}
+
+TEST(ImageRestoreTest, RestoredDigestMatchesRecordedOnCpuWorkload) {
+  TimeTravelTree tree(MakeCpuFactory());
+  const std::vector<int> ids = tree.RecordOriginalRun(10 * kSecond, 2 * kSecond);
+  ASSERT_GE(ids.size(), 3u);
+  for (int id : ids) {
+    EXPECT_TRUE(tree.VerifyImageRestore(id)) << "checkpoint " << id;
+    EXPECT_TRUE(tree.VerifyDeterministicReplay(id)) << "checkpoint " << id;
+  }
+}
+
+TEST(ImageRestoreTest, ImageReplayContinuesLikeTheOriginalFuture) {
+  TimeTravelTree tree(MakeFactory());
+  const std::vector<int> original = tree.RecordOriginalRun(10 * kSecond, 2 * kSecond);
+  // Force the image path: no re-execution from t=0 is allowed, and the
+  // restored run's future must still retrace the original's.
+  const std::vector<int> replay =
+      tree.ReplayFrom(original[1], 10 * kSecond, 2 * kSecond, /*perturb_seed=*/0,
+                      RestoreMode::kImage);
+  ASSERT_EQ(replay.size(), original.size() - 2);
+  for (size_t i = 0; i < replay.size(); ++i) {
+    EXPECT_EQ(tree.tree()[replay[i]].digest, tree.tree()[original[i + 2]].digest);
+    EXPECT_EQ(tree.tree()[replay[i]].time, tree.tree()[original[i + 2]].time);
+  }
+}
+
+TEST(ImageRestoreTest, ImageAndReexecutionReplaysAgree) {
+  TimeTravelTree tree(MakeCpuFactory());
+  const std::vector<int> original = tree.RecordOriginalRun(8 * kSecond, 2 * kSecond);
+  const std::vector<int> via_image =
+      tree.ReplayFrom(original[0], 8 * kSecond, 2 * kSecond, /*perturb_seed=*/0,
+                      RestoreMode::kImage);
+  const std::vector<int> via_reexec =
+      tree.ReplayFrom(original[0], 8 * kSecond, 2 * kSecond, /*perturb_seed=*/0,
+                      RestoreMode::kReexecute);
+  ASSERT_EQ(via_image.size(), via_reexec.size());
+  for (size_t i = 0; i < via_image.size(); ++i) {
+    EXPECT_EQ(tree.tree()[via_image[i]].digest, tree.tree()[via_reexec[i]].digest);
+  }
+}
+
+TEST(ImageRestoreTest, PerturbedBranchCheckpointsAreRestorable) {
+  TimeTravelTree tree(MakeFactory());
+  const std::vector<int> original = tree.RecordOriginalRun(8 * kSecond, 2 * kSecond);
+  const std::vector<int> branch =
+      tree.ReplayFrom(original[0], 8 * kSecond, 2 * kSecond, /*perturb_seed=*/777);
+  ASSERT_FALSE(branch.empty());
+  // Re-execution cannot reconstruct a perturbed branch (the perturbation
+  // schedule isn't recorded), but the image can: the reseeded workload rng
+  // is part of it.
+  for (int id : branch) {
+    EXPECT_TRUE(tree.VerifyImageRestore(id)) << "checkpoint " << id;
+  }
+}
+
+TEST(ImageRestoreTest, CorruptImageIsRejectedWithoutTouchingTheRun) {
+  TimeTravelTree tree(MakeFactory());
+  const std::vector<int> ids = tree.RecordOriginalRun(4 * kSecond, 2 * kSecond);
+  std::vector<uint8_t> corrupt = *tree.tree()[ids[0]].image;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  BasicExperimentRun::Params params;
+  params.seed = 11;
+  BasicExperimentRun fresh(params);
+  EXPECT_FALSE(fresh.RestoreFromImage(corrupt).has_value());
+  // The untouched fresh run still works.
+  fresh.AdvanceTo(kSecond);
+  EXPECT_GT(fresh.counter(), 0u);
+}
+
+TEST(RestoreTimeTest, RestoreTimeScalesWithImageSize) {
   TimeTravelTree tree(MakeFactory());
   const std::vector<int> ids = tree.RecordOriginalRun(6 * kSecond, 2 * kSecond);
   const uint64_t rate = 70ull * 1024 * 1024;
