@@ -4,6 +4,12 @@
 // evaluation (Section 7) and prints (a) the paper's reported values, (b) the
 // values measured in this reproduction, in a stable plain-text format that
 // EXPERIMENTS.md quotes.
+//
+// All helpers also record into a process-wide BenchReport. When the binary is
+// invoked with --json, the plain-text output is suppressed and BenchMain
+// emits the recorded report as one JSON object on stdout instead — the same
+// numbers, machine-readable, consumed by bench/run_all.sh to build a
+// consolidated BENCH_PR3.json.
 
 #ifndef TCSIM_BENCH_BENCH_UTIL_H_
 #define TCSIM_BENCH_BENCH_UTIL_H_
@@ -11,6 +17,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/sim/invariants.h"
 #include "src/sim/simulator.h"
@@ -29,9 +36,191 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+// Process-wide recorder behind the Print* helpers. Benches never touch it
+// directly except through BenchMain (below) or AddExtra() for bench-specific
+// structured payloads.
+class BenchReport {
+ public:
+  static BenchReport& Instance() {
+    static BenchReport report;
+    return report;
+  }
+
+  bool json_mode() const { return json_mode_; }
+  void SetJsonMode(bool on) { json_mode_ = on; }
+  void SetName(std::string name) { name_ = std::move(name); }
+
+  void RecordHeader(const std::string& id, const std::string& title) {
+    id_ = id;
+    title_ = title;
+  }
+  void RecordSection(const std::string& name) { section_ = name; }
+  void RecordMetric(const std::string& label, bool has_paper, double paper,
+                    double measured, const std::string& unit) {
+    metrics_.push_back({section_, label, unit, paper, measured, has_paper});
+  }
+  void RecordNote(const std::string& note) { notes_.push_back(note); }
+  void RecordDigest(uint64_t digest) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(digest));
+    digests_.push_back(buf);
+  }
+  void RecordAudit(bool ok) {
+    audit_seen_ = true;
+    audit_ok_ = audit_ok_ && ok;
+  }
+  void RecordSeries(const std::string& name, const TimeSeries& series,
+                    size_t stride) {
+    series_.push_back({name, {}});
+    for (size_t i = 0; i < series.size(); i += stride) {
+      series_.back().points.push_back(
+          {ToSeconds(series.points()[i].time), series.points()[i].value});
+    }
+  }
+
+  // Attaches a bench-specific raw JSON value (object or array) under `key`.
+  // The caller is responsible for `raw` being valid JSON.
+  void AddExtra(const std::string& key, const std::string& raw) {
+    extras_.push_back({key, raw});
+  }
+
+  // Emits the whole report as one JSON object. `rc` is the process exit code
+  // the bench is about to return; "ok" reflects it.
+  void EmitJson(int rc) const {
+    std::printf("{\n  \"bench\": \"%s\",\n", Escape(name_).c_str());
+    if (!id_.empty()) {
+      std::printf("  \"id\": \"%s\",\n  \"title\": \"%s\",\n",
+                  Escape(id_).c_str(), Escape(title_).c_str());
+    }
+    std::printf("  \"metrics\": [");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::printf("%s\n    {\"section\": \"%s\", \"label\": \"%s\", "
+                  "\"unit\": \"%s\", ",
+                  i ? "," : "", Escape(m.section).c_str(),
+                  Escape(m.label).c_str(), Escape(m.unit).c_str());
+      if (m.has_paper) {
+        std::printf("\"paper\": %.6g, ", m.paper);
+      }
+      std::printf("\"measured\": %.6g}", m.measured);
+    }
+    std::printf("%s],\n", metrics_.empty() ? "" : "\n  ");
+    std::printf("  \"digests\": [");
+    for (size_t i = 0; i < digests_.size(); ++i) {
+      std::printf("%s\"%s\"", i ? ", " : "", digests_[i].c_str());
+    }
+    std::printf("],\n");
+    if (!series_.empty()) {
+      std::printf("  \"series\": {");
+      for (size_t i = 0; i < series_.size(); ++i) {
+        std::printf("%s\n    \"%s\": [", i ? "," : "",
+                    Escape(series_[i].name).c_str());
+        for (size_t j = 0; j < series_[i].points.size(); ++j) {
+          std::printf("%s[%.3f, %.6g]", j ? ", " : "",
+                      series_[i].points[j].t, series_[i].points[j].v);
+        }
+        std::printf("]");
+      }
+      std::printf("\n  },\n");
+    }
+    if (!notes_.empty()) {
+      std::printf("  \"notes\": [");
+      for (size_t i = 0; i < notes_.size(); ++i) {
+        std::printf("%s\"%s\"", i ? ", " : "", Escape(notes_[i]).c_str());
+      }
+      std::printf("],\n");
+    }
+    for (const Extra& e : extras_) {
+      std::printf("  \"%s\": %s,\n", Escape(e.key).c_str(), e.raw.c_str());
+    }
+    if (audit_seen_) {
+      std::printf("  \"audit_ok\": %s,\n", audit_ok_ ? "true" : "false");
+    }
+    std::printf("  \"ok\": %s\n}\n", rc == 0 ? "true" : "false");
+  }
+
+ private:
+  struct Metric {
+    std::string section, label, unit;
+    double paper, measured;
+    bool has_paper;
+  };
+  struct Point {
+    double t, v;
+  };
+  struct Series {
+    std::string name;
+    std::vector<Point> points;
+  };
+  struct Extra {
+    std::string key, raw;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  bool json_mode_ = false;
+  std::string name_, id_, title_, section_;
+  std::vector<Metric> metrics_;
+  std::vector<std::string> digests_;
+  std::vector<std::string> notes_;
+  std::vector<Series> series_;
+  std::vector<Extra> extras_;
+  bool audit_seen_ = false;
+  bool audit_ok_ = true;
+};
+
+// Per-binary entry/exit shim: parses --json, names the report, and at the end
+// of main emits the JSON object when requested.
+//
+//   int main(int argc, char** argv) {
+//     tcsim::BenchMain bm(argc, argv, "fig4_sleep_loop");
+//     return bm.Finish(tcsim::Run(tcsim::HasFlag(argc, argv, "--audit")));
+//   }
+class BenchMain {
+ public:
+  BenchMain(int argc, char** argv, const char* name) {
+    BenchReport::Instance().SetName(name);
+    BenchReport::Instance().SetJsonMode(HasFlag(argc, argv, "--json"));
+  }
+  int Finish(int rc) const {
+    if (BenchReport::Instance().json_mode()) {
+      BenchReport::Instance().EmitJson(rc);
+    }
+    return rc;
+  }
+};
+
+// True while --json is active: helpers keep recording but stop printing.
+inline bool JsonQuiet() { return BenchReport::Instance().json_mode(); }
+
 // Prints the run's event-dispatch digest. Two runs of the same scenario with
 // the same seed must print the same value — the deterministic-replay check.
 inline void PrintDigest(const Simulator& sim) {
+  BenchReport::Instance().RecordDigest(sim.Digest());
+  if (JsonQuiet()) {
+    return;
+  }
   std::printf("\nevent digest: %016llx\n",
               static_cast<unsigned long long>(sim.Digest()));
 }
@@ -43,7 +232,10 @@ inline int FinishAudit(InvariantRegistry* reg) {
     return 0;
   }
   reg->FinishRun();
-  std::printf("\n--- audit ---\n%s\n", reg->Summary().c_str());
+  BenchReport::Instance().RecordAudit(reg->ok());
+  if (!JsonQuiet()) {
+    std::printf("\n--- audit ---\n%s\n", reg->Summary().c_str());
+  }
   return reg->ok() ? 0 : 1;
 }
 
@@ -67,40 +259,69 @@ struct MultiRunAudit {
 
   // Prints the combined digest and returns the exit code.
   int Finish() const {
-    std::printf("\nevent digest (combined): %016llx\n",
-                static_cast<unsigned long long>(digest));
+    BenchReport::Instance().RecordDigest(digest);
+    if (!JsonQuiet()) {
+      std::printf("\nevent digest (combined): %016llx\n",
+                  static_cast<unsigned long long>(digest));
+    }
     return rc;
   }
 };
 
 inline void PrintHeader(const std::string& id, const std::string& title) {
+  BenchReport::Instance().RecordHeader(id, title);
+  if (JsonQuiet()) {
+    return;
+  }
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
   std::printf("==============================================================\n");
 }
 
 inline void PrintSection(const std::string& name) {
+  BenchReport::Instance().RecordSection(name);
+  if (JsonQuiet()) {
+    return;
+  }
   std::printf("\n--- %s ---\n", name.c_str());
 }
 
 inline void PrintRow(const std::string& label, double paper, double measured,
                      const std::string& unit) {
+  BenchReport::Instance().RecordMetric(label, true, paper, measured, unit);
+  if (JsonQuiet()) {
+    return;
+  }
   std::printf("%-44s paper: %10.3f %-8s measured: %10.3f %s\n", label.c_str(), paper,
               unit.c_str(), measured, unit.c_str());
 }
 
 inline void PrintValue(const std::string& label, double value, const std::string& unit) {
+  BenchReport::Instance().RecordMetric(label, false, 0.0, value, unit);
+  if (JsonQuiet()) {
+    return;
+  }
   std::printf("%-44s %10.3f %s\n", label.c_str(), value, unit.c_str());
 }
 
-inline void PrintNote(const std::string& note) { std::printf("note: %s\n", note.c_str()); }
+inline void PrintNote(const std::string& note) {
+  BenchReport::Instance().RecordNote(note);
+  if (JsonQuiet()) {
+    return;
+  }
+  std::printf("note: %s\n", note.c_str());
+}
 
 // Prints a (time, value) series downsampled to at most `max_points` rows —
 // the data behind a figure, reproducible with any plotting tool.
 inline void PrintSeries(const std::string& name, const TimeSeries& series,
                         size_t max_points = 40) {
-  std::printf("\nseries %s (t_seconds value), %zu points", name.c_str(), series.size());
   const size_t stride = series.size() > max_points ? series.size() / max_points : 1;
+  BenchReport::Instance().RecordSeries(name, series, stride);
+  if (JsonQuiet()) {
+    return;
+  }
+  std::printf("\nseries %s (t_seconds value), %zu points", name.c_str(), series.size());
   std::printf(stride > 1 ? ", downsampled x%zu:\n" : ":\n", stride);
   for (size_t i = 0; i < series.size(); i += stride) {
     std::printf("  %9.3f  %10.4f\n", ToSeconds(series.points()[i].time),

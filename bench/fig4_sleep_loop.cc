@@ -104,5 +104,6 @@ int Run(bool audit) {
 }  // namespace tcsim
 
 int main(int argc, char** argv) {
-  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
+  tcsim::BenchMain bm(argc, argv, "fig4_sleep_loop");
+  return bm.Finish(tcsim::Run(tcsim::HasFlag(argc, argv, "--audit")));
 }

@@ -119,7 +119,11 @@ int Run(bool audit) {
   }
   PrintSeries("fig5.iteration_time_ms", series);
 
-  std::printf("\nevent digest: %016llx\n", static_cast<unsigned long long>(digest));
+  BenchReport::Instance().RecordDigest(digest);
+  if (!JsonQuiet()) {
+    std::printf("\nevent digest: %016llx\n",
+                static_cast<unsigned long long>(digest));
+  }
   return audit_rc;
 }
 
@@ -127,5 +131,6 @@ int Run(bool audit) {
 }  // namespace tcsim
 
 int main(int argc, char** argv) {
-  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
+  tcsim::BenchMain bm(argc, argv, "fig5_cpu_loop");
+  return bm.Finish(tcsim::Run(tcsim::HasFlag(argc, argv, "--audit")));
 }

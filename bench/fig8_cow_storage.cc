@@ -72,6 +72,16 @@ BonnieApp::Results RunBonnie(const Config& config, bool aged, MultiRunAudit* aud
 }
 
 void PrintResults(const char* label, const BonnieApp::Results& r) {
+  BenchReport& rep = BenchReport::Instance();
+  const std::string prefix = std::string(label) + ".";
+  rep.RecordMetric(prefix + "block_reads", false, 0, r.block_read_mbs, "MB/s");
+  rep.RecordMetric(prefix + "char_reads", false, 0, r.char_read_mbs, "MB/s");
+  rep.RecordMetric(prefix + "rewrites", false, 0, r.rewrite_mbs, "MB/s");
+  rep.RecordMetric(prefix + "block_writes", false, 0, r.block_write_mbs, "MB/s");
+  rep.RecordMetric(prefix + "char_writes", false, 0, r.char_write_mbs, "MB/s");
+  if (JsonQuiet()) {
+    return;
+  }
   std::printf("%-14s block-reads %7.2f  char-reads %7.2f  rewrites %7.2f  "
               "block-writes %7.2f  char-writes %7.2f  (MB/s)\n",
               label, r.block_read_mbs, r.char_read_mbs, r.rewrite_mbs, r.block_write_mbs,
@@ -122,5 +132,6 @@ int Run(bool audit_enabled) {
 }  // namespace tcsim
 
 int main(int argc, char** argv) {
-  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
+  tcsim::BenchMain bm(argc, argv, "fig8_cow_storage");
+  return bm.Finish(tcsim::Run(tcsim::HasFlag(argc, argv, "--audit")));
 }

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Consolidated bench run: every fig*/tab*/ablation* binary with --json, plus
+# the google-benchmark micro suite, merged into one JSON document.
+#
+#   bench/run_all.sh [build_dir] [out_file]
+#
+# Defaults: build/ and BENCH_PR3.json. Plain POSIX shell, no jq/python —
+# each bench emits exactly one JSON object and this script concatenates them.
+set -u
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_PR3.json}"
+BENCHES="fig4_sleep_loop fig5_cpu_loop fig6_iperf fig7_bittorrent \
+fig8_cow_storage fig9_background_transfer tab_clock_sync \
+tab_free_block_elim tab_stateful_swap tab_restore_path tab_delta_capture \
+ablation_coordination ablation_storage"
+
+rc=0
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+{
+  printf '{\n  "benches": [\n'
+  first=1
+  for b in $BENCHES; do
+    bin="$BUILD/bench/$b"
+    if [ ! -x "$bin" ]; then
+      echo "run_all.sh: missing $bin (build first)" >&2
+      rc=1
+      continue
+    fi
+    if ! "$bin" --json >"$tmp"; then
+      echo "run_all.sh: $b exited non-zero" >&2
+      rc=1
+    fi
+    [ $first -eq 1 ] || printf ',\n'
+    first=0
+    sed 's/^/    /' "$tmp"
+  done
+  printf '  ],\n'
+  if [ -x "$BUILD/bench/micro_benchmarks" ]; then
+    printf '  "micro_benchmarks":\n'
+    "$BUILD/bench/micro_benchmarks" --benchmark_format=json \
+      --benchmark_min_time=0.05 2>/dev/null | sed 's/^/    /'
+  else
+    printf '  "micro_benchmarks": null\n'
+  fi
+  printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT"
+exit $rc

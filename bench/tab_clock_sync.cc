@@ -82,5 +82,6 @@ int Run(bool audit) {
 }  // namespace tcsim
 
 int main(int argc, char** argv) {
-  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
+  tcsim::BenchMain bm(argc, argv, "tab_clock_sync");
+  return bm.Finish(tcsim::Run(tcsim::HasFlag(argc, argv, "--audit")));
 }

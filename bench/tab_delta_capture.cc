@@ -1,0 +1,261 @@
+// Delta-capture cost: serialized bytes and capture latency, full vs delta.
+//
+// The delta image format (format v2) lets a capture reference unchanged
+// component chunks in its parent image instead of re-serializing them. This
+// harness measures what that buys on the canonical "mostly cold state"
+// profile: a guest that wrote a large burst of branch-store data early on
+// (the cold chunk) and then settled into a timer-driven steady state. Full
+// captures pay the cold chunk every checkpoint; delta captures pin it once
+// and emit a 4-byte reference afterwards.
+//
+// Both modes run the identical deterministic scenario, checkpoint at the
+// same instants, and every image is restored into a fresh node — the state
+// digests must match pairwise across modes (delta restores go through
+// ImageStore::Materialize, exercising the parent chain).
+//
+//   $ ./build/bench/tab_delta_capture [--json]
+//
+// Exit code is non-zero when a restore digest mismatches or the steady-state
+// bytes-per-checkpoint reduction falls below 5x.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/checkpoint/local_checkpoint.h"
+#include "src/guest/node.h"
+#include "src/sim/simulator.h"
+
+using namespace tcsim;
+
+namespace {
+
+constexpr uint64_t kColdOps = 96;          // burst write operations
+constexpr uint64_t kBlocksPerOp = 64;      // blocks per burst write
+constexpr int kCaptures = 8;               // checkpoints in the steady phase
+constexpr SimTime kCaptureSpacing = 500 * kMillisecond;
+
+double WallSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+NodeConfig BenchNodeConfig() {
+  NodeConfig cfg;
+  cfg.name = "delta-bench";
+  cfg.id = 1;
+  cfg.domain.memory_bytes = 128ull * 1024 * 1024;
+  return cfg;
+}
+
+CheckpointPolicy BenchPolicy(bool delta) {
+  CheckpointPolicy policy;
+  policy.resume_timer_latency = 0;  // digests must be reproducible
+  policy.delta_images = delta;
+  policy.retain_image_chain = true;  // keep the chain materializable by id
+  return policy;
+}
+
+// Observable state of a node after a restore; captures from the two modes
+// land at identical instants of the identical workload, so restored digests
+// must match pairwise.
+uint64_t NodeDigest(const Simulator& sim, ExperimentNode& node) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<uint64_t>(sim.Now()));
+  mix(static_cast<uint64_t>(node.domain().VirtualNow()));
+  mix(static_cast<uint64_t>(node.kernel().GetTimeOfDay()));
+  mix(node.store().current_delta_blocks());
+  mix(node.store().aggregated_delta_blocks());
+  return h;
+}
+
+struct Capture {
+  uint64_t image_id = 0;
+  uint64_t bytes = 0;
+  size_t payload_chunks = 0;
+  size_t delta_chunks = 0;
+  size_t version_skips = 0;
+  double wall_s = 0;
+  std::vector<uint8_t> image;  // self-contained (materialized) bytes
+};
+
+struct ModeResult {
+  std::vector<Capture> captures;
+  uint64_t delta_refs_stored = 0;  // across the retained chain
+};
+
+// Restores `image` into a fresh node and returns its state digest, or 0 on
+// restore failure (0 never collides with a real digest in practice — the
+// mixer never returns the FNV basis untouched).
+uint64_t RestoreDigest(const std::vector<uint8_t>& image) {
+  Simulator sim;
+  ExperimentNode node(&sim, Rng(7), BenchNodeConfig());
+  LocalCheckpointEngine engine(&sim, &node, BenchPolicy(false));
+  if (!engine.RestoreImage(image)) {
+    return 0;
+  }
+  engine.ResumeRestored();
+  return NodeDigest(sim, node);
+}
+
+ModeResult RunMode(bool delta) {
+  Simulator sim;
+  ExperimentNode node(&sim, Rng(7), BenchNodeConfig());
+  LocalCheckpointEngine engine(&sim, &node, BenchPolicy(delta));
+
+  // Phase 1: the cold chunk — a burst of branch-store writes, chained on
+  // completion so the block frontend is drained before any capture.
+  uint64_t ops_done = 0;
+  std::function<void()> issue = [&] {
+    if (ops_done == kColdOps) {
+      return;
+    }
+    std::vector<uint64_t> contents(kBlocksPerOp, 0xC01Dull + ops_done);
+    node.kernel().block().Write(4096 + ops_done * kBlocksPerOp, contents, [&] {
+      ++ops_done;
+      issue();
+    });
+  };
+  sim.Schedule(10 * kMillisecond, [&] { issue(); });
+
+  // Phase 2: steady state — a timer loop with no further disk writes; the
+  // branch-store chunk stops changing and becomes delta-referencable.
+  std::function<void()> tick = [&] {
+    node.kernel().Usleep(5 * kMillisecond, [&] { tick(); });
+  };
+  sim.Schedule(20 * kMillisecond, [&] { tick(); });
+
+  sim.RunUntil(2 * kSecond);
+
+  ModeResult result;
+  for (int k = 0; k < kCaptures; ++k) {
+    Capture cap;
+    bool done = false;
+    cap.wall_s = WallSeconds([&] {
+      engine.CheckpointNow([&](const LocalCheckpointRecord&) { done = true; });
+      while (!done) {
+        sim.RunUntil(sim.Now() + kMillisecond);
+      }
+    });
+    const CaptureStats& stats = engine.last_capture_stats();
+    cap.image_id = stats.image_id;
+    cap.bytes = stats.serialized_bytes;
+    cap.payload_chunks = stats.payload_chunks;
+    cap.delta_chunks = stats.delta_chunks;
+    cap.version_skips = stats.version_skips;
+    // The restore source: delta captures are materialized through the store
+    // (walking the parent chain); full captures come back verbatim.
+    cap.image = engine.image_store().Materialize(cap.image_id);
+    result.captures.push_back(std::move(cap));
+    sim.RunUntil(sim.Now() + kCaptureSpacing);
+  }
+  for (const Capture& cap : result.captures) {
+    result.delta_refs_stored += engine.image_store().DeltaRefCount(cap.image_id);
+  }
+  return result;
+}
+
+double MeanBytes(const ModeResult& r, size_t from) {
+  double total = 0;
+  for (size_t i = from; i < r.captures.size(); ++i) {
+    total += static_cast<double>(r.captures[i].bytes);
+  }
+  return total / static_cast<double>(r.captures.size() - from);
+}
+
+double MeanWallMs(const ModeResult& r, size_t from) {
+  double total = 0;
+  for (size_t i = from; i < r.captures.size(); ++i) {
+    total += r.captures[i].wall_s;
+  }
+  return 1e3 * total / static_cast<double>(r.captures.size() - from);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchMain bm(argc, argv, "tab_delta_capture");
+
+  ModeResult full = RunMode(/*delta=*/false);
+  ModeResult delta = RunMode(/*delta=*/true);
+
+  // Pairwise restore check: checkpoint k of either mode must restore to the
+  // same observable state.
+  bool restores_match = full.captures.size() == delta.captures.size();
+  for (size_t k = 0; restores_match && k < full.captures.size(); ++k) {
+    const uint64_t df = RestoreDigest(full.captures[k].image);
+    const uint64_t dd = RestoreDigest(delta.captures[k].image);
+    restores_match = df != 0 && df == dd;
+  }
+
+  // Steady state starts at the second capture: capture 0 has no parent in
+  // delta mode (self-contained by construction) and would dilute the ratio.
+  const double full_bytes = MeanBytes(full, 1);
+  const double delta_bytes = MeanBytes(delta, 1);
+  const double ratio = delta_bytes > 0 ? full_bytes / delta_bytes : 0;
+
+  PrintHeader("tab_delta_capture",
+              "delta vs full checkpoint images (cold burst + steady timers)");
+
+  PrintSection("serialized bytes per checkpoint (steady state)");
+  PrintValue("full capture", full_bytes, "B");
+  PrintValue("delta capture", delta_bytes, "B");
+  PrintValue("reduction", ratio, "x");
+  PrintValue("first delta capture (self-contained)",
+             static_cast<double>(delta.captures.front().bytes), "B");
+
+  PrintSection("capture latency (host wall clock, steady state)");
+  PrintValue("full capture", MeanWallMs(full, 1), "ms");
+  PrintValue("delta capture", MeanWallMs(delta, 1), "ms");
+
+  PrintSection("delta emission (last capture)");
+  PrintValue("payload chunks",
+             static_cast<double>(delta.captures.back().payload_chunks), "");
+  PrintValue("delta-ref chunks",
+             static_cast<double>(delta.captures.back().delta_chunks), "");
+  PrintValue("version-counter skips (no SaveState run)",
+             static_cast<double>(delta.captures.back().version_skips), "");
+  PrintValue("delta refs across retained chain",
+             static_cast<double>(delta.delta_refs_stored), "");
+
+  PrintNote(restores_match
+                ? "all restores digest-equal across full and delta paths"
+                : "RESTORE DIGEST MISMATCH between full and delta paths");
+
+  {
+    std::string rows = "[\n";
+    for (size_t k = 0; k < delta.captures.size(); ++k) {
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"capture\": %zu, \"full_bytes\": %llu, "
+                    "\"delta_bytes\": %llu, \"delta_chunks\": %zu, "
+                    "\"version_skips\": %zu}%s\n",
+                    k, static_cast<unsigned long long>(full.captures[k].bytes),
+                    static_cast<unsigned long long>(delta.captures[k].bytes),
+                    delta.captures[k].delta_chunks,
+                    delta.captures[k].version_skips,
+                    k + 1 < delta.captures.size() ? "," : "");
+      rows += buf;
+    }
+    rows += "  ]";
+    BenchReport::Instance().AddExtra("captures", rows);
+    BenchReport::Instance().AddExtra("restores_match",
+                                     restores_match ? "true" : "false");
+  }
+
+  const bool ok = restores_match && ratio >= 5.0;
+  if (!ok && !JsonQuiet()) {
+    std::printf("\nFAIL: %s\n", restores_match
+                                    ? "bytes reduction below 5x"
+                                    : "restore digests mismatch");
+  }
+  return bm.Finish(ok ? 0 : 1);
+}

@@ -64,5 +64,6 @@ int Run(bool audit) {
 }  // namespace tcsim
 
 int main(int argc, char** argv) {
-  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
+  tcsim::BenchMain bm(argc, argv, "tab_free_block_elim");
+  return bm.Finish(tcsim::Run(tcsim::HasFlag(argc, argv, "--audit")));
 }

@@ -47,7 +47,8 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool json = HasFlag(argc, argv, "--json");
+  BenchMain bm(argc, argv, "tab_restore_path");
+  const bool json = JsonQuiet();
 
   TimeTravelTree tree([] {
     BasicExperimentRun::Params params;
@@ -78,23 +79,28 @@ int main(int argc, char** argv) {
   }
 
   if (json) {
-    std::printf("{\n  \"bench\": \"restore_path\",\n  \"checkpoints\": [\n");
+    std::string ckpts = "[\n";
     for (size_t i = 0; i < rows.size(); ++i) {
       const Row& row = rows[i];
-      std::printf("    {\"id\": %d, \"t_s\": %.3f, \"image_bytes\": %llu, "
-                  "\"restore_image_wall_s\": %.6f, \"reexec_wall_s\": %.6f, "
-                  "\"speedup\": %.2f, \"digests_match\": %s}%s\n",
-                  row.id, row.time_s,
-                  static_cast<unsigned long long>(row.image_bytes),
-                  row.restore_image_wall_s, row.reexec_wall_s,
-                  row.restore_image_wall_s > 0
-                      ? row.reexec_wall_s / row.restore_image_wall_s
-                      : 0.0,
-                  row.restore_ok && row.reexec_ok ? "true" : "false",
-                  i + 1 < rows.size() ? "," : "");
+      char buf[320];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"id\": %d, \"t_s\": %.3f, \"image_bytes\": %llu, "
+                    "\"restore_image_wall_s\": %.6f, \"reexec_wall_s\": %.6f, "
+                    "\"speedup\": %.2f, \"digests_match\": %s}%s\n",
+                    row.id, row.time_s,
+                    static_cast<unsigned long long>(row.image_bytes),
+                    row.restore_image_wall_s, row.reexec_wall_s,
+                    row.restore_image_wall_s > 0
+                        ? row.reexec_wall_s / row.restore_image_wall_s
+                        : 0.0,
+                    row.restore_ok && row.reexec_ok ? "true" : "false",
+                    i + 1 < rows.size() ? "," : "");
+      ckpts += buf;
     }
-    std::printf("  ],\n  \"all_digests_match\": %s\n}\n", all_ok ? "true" : "false");
-    return all_ok ? 0 : 1;
+    ckpts += "  ]";
+    BenchReport::Instance().AddExtra("checkpoints", ckpts);
+    BenchReport::Instance().AddExtra("all_digests_match", all_ok ? "true" : "false");
+    return bm.Finish(all_ok ? 0 : 1);
   }
 
   std::printf("Restore path: image-based rollback vs re-execution from t=0\n");
@@ -112,5 +118,5 @@ int main(int argc, char** argv) {
                 row.restore_ok && row.reexec_ok ? "match" : "MISMATCH");
   }
   std::printf("\nall digests %s\n", all_ok ? "match" : "MISMATCH");
-  return all_ok ? 0 : 1;
+  return bm.Finish(all_ok ? 0 : 1);
 }

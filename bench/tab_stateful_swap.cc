@@ -182,5 +182,6 @@ int Run(bool audit_enabled) {
 }  // namespace tcsim
 
 int main(int argc, char** argv) {
-  return tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"));
+  tcsim::BenchMain bm(argc, argv, "tab_stateful_swap");
+  return bm.Finish(tcsim::Run(tcsim::HasFlag(argc, argv, "--audit")));
 }

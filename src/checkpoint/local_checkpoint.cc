@@ -112,9 +112,23 @@ void LocalCheckpointEngine::AddCheckpointable(Checkpointable* component) {
 }
 
 void LocalCheckpointEngine::BuildCompositeImage() {
+  const std::vector<Checkpointable*>& components = Components();
+  if (tracks_.size() != components.size()) {
+    tracks_.assign(components.size(), ComponentTrack{});
+  }
+
+  const uint64_t image_id = store_.NextId();
+  const uint64_t parent = policy_.delta_images ? parent_image_id_ : 0;
+  CaptureStats stats;
+  stats.image_id = image_id;
+  stats.parent_id = parent;
+
   CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(image_id, parent);
+
   // Engine metadata: the saved instant plus the record and accounting a
   // restore target needs to continue exactly where the original paused.
+  // Always a payload chunk — it changes at every capture by construction.
   ArchiveWriter meta;
   meta.Write<SimTime>(current_.saved_at);
   meta.Write<SimTime>(current_.request_time);
@@ -123,18 +137,72 @@ void LocalCheckpointEngine::BuildCompositeImage() {
   meta.Write<uint64_t>(residual_dirty_);
   meta.Write<uint64_t>(saver_.last_image_bytes());
   rng_.Save(&meta);
-  builder.AddChunk("sim.time", meta.data());
-  for (const Checkpointable* component : Components()) {
-    builder.Add(*component);
+  builder.AddChunk("sim.time", meta.Take());
+  ++stats.payload_chunks;
+
+  for (size_t i = 0; i < components.size(); ++i) {
+    const Checkpointable* component = components[i];
+    ComponentTrack& track = tracks_[i];
+    const uint64_t version = component->state_version();
+
+    // Instrumented component whose mutation counter has not moved since the
+    // parent capture: its serialized bytes are still those pinned by
+    // track.crc, so skip SaveState entirely.
+    if (parent != 0 && track.valid && version != 0 &&
+        version == track.version) {
+      builder.AddDeltaChunk(component->checkpoint_id(), track.crc);
+      ++stats.delta_chunks;
+      ++stats.version_skips;
+      continue;
+    }
+
+    ArchiveWriter w;
+    component->SaveState(&w);
+    std::vector<uint8_t> payload = w.Take();
+    const uint32_t crc = Crc32(payload);
+    if (parent != 0 && track.valid && crc == track.crc) {
+      // Uninstrumented (or over-bumped) component whose bytes came out
+      // identical anyway: still a delta ref, just proven the expensive way.
+      builder.AddDeltaChunk(component->checkpoint_id(), crc);
+      ++stats.delta_chunks;
+    } else {
+      builder.AddChunk(component->checkpoint_id(), std::move(payload));
+      ++stats.payload_chunks;
+    }
+    track.version = version;
+    track.crc = crc;
+    track.valid = true;
   }
-  last_image_ =
-      std::make_shared<const std::vector<uint8_t>>(builder.Serialize());
+
+  stats.total_chunks = builder.chunk_count();
+  std::vector<uint8_t> bytes = builder.Serialize();
+  stats.serialized_bytes = bytes.size();
+
+  const bool self_contained = stats.delta_chunks == 0;
+  const uint64_t stored_id = store_.Put(std::move(bytes));
+  assert(stored_id == image_id);
+  (void)stored_id;
+  parent_image_id_ = image_id;
+  last_capture_stats_ = stats;
+
+  // Publish a self-contained image: holders (the time-travel tree, swap-out)
+  // restore it without consulting this engine's store.
+  last_image_ = std::make_shared<const std::vector<uint8_t>>(
+      self_contained ? store_.RawBytes(image_id) : store_.Materialize(image_id));
+  if (!policy_.retain_image_chain) {
+    store_.PruneExcept(image_id);
+  }
 }
 
 bool LocalCheckpointEngine::RestoreImage(const std::vector<uint8_t>& image_bytes) {
   assert(!in_progress_);
   CheckpointImageView view(image_bytes);
   if (!view.ok() || !view.HasChunk("sim.time")) {
+    return false;
+  }
+  if (view.is_delta()) {
+    // An unresolved delta image cannot prime a run: its unchanged chunks
+    // live in the parent chain. Materialize through an ImageStore first.
     return false;
   }
   ArchiveReader meta(view.Chunk("sim.time"));
@@ -166,6 +234,12 @@ bool LocalCheckpointEngine::RestoreImage(const std::vector<uint8_t>& image_bytes
   residual_dirty_ = residual;
   saver_.RestoreImageBytes(saver_bytes);
   last_image_ = std::make_shared<const std::vector<uint8_t>>(image_bytes);
+
+  // Delta tracking is void after a restore: component state now reflects the
+  // installed image, not the engine's last capture. The next checkpoint is
+  // self-contained and restarts the chain.
+  parent_image_id_ = 0;
+  tracks_.clear();
 
   in_progress_ = true;
   hold_after_save_ = true;  // a restored run has no saved-callback to fire

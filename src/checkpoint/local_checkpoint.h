@@ -28,6 +28,7 @@
 #include "src/guest/node.h"
 #include "src/sim/checkpointable.h"
 #include "src/sim/image.h"
+#include "src/sim/image_store.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/xen/hypervisor.h"
@@ -55,7 +56,34 @@ struct CheckpointPolicy {
   // accumulate — the empirical transparency limit of Figure 4 (~80 us).
   SimTime resume_timer_latency = 40 * kMicrosecond;
 
+  // Emit format-v2 delta images: components unchanged since the previous
+  // capture become delta-ref chunks (a CRC pin into the parent image) instead
+  // of re-serialized payloads — the capture path becomes O(changed state).
+  // Disabling this re-serializes everything into self-contained images (the
+  // PR-2 baseline, and what tab_delta_capture compares against).
+  bool delta_images = true;
+
+  // Keep the whole parent chain in the engine's image store. Off by default:
+  // the store is pruned to the latest capture after each checkpoint, which
+  // bounds memory while still allowing delta emission against that parent.
+  // Tests and the time-travel bench turn this on to materialize arbitrary
+  // chain members later.
+  bool retain_image_chain = false;
+
   LiveMemorySaver::Params saver;
+};
+
+// What the last capture actually emitted — the observability surface for the
+// delta path (printed by bench/tab_delta_capture, asserted by tests).
+struct CaptureStats {
+  uint64_t image_id = 0;
+  uint64_t parent_id = 0;       // 0 = self-contained capture
+  size_t total_chunks = 0;
+  size_t payload_chunks = 0;    // re-serialized (changed or first capture)
+  size_t delta_chunks = 0;      // unchanged, emitted as parent CRC refs
+  size_t version_skips = 0;     // delta chunks proven by version counter alone
+                                // (component was never re-serialized)
+  size_t serialized_bytes = 0;  // size of the emitted (possibly delta) image
 };
 
 // Drives local checkpoints of one ExperimentNode. Also implements
@@ -102,15 +130,30 @@ class LocalCheckpointEngine : public CheckpointParticipant {
 
   // The composite image captured by the last completed save; null before
   // the first checkpoint. Shared, so time-travel tree nodes can retain
-  // thousands of images cheaply.
+  // thousands of images cheaply. Always self-contained (materialized from
+  // the delta chain when delta capture is on), so holders can restore it
+  // without consulting the engine's image store.
   std::shared_ptr<const std::vector<uint8_t>> last_image() const { return last_image_; }
+
+  // Store id of the last captured image (0 before the first checkpoint).
+  // With policy().retain_image_chain, image_store() holds the whole chain
+  // and can materialize any earlier capture by id.
+  uint64_t last_image_id() const { return parent_image_id_; }
+
+  // Emission breakdown of the last capture (delta vs payload chunks, bytes).
+  const CaptureStats& last_capture_stats() const { return last_capture_stats_; }
+
+  // The engine's image store: owns the capture chain, materializes full
+  // images by id, and hard-rejects broken chains on ingest.
+  ImageStore& image_store() { return store_; }
 
   // Applies a composite image to this engine's (freshly built, running)
   // experiment and leaves it suspended-held at the saved instant. Returns
   // false without touching the run if the container is malformed (bad
-  // magic, unsupported version, truncated, or CRC mismatch) or the engine
-  // metadata chunk is missing. Components without a matching chunk keep
-  // their freshly built state (forward compatibility).
+  // magic, unsupported version, truncated, or CRC mismatch), if it still
+  // contains unresolved delta-ref chunks (materialize through an ImageStore
+  // first), or the engine metadata chunk is missing. Components without a
+  // matching chunk keep their freshly built state (forward compatibility).
   bool RestoreImage(const std::vector<uint8_t>& image_bytes);
 
   // Resumes a run primed by RestoreImage — the O(image) restore path.
@@ -149,6 +192,20 @@ class LocalCheckpointEngine : public CheckpointParticipant {
   std::vector<Checkpointable*> components_;
   std::vector<Checkpointable*> extra_components_;
   std::shared_ptr<const std::vector<uint8_t>> last_image_;
+
+  // Per-component capture tracking for delta emission: the version counter
+  // and payload CRC as of the last capture. `valid` means the tracked values
+  // describe a chunk present (directly or via refs) in parent_image_id_.
+  struct ComponentTrack {
+    uint64_t version = 0;
+    uint32_t crc = 0;
+    bool valid = false;
+  };
+
+  ImageStore store_;
+  std::vector<ComponentTrack> tracks_;
+  uint64_t parent_image_id_ = 0;  // 0 = next capture is self-contained
+  CaptureStats last_capture_stats_;
 };
 
 }  // namespace tcsim

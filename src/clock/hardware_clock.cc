@@ -37,12 +37,14 @@ EventHandle HardwareClock::ScheduleAtLocal(SimTime local_time, std::function<voi
 }
 
 void HardwareClock::Rebase() {
+  version_.Bump();
   const SimTime now = sim_->Now();
   offset_ = LocalAt(now) - now;
   ref_ = now;
 }
 
 void HardwareClock::StartNtp() {
+  version_.Bump();
   if (ntp_running_) {
     return;
   }
@@ -52,6 +54,7 @@ void HardwareClock::StartNtp() {
 }
 
 void HardwareClock::StopNtp() {
+  version_.Bump();
   if (!ntp_running_) {
     return;
   }
@@ -72,6 +75,7 @@ void HardwareClock::RegisterInvariants(InvariantRegistry* reg,
 }
 
 void HardwareClock::NtpPoll() {
+  version_.Bump();
   if (!ntp_running_) {
     return;
   }

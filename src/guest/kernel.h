@@ -173,6 +173,7 @@ class GuestKernel : public TimerHost, public Checkpointable {
   void SetResumeTimerLatency(SimTime mean, uint64_t seed) {
     resume_timer_latency_ = mean;
     resume_latency_rng_ = Rng(seed);
+    version_.Bump();
   }
 
   // Approximate kernel state size for checkpoint image accounting.
@@ -191,6 +192,7 @@ class GuestKernel : public TimerHost, public Checkpointable {
   std::string checkpoint_id() const override { return "guest.kernel"; }
   void SaveState(ArchiveWriter* w) const override;
   void RestoreState(ArchiveReader& r) override;
+  uint64_t state_version() const override { return version_.value(); }
 
  private:
   friend class BlockFrontend;
@@ -208,6 +210,10 @@ class GuestKernel : public TimerHost, public Checkpointable {
   void NoteActivityRun(ActivityClass cls);
   EventHandle ScheduleAtVirtualDeadline(SimTime deadline, uint64_t id);
 
+  // Delta-checkpoint instrumentation: every mutation of state that
+  // SaveState serializes must pass through a bump (over-bumping is safe).
+  void BumpStateVersion() { version_.Bump(); }
+
   Simulator* sim_;
   Domain* domain_;
   std::string name_;
@@ -224,6 +230,7 @@ class GuestKernel : public TimerHost, public Checkpointable {
   Rng resume_latency_rng_{0};
   uint64_t activity_counter_ = 0;
   uint64_t inside_activity_counter_ = 0;
+  StateVersion version_;
 };
 
 }  // namespace tcsim

@@ -10,6 +10,7 @@ void Nic::Send(const Packet& pkt) {
 }
 
 void Nic::HandlePacket(const Packet& pkt) {
+  version_.Bump();  // arrival counters and the suspend log are serialized
   ++packets_arrived_;
   if (suspended_) {
     suspend_log_.push_back({pkt, sim_->Now()});
@@ -29,9 +30,13 @@ void Nic::RegisterInvariants(InvariantRegistry* reg, const std::string& name) {
   });
 }
 
-void Nic::Suspend() { suspended_ = true; }
+void Nic::Suspend() {
+  version_.Bump();
+  suspended_ = true;
+}
 
 void Nic::Resume() {
+  version_.Bump();  // suspend flag, log and replay-delay samples mutate
   suspended_ = false;
   // Replay in arrival order. Replayed packets are delivered at the resume
   // instant; receivers time-stamp them with their (frozen-then-resumed)

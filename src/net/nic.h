@@ -83,6 +83,7 @@ class Nic : public PacketHandler, public Checkpointable {
   std::string checkpoint_id() const override { return checkpoint_id_; }
   void SaveState(ArchiveWriter* w) const override;
   void RestoreState(ArchiveReader& r) override;
+  uint64_t state_version() const override { return version_.value(); }
 
  private:
   struct LoggedPacket {
@@ -101,6 +102,7 @@ class Nic : public PacketHandler, public Checkpointable {
   uint64_t packets_logged_ = 0;
   uint64_t packets_arrived_ = 0;
   Samples replay_delays_;
+  StateVersion version_;
 };
 
 }  // namespace tcsim

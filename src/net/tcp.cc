@@ -34,6 +34,7 @@ TcpConnection::TcpConnection(NetworkStack* stack, TimerHost* timers, NodeId peer
 }
 
 void TcpConnection::Connect(std::function<void()> on_connected) {
+  version_.Bump();
   assert(state_ == State::kClosed);
   on_connected_ = std::move(on_connected);
   state_ = State::kSynSent;
@@ -42,6 +43,7 @@ void TcpConnection::Connect(std::function<void()> on_connected) {
 }
 
 void TcpConnection::AcceptSyn(const Packet& syn) {
+  version_.Bump();
   assert(state_ == State::kClosed);
   assert(syn.tcp.syn && !syn.tcp.fin);
   state_ = State::kSynReceived;
@@ -50,17 +52,20 @@ void TcpConnection::AcceptSyn(const Packet& syn) {
 }
 
 void TcpConnection::Send(uint64_t bytes) {
+  version_.Bump();
   stream_end_ += bytes;
   TrySend();
 }
 
 void TcpConnection::SendMessage(uint32_t bytes, std::shared_ptr<AppPayload> payload) {
+  version_.Bump();
   assert(bytes > 0);
   outgoing_messages_[stream_end_ + bytes] = FramedMessage{std::move(payload)};
   Send(bytes);
 }
 
 void TcpConnection::Close() {
+  version_.Bump();
   if (fin_queued_) {
     return;
   }
@@ -213,6 +218,7 @@ void TcpConnection::RetransmitFirstUnacked() {
 }
 
 void TcpConnection::OnRto() {
+  version_.Bump();
   if (state_ == State::kSynSent) {
     SendControl(/*syn=*/true, /*ack=*/false, /*fin=*/false, 0);
     rto_ = std::min<SimTime>(rto_ * 2, params_.max_rto);
@@ -372,6 +378,7 @@ void TcpConnection::Restore(ArchiveReader& r) {
 }
 
 void TcpConnection::HandleSegment(const Packet& pkt) {
+  version_.Bump();
   ++stats_.segments_received;
 
   // Handshake transitions.

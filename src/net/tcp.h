@@ -23,6 +23,7 @@
 #include "src/net/packet.h"
 #include "src/net/timer_host.h"
 #include "src/sim/archive.h"
+#include "src/sim/checkpointable.h"
 #include "src/sim/time.h"
 
 namespace tcsim {
@@ -131,6 +132,12 @@ class TcpConnection {
   // Passive-open entry: reacts to the initial SYN.
   void AcceptSyn(const Packet& syn);
 
+  // Mutation counter over the serialized protocol control block; the stack
+  // folds it into its own state_version() for delta checkpoints. Bumped at
+  // every entry point that can mutate connection state (app calls, segment
+  // arrival, RTO firing).
+  uint64_t state_version() const { return version_.value(); }
+
  private:
   enum class State { kClosed, kSynSent, kSynReceived, kEstablished, kFinished };
 
@@ -215,6 +222,7 @@ class TcpConnection {
   uint32_t last_peer_window_seen_ = 0xFFFFFFFF;
   bool trace_enabled_ = false;
   std::vector<TraceEntry> trace_;
+  StateVersion version_;
 };
 
 }  // namespace tcsim

@@ -54,6 +54,11 @@ class ArchiveWriter {
     data_.insert(data_.end(), p, p + n);
   }
 
+  // Pre-allocates backing storage for `total` bytes. Callers that know the
+  // final image size (e.g. CheckpointImageBuilder::Serialize) reserve once
+  // instead of growing geometrically through multi-megabyte images.
+  void Reserve(size_t total) { data_.reserve(total); }
+
   // Size of the serialized image so far, in bytes.
   size_t size() const { return data_.size(); }
 

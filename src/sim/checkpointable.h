@@ -41,6 +41,30 @@ class Checkpointable {
   // capture time). Implementations must tolerate truncated input by checking
   // r.ok() before trusting counts read from the archive.
   virtual void RestoreState(ArchiveReader& r) = 0;
+
+  // Mutation version counter for delta checkpoints. A component that bumps a
+  // counter on every mutation of serialized state returns it here; the
+  // capture path then skips re-serializing the component when the version is
+  // unchanged since the parent checkpoint. Returning 0 (the default) means
+  // "not instrumented" and the engine falls back to serialize-and-compare-CRC.
+  //
+  // Correctness contract: it is always safe to over-bump (a spurious bump
+  // only costs one redundant payload chunk), but an instrumented component
+  // that mutates serialized state WITHOUT bumping produces stale deltas —
+  // that is a checkpoint-corruption bug. Instrument conservatively.
+  virtual uint64_t state_version() const { return 0; }
+};
+
+// Convenience mutation counter for state_version() implementations: starts at
+// 1 so an instrumented component is distinguishable from the uninstrumented
+// default of 0.
+class StateVersion {
+ public:
+  void Bump() { ++value_; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 1;
 };
 
 }  // namespace tcsim

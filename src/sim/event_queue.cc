@@ -1,69 +1,115 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace tcsim {
 
 void EventHandle::Cancel() {
-  if (state_ != nullptr) {
-    state_->cancelled = true;
+  if (queue_ != nullptr) {
+    queue_->CancelSlot(slot_, generation_);
   }
 }
 
 bool EventHandle::pending() const {
-  return state_ != nullptr && !state_->cancelled && !state_->fired;
+  return queue_ != nullptr && queue_->SlotPending(slot_, generation_);
 }
 
-EventHandle EventQueue::Push(SimTime t, std::function<void()> fn) {
-  auto state = std::make_shared<EventHandle::State>();
-  heap_.push(Entry{t, next_seq_++, std::move(fn), state});
-  ++size_;
-  return EventHandle(std::move(state));
+EventHandle EventQueue::Push(SimTime t, EventFn fn) {
+  uint32_t index;
+  if (free_head_ != kNoSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+    ++slot_reuses_;
+  } else {
+    index = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.live = true;
+  // The sequence number is consumed here, at scheduling time, whether or not
+  // the event later fires — it encodes the scheduling site's position in the
+  // global event-creation order, which is what the determinism digest keys on.
+  const uint64_t seq = next_seq_++;
+  heap_.push_back(HeapEntry{t, seq, index, slot.generation});
+  std::push_heap(heap_.begin(), heap_.end(), After);
+  ++live_;
+  return EventHandle(this, index, slot.generation);
+}
+
+void EventQueue::ReleaseSlot(uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn.Reset();
+  slot.live = false;
+  ++slot.generation;  // invalidates every outstanding handle and heap entry
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+void EventQueue::CancelSlot(uint32_t index, uint32_t generation) {
+  if (index >= slots_.size()) {
+    return;
+  }
+  Slot& slot = slots_[index];
+  if (!slot.live || slot.generation != generation) {
+    return;  // already fired, cancelled, or the slot was reused
+  }
+  ReleaseSlot(index);
+  --live_;
+  // The heap entry stays behind as stale; DropStale discards it when it
+  // surfaces. This keeps Cancel O(1) instead of O(n) heap surgery.
+}
+
+bool EventQueue::SlotPending(uint32_t index, uint32_t generation) const {
+  if (index >= slots_.size()) {
+    return false;
+  }
+  const Slot& slot = slots_[index];
+  return slot.live && slot.generation == generation;
 }
 
 void EventQueue::Clear() {
-  while (!heap_.empty()) {
-    const_cast<Entry&>(heap_.top()).state->cancelled = true;
-    heap_.pop();
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) {
+      ReleaseSlot(i);
+    }
   }
-  size_ = 0;
+  heap_.clear();
+  live_ = 0;
+  // next_seq_ and digest_ are deliberately preserved: they fingerprint the
+  // whole process run across checkpoint restores.
 }
 
-void EventQueue::SkipCancelled() const {
-  while (!heap_.empty() && heap_.top().state->cancelled) {
-    heap_.pop();
-    --size_;
+void EventQueue::DropStale() const {
+  while (!heap_.empty() && Stale(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), After);
+    heap_.pop_back();
   }
-}
-
-bool EventQueue::Empty() const {
-  SkipCancelled();
-  return heap_.empty();
 }
 
 SimTime EventQueue::NextTime() const {
-  SkipCancelled();
+  DropStale();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
-std::function<void()> EventQueue::Pop(SimTime* t) {
-  SkipCancelled();
+EventFn EventQueue::Pop(SimTime* t) {
+  DropStale();
   assert(!heap_.empty());
-  // priority_queue::top() is const; the entry is moved out via const_cast,
-  // which is safe because the element is popped immediately after.
-  Entry& top = const_cast<Entry&>(heap_.top());
+  const HeapEntry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), After);
+  heap_.pop_back();
   *t = top.time;
-  std::function<void()> fn = std::move(top.fn);
-  top.state->fired = true;
+  EventFn fn = std::move(slots_[top.slot].fn);
+  ReleaseSlot(top.slot);
+  --live_;
   // The dispatch order of (time, seq) pairs is the run's determinism
   // fingerprint: seq captures the scheduling site's position in the global
   // event-creation order, time the instant it fired.
   digest_.Mix(static_cast<uint64_t>(top.time));
   digest_.Mix(top.seq);
-  heap_.pop();
-  --size_;
   return fn;
 }
 

@@ -4,23 +4,38 @@
 // number breaks ties), which keeps whole-simulation runs deterministic and
 // reproducible — a requirement for the transparency property tests, which
 // compare two runs event for event.
+//
+// Storage layout (the hot path of every benchmark in this tree):
+//  - Callbacks live in a slab of reusable slots; a freed slot goes on a free
+//    list and its storage (including the EventFn inline capture buffer) is
+//    reused by the next Push. After warm-up, steady-state scheduling and
+//    dispatch perform no heap allocations.
+//  - Handles address slots as {index, generation}. Cancellation bumps the
+//    slot's generation and frees it immediately; the matching heap entry
+//    becomes stale and is skipped when it surfaces. A reused slot invalidates
+//    old handles by construction (their generation no longer matches).
+//  - The binary heap is a plain std::vector of POD entries ordered with
+//    push_heap/pop_heap, so Pop moves the callback out of its slot directly —
+//    no const_cast move from priority_queue::top().
 
 #ifndef TCSIM_SRC_SIM_EVENT_QUEUE_H_
 #define TCSIM_SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "src/sim/digest.h"
+#include "src/sim/event_fn.h"
 #include "src/sim/time.h"
 
 namespace tcsim {
 
+class EventQueue;
+
 // A handle to a scheduled event that allows cancellation. Handles are cheap
-// to copy; a default-constructed handle refers to nothing.
+// to copy; a default-constructed handle refers to nothing. A handle must not
+// outlive the EventQueue it came from (in this tree, component handles always
+// die before the simulator that owns the queue).
 class EventHandle {
  public:
   EventHandle() = default;
@@ -35,14 +50,12 @@ class EventHandle {
  private:
   friend class EventQueue;
 
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
+  EventHandle(EventQueue* queue, uint32_t slot, uint32_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
 
-  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
-
-  std::shared_ptr<State> state_;
+  EventQueue* queue_ = nullptr;
+  uint32_t slot_ = 0;
+  uint32_t generation_ = 0;
 };
 
 // Time-ordered queue of callbacks. Not thread-safe: the simulator is a
@@ -50,20 +63,20 @@ class EventHandle {
 class EventQueue {
  public:
   // Enqueues `fn` to fire at absolute time `t`.
-  EventHandle Push(SimTime t, std::function<void()> fn);
+  EventHandle Push(SimTime t, EventFn fn);
 
   // True if no live (non-cancelled) events remain.
-  bool Empty() const;
+  bool Empty() const { return live_ == 0; }
 
   // Time of the earliest live event. Must not be called when Empty().
   SimTime NextTime() const;
 
   // Removes and returns the earliest live event's callback, recording its
   // timestamp in `t`. Must not be called when Empty().
-  std::function<void()> Pop(SimTime* t);
+  EventFn Pop(SimTime* t);
 
   // Number of live events currently queued.
-  size_t Size() const { return size_; }
+  size_t Size() const { return live_; }
 
   // Discards every pending event (marking outstanding handles as cancelled).
   // Used when a fresh simulator state is installed from a checkpoint image:
@@ -76,27 +89,63 @@ class EventQueue {
   // value after any equal number of steps (see src/sim/digest.h).
   uint64_t digest() const { return digest_.value(); }
 
- private:
-  struct Entry {
-    SimTime time;
-    uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
+  // --- Pool diagnostics (tests and micro-benchmarks) -------------------------
 
-    bool operator>(const Entry& other) const {
-      if (time != other.time) {
-        return time > other.time;
-      }
-      return seq > other.seq;
-    }
+  // Slots ever allocated. Flat across steady-state churn: every Push after
+  // warm-up reuses a freed slot instead of growing the slab.
+  size_t slot_capacity() const { return slots_.size(); }
+
+  // Pushes served by reusing a freed slot (pool hits).
+  uint64_t slot_reuses() const { return slot_reuses_; }
+
+ private:
+  friend class EventHandle;
+
+  static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  struct Slot {
+    EventFn fn;
+    uint32_t generation = 0;
+    uint32_t next_free = kNoSlot;
+    bool live = false;
   };
 
-  // Drops cancelled entries from the head of the heap.
-  void SkipCancelled() const;
+  // POD heap entry; ordering is (time, seq) min-first. `seq` alone breaks
+  // ties, so dispatch order is exactly the legacy priority_queue order.
+  struct HeapEntry {
+    SimTime time;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t generation;
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  mutable size_t size_ = 0;
+  static bool After(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.seq > b.seq;
+  }
+
+  bool Stale(const HeapEntry& e) const {
+    const Slot& s = slots_[e.slot];
+    return !s.live || s.generation != e.generation;
+  }
+
+  // Drops stale (cancelled) entries from the top of the heap.
+  void DropStale() const;
+
+  // Returns the slot to the free list and invalidates outstanding handles.
+  void ReleaseSlot(uint32_t index);
+
+  void CancelSlot(uint32_t index, uint32_t generation);
+  bool SlotPending(uint32_t index, uint32_t generation) const;
+
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoSlot;
+  mutable std::vector<HeapEntry> heap_;
+  size_t live_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t slot_reuses_ = 0;
   Fnv1aDigest digest_;
 };
 

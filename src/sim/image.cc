@@ -1,5 +1,6 @@
 #include "src/sim/image.h"
 
+#include <cassert>
 #include <utility>
 
 #include "src/sim/archive.h"
@@ -23,6 +24,11 @@ const uint32_t* Crc32Table() {
   return table;
 }
 
+// Serialized size of a length-prefixed string.
+size_t StringWireSize(const std::string& s) {
+  return sizeof(uint64_t) + s.size();
+}
+
 }  // namespace
 
 uint32_t Crc32(const uint8_t* data, size_t n) {
@@ -34,9 +40,16 @@ uint32_t Crc32(const uint8_t* data, size_t n) {
   return crc ^ 0xFFFFFFFFu;
 }
 
-void CheckpointImageBuilder::AddChunk(const std::string& id,
+void CheckpointImageBuilder::AddChunk(std::string id,
                                       std::vector<uint8_t> payload) {
-  chunks_.emplace_back(id, std::move(payload));
+  chunks_.push_back(
+      PendingChunk{std::move(id), kChunkKindPayload, std::move(payload), 0});
+}
+
+void CheckpointImageBuilder::AddDeltaChunk(std::string id,
+                                           uint32_t expected_parent_crc) {
+  chunks_.push_back(
+      PendingChunk{std::move(id), kChunkKindDeltaRef, {}, expected_parent_crc});
 }
 
 void CheckpointImageBuilder::Add(const Checkpointable& c) {
@@ -45,16 +58,56 @@ void CheckpointImageBuilder::Add(const Checkpointable& c) {
   AddChunk(c.checkpoint_id(), w.Take());
 }
 
+void CheckpointImageBuilder::SetDeltaHeader(uint64_t image_id,
+                                            uint64_t parent_id) {
+  delta_header_ = true;
+  image_id_ = image_id;
+  parent_id_ = parent_id;
+}
+
 std::vector<uint8_t> CheckpointImageBuilder::Serialize() const {
+  bool has_delta_chunks = false;
+  size_t total = 3 * sizeof(uint32_t) + sizeof(uint64_t);  // v1 header bound
+  for (const PendingChunk& c : chunks_) {
+    total += StringWireSize(c.id) + sizeof(uint8_t);
+    if (c.kind == kChunkKindPayload) {
+      total += sizeof(uint64_t) + sizeof(uint32_t) + c.payload.size();
+    } else {
+      total += sizeof(uint32_t);
+      has_delta_chunks = true;
+    }
+  }
+  // A delta ref is meaningless without a parent to resolve it against;
+  // readers reject such images, so refuse to build one.
+  assert(!(has_delta_chunks && (!delta_header_ || parent_id_ == 0)));
+  (void)has_delta_chunks;
+
+  const bool v2 = delta_header_;
+  if (v2) {
+    total += 2 * sizeof(uint64_t);
+  }
+
   ArchiveWriter w;
+  w.Reserve(total);
   w.Write<uint32_t>(kImageMagic);
-  w.Write<uint32_t>(kImageFormatVersion);
+  w.Write<uint32_t>(v2 ? kImageFormatVersionDelta : kImageFormatVersion);
+  if (v2) {
+    w.Write<uint64_t>(image_id_);
+    w.Write<uint64_t>(parent_id_);
+  }
   w.Write<uint64_t>(chunks_.size());
-  for (const auto& [id, payload] : chunks_) {
-    w.WriteString(id);
-    w.Write<uint64_t>(payload.size());
-    w.Write<uint32_t>(Crc32(payload));
-    w.WriteBytes(payload.data(), payload.size());
+  for (const PendingChunk& c : chunks_) {
+    w.WriteString(c.id);
+    if (v2) {
+      w.Write<uint8_t>(c.kind);
+    }
+    if (c.kind == kChunkKindPayload) {
+      w.Write<uint64_t>(c.payload.size());
+      w.Write<uint32_t>(Crc32(c.payload));
+      w.WriteBytes(c.payload.data(), c.payload.size());
+    } else {
+      w.Write<uint32_t>(c.expected_crc);
+    }
   }
   return w.Take();
 }
@@ -67,9 +120,15 @@ CheckpointImageView::CheckpointImageView(const std::vector<uint8_t>& image) {
     return;
   }
   version_ = r.Read<uint32_t>();
-  if (!r.ok() || version_ != kImageFormatVersion) {
+  if (!r.ok() || (version_ != kImageFormatVersion &&
+                  version_ != kImageFormatVersionDelta)) {
     Fail("unsupported format version " + std::to_string(version_));
     return;
+  }
+  const bool v2 = version_ == kImageFormatVersionDelta;
+  if (v2) {
+    image_id_ = r.Read<uint64_t>();
+    parent_id_ = r.Read<uint64_t>();
   }
   const uint64_t count = r.Read<uint64_t>();
   if (!r.ok()) {
@@ -78,23 +137,57 @@ CheckpointImageView::CheckpointImageView(const std::vector<uint8_t>& image) {
   }
   for (uint64_t i = 0; i < count; ++i) {
     const std::string id = r.ReadString();
-    const uint64_t len = r.Read<uint64_t>();
-    const uint32_t crc = r.Read<uint32_t>();
-    if (!r.ok() || len > r.remaining()) {
-      Fail("truncated chunk table");
-      return;
+    uint8_t kind = kChunkKindPayload;
+    if (v2) {
+      kind = r.Read<uint8_t>();
+      if (r.ok() && kind != kChunkKindPayload && kind != kChunkKindDeltaRef) {
+        Fail("unknown chunk kind in chunk '" + id + "'");
+        return;
+      }
     }
-    std::vector<uint8_t> payload = r.ReadBytes(len);
-    if (!r.ok()) {
-      Fail("truncated chunk payload");
-      return;
+    if (kind == kChunkKindPayload) {
+      const uint64_t len = r.Read<uint64_t>();
+      const uint32_t crc = r.Read<uint32_t>();
+      if (!r.ok() || len > r.remaining()) {
+        Fail("truncated chunk table");
+        return;
+      }
+      std::vector<uint8_t> payload = r.ReadBytes(len);
+      if (!r.ok()) {
+        Fail("truncated chunk payload");
+        return;
+      }
+      if (Crc32(payload) != crc) {
+        Fail("CRC mismatch in chunk '" + id + "'");
+        return;
+      }
+      if (v2 && chunks_.count(id) != 0) {
+        Fail("duplicate chunk id '" + id + "'");
+        return;
+      }
+      // In v1 later duplicates lose; ids are unique in well-formed images.
+      if (chunks_.emplace(id, ParsedChunk{kind, std::move(payload), crc})
+              .second) {
+        order_.push_back(id);
+      }
+    } else {
+      const uint32_t expected_crc = r.Read<uint32_t>();
+      if (!r.ok()) {
+        Fail("truncated delta ref");
+        return;
+      }
+      if (parent_id_ == 0) {
+        Fail("delta ref in chunk '" + id + "' of a parentless image");
+        return;
+      }
+      if (chunks_.count(id) != 0) {
+        Fail("duplicate chunk id '" + id + "'");
+        return;
+      }
+      chunks_.emplace(id, ParsedChunk{kind, {}, expected_crc});
+      order_.push_back(id);
+      ++delta_ref_count_;
     }
-    if (Crc32(payload) != crc) {
-      Fail("CRC mismatch in chunk '" + id + "'");
-      return;
-    }
-    // Later duplicates lose; ids are unique in well-formed images.
-    chunks_.emplace(id, std::move(payload));
   }
   ok_ = true;
 }
@@ -103,15 +196,33 @@ void CheckpointImageView::Fail(const std::string& why) {
   ok_ = false;
   error_ = why;
   chunks_.clear();
+  order_.clear();
+  delta_ref_count_ = 0;
 }
 
 bool CheckpointImageView::HasChunk(const std::string& id) const {
-  return ok_ && chunks_.count(id) != 0;
+  if (!ok_) {
+    return false;
+  }
+  auto it = chunks_.find(id);
+  return it != chunks_.end() && it->second.kind == kChunkKindPayload;
 }
 
 const std::vector<uint8_t>& CheckpointImageView::Chunk(
     const std::string& id) const {
-  return chunks_.at(id);
+  return chunks_.at(id).payload;
+}
+
+bool CheckpointImageView::HasDeltaRef(const std::string& id) const {
+  if (!ok_) {
+    return false;
+  }
+  auto it = chunks_.find(id);
+  return it != chunks_.end() && it->second.kind == kChunkKindDeltaRef;
+}
+
+uint32_t CheckpointImageView::DeltaRefCrc(const std::string& id) const {
+  return chunks_.at(id).crc;
 }
 
 bool CheckpointImageView::RestoreInto(Checkpointable& c) const {

@@ -1,23 +1,40 @@
 // The versioned, chunked checkpoint-image container.
 //
 // A composite node image is a sequence of named chunks, one per
-// Checkpointable component, wrapped in a small self-describing envelope:
+// Checkpointable component, wrapped in a small self-describing envelope.
+//
+// Format v1 (full images only):
 //
 //   header : magic u32 ("TCKP") | format version u32 | chunk count u64
 //   chunk  : id (length-prefixed string) | payload length u64 | CRC32 u32
 //          | payload bytes
 //
+// Format v2 adds delta images. The header carries an image identity and a
+// parent link, and every chunk is tagged with a kind byte:
+//
+//   header : magic u32 | format version u32 (=2) | image id u64
+//          | parent image id u64 | chunk count u64
+//   chunk  : id (length-prefixed string) | kind u8
+//     kind 1 (payload)   : payload length u64 | CRC32 u32 | payload bytes
+//     kind 2 (delta ref) : expected parent CRC32 u32
+//
+// A delta-ref chunk records "this component's state is byte-identical to the
+// same-named chunk of the parent image" — the expected CRC pins *which* parent
+// content was meant, so a chain whose parent was re-captured (or corrupted)
+// is rejected instead of silently resolving to wrong bytes. A v2 image with
+// parent id 0 is self-contained and must not contain delta refs. This is the
+// on-disk analogue of the paper's copy-on-write discipline: per capture,
+// only changed state is re-copied (cf. Remus epochs, DMTCP unchanged-page
+// skipping).
+//
 // Properties:
 //  - Versioned: a reader rejects images whose major format version it does
 //    not understand (no silent misparse of future layouts).
-//  - Integrity-checked: each chunk carries a CRC32 of its payload; a flipped
-//    bit anywhere is detected before any component sees the bytes.
+//  - Integrity-checked: each payload chunk carries a CRC32 of its bytes; a
+//    flipped bit anywhere is detected before any component sees the bytes.
 //  - Forward compatible: chunks are looked up by id, so a reader skips
 //    chunks it does not recognise — an older engine can restore the
 //    components it knows from an image written by a newer one.
-//
-// This is the on-disk/on-wire analogue of the paper's "memory image plus
-// serialized device and Dummynet state" bundle.
 
 #ifndef TCSIM_SRC_SIM_IMAGE_H_
 #define TCSIM_SRC_SIM_IMAGE_H_
@@ -39,57 +56,114 @@ inline uint32_t Crc32(const std::vector<uint8_t>& data) {
 
 inline constexpr uint32_t kImageMagic = 0x504B4354;  // "TCKP" little-endian
 inline constexpr uint32_t kImageFormatVersion = 1;
+inline constexpr uint32_t kImageFormatVersionDelta = 2;
 
-// Builds a composite image from component chunks.
+inline constexpr uint8_t kChunkKindPayload = 1;
+inline constexpr uint8_t kChunkKindDeltaRef = 2;
+
+// Builds a composite image from component chunks. Emits format v1 unless
+// delta features (an image identity or delta-ref chunks) are used, in which
+// case it emits v2.
 class CheckpointImageBuilder {
  public:
-  // Appends a raw chunk. Ids must be unique within one image.
-  void AddChunk(const std::string& id, std::vector<uint8_t> payload);
+  // Appends a raw payload chunk. Ids must be unique within one image. Both
+  // arguments are taken by value and moved into place, so callers that hand
+  // over rvalues pay zero payload copies.
+  void AddChunk(std::string id, std::vector<uint8_t> payload);
 
-  // Serializes `c` into a chunk named by its checkpoint_id().
+  // Appends a delta-ref chunk: "identical to chunk `id` of the parent image,
+  // whose payload CRC32 was `expected_parent_crc`". Requires SetDeltaHeader
+  // with a nonzero parent before Serialize.
+  void AddDeltaChunk(std::string id, uint32_t expected_parent_crc);
+
+  // Serializes `c` into a payload chunk named by its checkpoint_id().
   void Add(const Checkpointable& c);
+
+  // Switches the builder to format v2 with the given identity and parent
+  // link. `parent_id` 0 marks a self-contained image (no delta refs allowed).
+  void SetDeltaHeader(uint64_t image_id, uint64_t parent_id);
 
   size_t chunk_count() const { return chunks_.size(); }
 
-  // Serializes the envelope + all chunks, in insertion order.
+  // Serializes the envelope + all chunks, in insertion order. The output
+  // buffer is sized exactly once (no geometric growth).
   std::vector<uint8_t> Serialize() const;
 
  private:
-  std::vector<std::pair<std::string, std::vector<uint8_t>>> chunks_;
+  struct PendingChunk {
+    std::string id;
+    uint8_t kind;
+    std::vector<uint8_t> payload;   // payload kind
+    uint32_t expected_crc = 0;      // delta-ref kind
+  };
+
+  std::vector<PendingChunk> chunks_;
+  bool delta_header_ = false;
+  uint64_t image_id_ = 0;
+  uint64_t parent_id_ = 0;
 };
 
-// Parses and validates a composite image, then hands chunks out by id.
-// Does not own the image bytes; they must outlive the view.
+// Parses and validates a composite image (format v1 or v2), then hands
+// chunks out by id. Does not own the image bytes; they must outlive the view.
 class CheckpointImageView {
  public:
   explicit CheckpointImageView(const std::vector<uint8_t>& image);
 
   // False if the envelope was malformed: bad magic, unsupported version,
-  // truncation, or any chunk failing its CRC. When false, error() says why
-  // and no chunk is accessible.
+  // truncation, any payload chunk failing its CRC, or a delta ref in an
+  // image without a parent. When false, error() says why and no chunk is
+  // accessible.
   bool ok() const { return ok_; }
   const std::string& error() const { return error_; }
 
   uint32_t format_version() const { return version_; }
-  size_t chunk_count() const { return chunks_.size(); }
+  size_t chunk_count() const { return order_.size(); }
 
+  // v2 identity; both 0 for v1 images.
+  uint64_t image_id() const { return image_id_; }
+  uint64_t parent_id() const { return parent_id_; }
+
+  // True if any chunk is a delta ref (the image cannot be restored without
+  // resolving it against its parent chain — see ImageStore).
+  bool is_delta() const { return delta_ref_count_ != 0; }
+  size_t delta_ref_count() const { return delta_ref_count_; }
+
+  // Payload chunks only: a delta ref is not a chunk you can read.
   bool HasChunk(const std::string& id) const;
 
   // Payload of chunk `id`. Must exist (check HasChunk first).
   const std::vector<uint8_t>& Chunk(const std::string& id) const;
 
-  // Restores `c` from its chunk. Returns false (without touching `c`) if the
-  // image is bad or lacks the chunk; returns false if the component's reader
-  // ran out of bytes mid-restore (partial restores are reported, not hidden).
+  // Delta-ref chunks.
+  bool HasDeltaRef(const std::string& id) const;
+  uint32_t DeltaRefCrc(const std::string& id) const;
+
+  // All chunk ids (payload and delta refs) in file order.
+  const std::vector<std::string>& ChunkIds() const { return order_; }
+
+  // Restores `c` from its payload chunk. Returns false (without touching `c`)
+  // if the image is bad or lacks the chunk; returns false if the component's
+  // reader ran out of bytes mid-restore (partial restores are reported, not
+  // hidden).
   bool RestoreInto(Checkpointable& c) const;
 
  private:
+  struct ParsedChunk {
+    uint8_t kind;
+    std::vector<uint8_t> payload;  // payload kind only
+    uint32_t crc;                  // payload: own CRC; delta ref: parent CRC
+  };
+
   void Fail(const std::string& why);
 
   bool ok_ = false;
   std::string error_;
   uint32_t version_ = 0;
-  std::map<std::string, std::vector<uint8_t>> chunks_;
+  uint64_t image_id_ = 0;
+  uint64_t parent_id_ = 0;
+  size_t delta_ref_count_ = 0;
+  std::map<std::string, ParsedChunk> chunks_;
+  std::vector<std::string> order_;
 };
 
 }  // namespace tcsim

@@ -1,0 +1,95 @@
+// In-memory store of checkpoint images linked into parent chains.
+//
+// The delta capture path (src/checkpoint) emits format-v2 images whose
+// unchanged chunks are delta refs into the previous capture. Something has to
+// own the chain and answer "give me the full bytes of image N" — that is this
+// store. Each Put validates the image against its already-stored parent
+// (missing parents and stale parent CRCs are hard rejections, never silent
+// fallbacks), resolves every chunk to concrete payload bytes, and shares
+// unchanged payloads with the parent via refcounted buffers, so a chain of k
+// checkpoints costs O(changed state), not O(k * full image).
+//
+// Materialize() rebuilds a self-contained image (parent id 0, payload chunks
+// only) from the resolved state — what RestoreImage and the time-travel tree
+// consume. Because resolution happens at Put, pruning ancestors never breaks
+// materialization of the images that remain.
+
+#ifndef TCSIM_SRC_SIM_IMAGE_STORE_H_
+#define TCSIM_SRC_SIM_IMAGE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tcsim {
+
+class ImageStore {
+ public:
+  // Validates and ingests a serialized image; returns its image id, or 0 on
+  // rejection (error() says why; the store is unchanged). Accepted images:
+  //  - format v1 (assigned the next free id, treated as self-contained);
+  //  - format v2 with a fresh nonzero image id, whose parent (if nonzero) is
+  //    already stored and whose every delta ref names a parent chunk with the
+  //    exact expected CRC.
+  uint64_t Put(std::vector<uint8_t> bytes);
+
+  bool Has(uint64_t id) const { return images_.count(id) != 0; }
+  const std::string& error() const { return error_; }
+
+  // Parent image id (0 for self-contained images). Id must be stored.
+  uint64_t ParentOf(uint64_t id) const;
+
+  // Number of delta-ref chunks the image carried when Put (0 = it was
+  // self-contained on the wire).
+  size_t DeltaRefCount(uint64_t id) const;
+
+  // Serialized bytes exactly as Put received them. Id must be stored.
+  const std::vector<uint8_t>& RawBytes(uint64_t id) const;
+
+  // Rebuilds a self-contained format-v2 image (parent 0, all payload chunks,
+  // original chunk order) with the fully resolved content of image `id`.
+  // Returns empty bytes if `id` is not stored.
+  std::vector<uint8_t> Materialize(uint64_t id) const;
+
+  // Drops every image except `keep` (pass 0 to drop everything). Kept images
+  // stay materializable: chunk resolution happened at Put, so ancestors are
+  // not needed afterwards.
+  void PruneExcept(uint64_t keep);
+
+  // Next id Put would assign to a v1 image; also a convenient fresh id for
+  // builders emitting v2 (ids just have to be unique within the store).
+  uint64_t NextId() const { return next_id_; }
+
+  size_t image_count() const { return images_.size(); }
+
+  // Total serialized bytes retained across all stored images — the number the
+  // delta format is meant to shrink.
+  size_t stored_bytes() const { return stored_bytes_; }
+
+ private:
+  struct ResolvedChunk {
+    std::vector<uint8_t> payload;
+    uint32_t crc;
+  };
+
+  struct StoredImage {
+    uint64_t parent = 0;
+    size_t delta_refs = 0;
+    std::vector<uint8_t> raw;
+    std::vector<std::string> order;
+    std::map<std::string, std::shared_ptr<const ResolvedChunk>> resolved;
+  };
+
+  uint64_t Reject(const std::string& why);
+
+  std::map<uint64_t, StoredImage> images_;
+  uint64_t next_id_ = 1;
+  size_t stored_bytes_ = 0;
+  std::string error_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_SIM_IMAGE_STORE_H_

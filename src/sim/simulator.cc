@@ -4,14 +4,14 @@
 
 namespace tcsim {
 
-EventHandle Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+EventHandle Simulator::Schedule(SimTime delay, EventFn fn) {
   if (delay < 0) {
     delay = 0;
   }
   return queue_.Push(now_ + delay, std::move(fn));
 }
 
-EventHandle Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+EventHandle Simulator::ScheduleAt(SimTime t, EventFn fn) {
   if (t < now_) {
     t = now_;
   }
@@ -42,7 +42,7 @@ bool Simulator::Step() {
     return false;
   }
   SimTime t = 0;
-  std::function<void()> fn = queue_.Pop(&t);
+  EventFn fn = queue_.Pop(&t);
   now_ = t;
   ++events_processed_;
   if (fn) {

@@ -10,8 +10,8 @@
 #define TCSIM_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 
+#include "src/sim/event_fn.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/time.h"
 
@@ -29,10 +29,12 @@ class Simulator {
 
   // Schedules `fn` to run `delay` from now. Negative delays are clamped to 0
   // (fires "immediately", after already-queued events at the current time).
-  EventHandle Schedule(SimTime delay, std::function<void()> fn);
+  // EventFn converts implicitly from any void() callable; small captures stay
+  // in the event slot's inline buffer (no allocation).
+  EventHandle Schedule(SimTime delay, EventFn fn);
 
   // Schedules `fn` at absolute time `t`; `t` in the past is clamped to now.
-  EventHandle ScheduleAt(SimTime t, std::function<void()> fn);
+  EventHandle ScheduleAt(SimTime t, EventFn fn);
 
   // Runs events until the queue is exhausted.
   void Run();

@@ -22,6 +22,8 @@ BasicExperimentRun::BasicExperimentRun(Params params)
   node_ = std::make_unique<ExperimentNode>(&sim_, Rng(params_.seed ^ 0xABCD), cfg);
   CheckpointPolicy policy;
   policy.resume_timer_latency = 0;  // digests must be reproducible
+  policy.delta_images = params_.delta_images;
+  policy.retain_image_chain = params_.retain_image_chain;
   engine_ = std::make_unique<LocalCheckpointEngine>(&sim_, node_.get(), policy);
   engine_->AddCheckpointable(this);  // workload progress rides in the image
   Tick();
@@ -133,6 +135,8 @@ CpuExperimentRun::CpuExperimentRun(Params params)
   node_ = std::make_unique<ExperimentNode>(&sim_, Rng(params_.seed ^ 0xC4D7), cfg);
   CheckpointPolicy policy;
   policy.resume_timer_latency = 0;
+  policy.delta_images = params_.delta_images;
+  policy.retain_image_chain = params_.retain_image_chain;
   engine_ = std::make_unique<LocalCheckpointEngine>(&sim_, node_.get(), policy);
   engine_->AddCheckpointable(this);
   StartBurst();

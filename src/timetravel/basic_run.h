@@ -26,6 +26,8 @@ class BasicExperimentRun : public ReplayableRun, public Checkpointable {
     uint64_t seed = 1;              // construction seed (fixed per tree)
     SimTime mean_tick = 5 * kMillisecond;
     uint64_t blocks_per_tick = 4;
+    bool delta_images = true;        // engine emits delta captures
+    bool retain_image_chain = false; // keep the whole chain materializable
   };
 
   explicit BasicExperimentRun(Params params);
@@ -81,6 +83,8 @@ class CpuExperimentRun : public ReplayableRun, public Checkpointable {
     SimTime mean_burst = 8 * kMillisecond;  // CPU work per iteration
     SimTime mean_gap = 3 * kMillisecond;    // sleep between iterations
     uint64_t touched_bytes = 256 * 1024;    // dirtied per iteration
+    bool delta_images = true;
+    bool retain_image_chain = false;
   };
 
   explicit CpuExperimentRun(Params params);

@@ -13,6 +13,7 @@
 #include "src/sim/archive.h"
 #include "src/sim/checkpointable.h"
 #include "src/sim/image.h"
+#include "src/sim/image_store.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/storage/branch_store.h"
@@ -81,8 +82,9 @@ TEST(ImageContainerTest, RejectsUnsupportedFormatVersion) {
   Counter a("a");
   builder.Add(a);
   std::vector<uint8_t> image = builder.Serialize();
-  // The version field follows the u32 magic.
-  const uint32_t future = kImageFormatVersion + 1;
+  // The version field follows the u32 magic. Patch past the delta format —
+  // version 2 is supported now.
+  const uint32_t future = kImageFormatVersionDelta + 1;
   std::memcpy(image.data() + sizeof(uint32_t), &future, sizeof(future));
   CheckpointImageView view(image);
   EXPECT_FALSE(view.ok());
@@ -154,6 +156,214 @@ TEST(ImageContainerTest, ShortChunkReportsPartialRestore) {
   ASSERT_TRUE(view.ok());
   Counter a("a");
   EXPECT_FALSE(view.RestoreInto(a));
+}
+
+// --- Format v2 (delta images) --------------------------------------------------
+
+std::vector<uint8_t> PayloadOf(uint64_t value) {
+  ArchiveWriter w;
+  w.Write<uint64_t>(value);
+  return w.Take();
+}
+
+TEST(DeltaImageTest, SelfContainedV2RoundTrips) {
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(/*image_id=*/5, /*parent_id=*/0);
+  Counter a("a");
+  a.value = 17;
+  builder.Add(a);
+  const std::vector<uint8_t> image = builder.Serialize();
+
+  CheckpointImageView view(image);
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_EQ(view.format_version(), kImageFormatVersionDelta);
+  EXPECT_EQ(view.image_id(), 5u);
+  EXPECT_EQ(view.parent_id(), 0u);
+  EXPECT_FALSE(view.is_delta());
+  Counter a2("a");
+  EXPECT_TRUE(view.RestoreInto(a2));
+  EXPECT_EQ(a2.value, 17u);
+}
+
+TEST(DeltaImageTest, DeltaRefsParseWithIdentityAndCrc) {
+  const std::vector<uint8_t> parent_payload = PayloadOf(17);
+  const uint32_t parent_crc = Crc32(parent_payload);
+
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(/*image_id=*/6, /*parent_id=*/5);
+  builder.AddChunk("changed", PayloadOf(18));
+  builder.AddDeltaChunk("same", parent_crc);
+  const std::vector<uint8_t> image = builder.Serialize();
+
+  CheckpointImageView view(image);
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_EQ(view.image_id(), 6u);
+  EXPECT_EQ(view.parent_id(), 5u);
+  EXPECT_TRUE(view.is_delta());
+  EXPECT_EQ(view.delta_ref_count(), 1u);
+  EXPECT_TRUE(view.HasChunk("changed"));
+  EXPECT_FALSE(view.HasChunk("same"));  // a delta ref is not readable payload
+  EXPECT_TRUE(view.HasDeltaRef("same"));
+  EXPECT_EQ(view.DeltaRefCrc("same"), parent_crc);
+  ASSERT_EQ(view.ChunkIds().size(), 2u);
+  EXPECT_EQ(view.ChunkIds()[0], "changed");
+  EXPECT_EQ(view.ChunkIds()[1], "same");
+}
+
+TEST(DeltaImageTest, RejectsUnknownChunkKind) {
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(1, 0);
+  builder.AddChunk("a", PayloadOf(1));
+  std::vector<uint8_t> image = builder.Serialize();
+  // v2 header is magic u32 | version u32 | image id u64 | parent id u64 |
+  // count u64; the first chunk's kind byte follows its length-prefixed id.
+  const size_t kind_off = 4 + 4 + 8 + 8 + 8 + 8 + 1;
+  ASSERT_EQ(image[kind_off], kChunkKindPayload);
+  image[kind_off] = 7;
+  CheckpointImageView view(image);
+  EXPECT_FALSE(view.ok());
+  EXPECT_NE(view.error().find("kind"), std::string::npos) << view.error();
+}
+
+TEST(DeltaImageTest, RejectsDuplicateChunkIds) {
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(1, 0);
+  builder.AddChunk("a", PayloadOf(1));
+  builder.AddChunk("a", PayloadOf(2));
+  CheckpointImageView view(builder.Serialize());
+  EXPECT_FALSE(view.ok());
+  EXPECT_NE(view.error().find("duplicate"), std::string::npos) << view.error();
+}
+
+TEST(DeltaImageTest, RejectsDeltaRefWithoutParent) {
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(/*image_id=*/6, /*parent_id=*/5);
+  builder.AddDeltaChunk("same", 0xDEADBEEF);
+  std::vector<uint8_t> image = builder.Serialize();
+  // Zero out the parent-id field (offset 16, after magic and version): the
+  // delta ref is now unresolvable and the view must say so.
+  std::memset(image.data() + 16, 0, sizeof(uint64_t));
+  CheckpointImageView view(image);
+  EXPECT_FALSE(view.ok());
+}
+
+TEST(DeltaImageTest, RejectsEveryTruncationPointOfV2) {
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(/*image_id=*/9, /*parent_id=*/8);
+  builder.AddChunk("payload-chunk", PayloadOf(7));
+  builder.AddDeltaChunk("delta-ref-chunk", 0x12345678);
+  const std::vector<uint8_t> image = builder.Serialize();
+  for (size_t len = 0; len < image.size(); ++len) {
+    std::vector<uint8_t> prefix(image.begin(), image.begin() + len);
+    CheckpointImageView view(prefix);
+    EXPECT_FALSE(view.ok()) << "prefix of " << len << " bytes accepted";
+  }
+}
+
+// --- ImageStore (parent chains) -------------------------------------------------
+
+std::vector<uint8_t> FullImage(uint64_t id, uint64_t a, uint64_t b) {
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(id, 0);
+  builder.AddChunk("a", PayloadOf(a));
+  builder.AddChunk("b", PayloadOf(b));
+  return builder.Serialize();
+}
+
+// Delta of FullImage: "a" changed to `a`, "b" unchanged from the parent whose
+// "b" payload carried `parent_b`.
+std::vector<uint8_t> DeltaImage(uint64_t id, uint64_t parent, uint64_t a,
+                                uint64_t parent_b) {
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(id, parent);
+  builder.AddChunk("a", PayloadOf(a));
+  builder.AddDeltaChunk("b", Crc32(PayloadOf(parent_b)));
+  return builder.Serialize();
+}
+
+TEST(ImageStoreTest, MaterializesDeltaChainsToFullImages) {
+  ImageStore store;
+  ASSERT_EQ(store.Put(FullImage(1, 10, 20)), 1u) << store.error();
+  ASSERT_EQ(store.Put(DeltaImage(2, 1, 11, 20)), 2u) << store.error();
+  ASSERT_EQ(store.Put(DeltaImage(3, 2, 12, 20)), 3u) << store.error();
+  EXPECT_EQ(store.ParentOf(3), 2u);
+  EXPECT_EQ(store.DeltaRefCount(3), 1u);
+
+  const std::vector<uint8_t> full = store.Materialize(3);
+  CheckpointImageView view(full);
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_EQ(view.image_id(), 3u);
+  EXPECT_EQ(view.parent_id(), 0u);
+  EXPECT_FALSE(view.is_delta());
+  Counter a("a"), b("b");
+  EXPECT_TRUE(view.RestoreInto(a));
+  EXPECT_TRUE(view.RestoreInto(b));
+  EXPECT_EQ(a.value, 12u);  // from the newest capture
+  EXPECT_EQ(b.value, 20u);  // resolved through the chain to image 1
+}
+
+TEST(ImageStoreTest, AcceptsV1ImagesWithAssignedIds) {
+  CheckpointImageBuilder builder;  // no delta header: emits v1
+  builder.AddChunk("a", PayloadOf(10));
+  ImageStore store;
+  const uint64_t id = store.Put(builder.Serialize());
+  ASSERT_NE(id, 0u) << store.error();
+  EXPECT_EQ(store.ParentOf(id), 0u);
+  CheckpointImageView view(store.Materialize(id));
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_TRUE(view.HasChunk("a"));
+}
+
+TEST(ImageStoreTest, RejectsMissingParent) {
+  ImageStore store;
+  EXPECT_EQ(store.Put(DeltaImage(2, 99, 11, 20)), 0u);
+  EXPECT_NE(store.error().find("parent"), std::string::npos) << store.error();
+  EXPECT_EQ(store.image_count(), 0u);
+}
+
+TEST(ImageStoreTest, RejectsStaleParentCrc) {
+  ImageStore store;
+  ASSERT_EQ(store.Put(FullImage(1, 10, 20)), 1u) << store.error();
+  // Delta claims "b" is unchanged from a parent whose "b" held 21 — but the
+  // stored parent's "b" holds 20. The chain is stale; reject, don't resolve.
+  EXPECT_EQ(store.Put(DeltaImage(2, 1, 11, 21)), 0u);
+  EXPECT_NE(store.error().find("stale"), std::string::npos) << store.error();
+  EXPECT_EQ(store.image_count(), 1u);
+}
+
+TEST(ImageStoreTest, RejectsDeltaRefAbsentInParent) {
+  ImageStore store;
+  ASSERT_EQ(store.Put(FullImage(1, 10, 20)), 1u) << store.error();
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(2, 1);
+  builder.AddDeltaChunk("no-such-chunk", 0x1111);
+  EXPECT_EQ(store.Put(builder.Serialize()), 0u);
+  EXPECT_NE(store.error().find("absent"), std::string::npos) << store.error();
+}
+
+TEST(ImageStoreTest, RejectsDuplicateImageId) {
+  ImageStore store;
+  ASSERT_EQ(store.Put(FullImage(1, 10, 20)), 1u) << store.error();
+  EXPECT_EQ(store.Put(FullImage(1, 30, 40)), 0u);
+  EXPECT_NE(store.error().find("duplicate"), std::string::npos) << store.error();
+}
+
+TEST(ImageStoreTest, PrunedChainStaysMaterializable) {
+  ImageStore store;
+  ASSERT_EQ(store.Put(FullImage(1, 10, 20)), 1u) << store.error();
+  ASSERT_EQ(store.Put(DeltaImage(2, 1, 11, 20)), 2u) << store.error();
+  store.PruneExcept(2);
+  EXPECT_EQ(store.image_count(), 1u);
+  EXPECT_FALSE(store.Has(1));
+  // Resolution happened at Put, so the survivor still materializes fully.
+  CheckpointImageView view(store.Materialize(2));
+  ASSERT_TRUE(view.ok()) << view.error();
+  Counter b("b");
+  EXPECT_TRUE(view.RestoreInto(b));
+  EXPECT_EQ(b.value, 20u);
+  // But a new delta naming the pruned image as parent is a broken chain.
+  EXPECT_EQ(store.Put(DeltaImage(3, 1, 12, 20)), 0u);
+  EXPECT_NE(store.error().find("parent"), std::string::npos) << store.error();
 }
 
 // --- Per-component round trips ------------------------------------------------

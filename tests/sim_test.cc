@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/sim/archive.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
@@ -105,6 +106,145 @@ TEST(SimulatorTest, DeterministicAcrossRuns) {
     return fire_times;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// --- Event-queue slab kernel ----------------------------------------------------
+
+// The exact churn scenario recorded against the pre-slab EventQueue (the
+// shared_ptr + std::function + priority_queue implementation). The digest
+// mixes every fired (time, seq) pair, so a matching value means dispatch
+// order, tie-breaking and cancellation semantics are bit-identical across
+// the rewrite. Do not update the constants to make this pass.
+TEST(EventQueueTest, ChurnDigestMatchesPreSlabKernel) {
+  EventQueue q;
+  uint64_t lcg = 0x123456789ABCDEFull;
+  auto next = [&lcg]() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+  std::vector<EventHandle> handles;
+  uint64_t fired = 0;
+  SimTime now = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      const SimTime t = now + 1 + static_cast<SimTime>(next() % 1000);
+      handles.push_back(q.Push(t, [&fired] { ++fired; }));
+    }
+    // Cancel a deterministic subset, including already-fired handles.
+    for (size_t i = 0; i < handles.size(); i += 3) {
+      handles[i].Cancel();
+    }
+    for (int i = 0; i < 25 && !q.Empty(); ++i) {
+      SimTime t = 0;
+      EventFn fn = q.Pop(&t);
+      now = t;
+      if (fn) {
+        fn();
+      }
+    }
+    if (round % 7 == 0 && !handles.empty()) {
+      handles[handles.size() / 2].Cancel();
+      handles[handles.size() / 2].Cancel();  // repeated cancel is a no-op
+    }
+  }
+  while (!q.Empty()) {
+    SimTime t = 0;
+    EventFn fn = q.Pop(&t);
+    now = t;
+    if (fn) {
+      fn();
+    }
+  }
+  EXPECT_EQ(q.digest(), 0x93a8d47f5b87cd6dull);
+  EXPECT_EQ(fired, 1333u);
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+// Steady-state churn must recycle slots instead of growing the slab: after
+// warm-up, pushing/popping at a bounded outstanding-event count leaves
+// slot_capacity() flat while slot_reuses() keeps climbing.
+TEST(EventQueueTest, SlotPoolReusesInsteadOfGrowing) {
+  EventQueue q;
+  for (int i = 0; i < 64; ++i) {
+    q.Push(i, [] {});
+  }
+  SimTime t = 0;
+  for (int i = 0; i < 64; ++i) {
+    (void)q.Pop(&t);
+  }
+  const size_t warm_capacity = q.slot_capacity();
+  const uint64_t reuses_before = q.slot_reuses();
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      q.Push(t + 1 + i, [] {});
+    }
+    for (int i = 0; i < 64; ++i) {
+      (void)q.Pop(&t);
+    }
+  }
+  EXPECT_EQ(q.slot_capacity(), warm_capacity);
+  EXPECT_EQ(q.slot_reuses() - reuses_before, 64000u);
+  EXPECT_TRUE(q.Empty());
+}
+
+// Popping after heavy cancellation churn: stale heap entries (cancelled, or
+// superseded by slot reuse) must be dropped, never dispatched, and the pop
+// must return the live event with the earliest deadline.
+TEST(EventQueueTest, PopAfterCancellationChurnSkipsStaleEntries) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  int fired_cancelled = 0;
+  int fired_live = 0;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(q.Push(10 + i, [&fired_cancelled] { ++fired_cancelled; }));
+  }
+  // Cancel all but every 10th; the freed slots get reused by new earlier
+  // events, so the heap now holds stale {slot, generation} pairs both for
+  // cancelled events and for reused slots.
+  for (size_t i = 0; i < handles.size(); ++i) {
+    if (i % 10 != 0) {
+      handles[i].Cancel();
+    }
+  }
+  for (int i = 0; i < 30; ++i) {
+    q.Push(5, [&fired_live] { ++fired_live; });
+  }
+  EXPECT_EQ(q.Size(), 40u);  // 10 survivors + 30 new
+  SimTime t = 0;
+  EventFn first = q.Pop(&t);
+  EXPECT_EQ(t, 5);  // earliest live event, not a stale 10+i entry
+  ASSERT_TRUE(static_cast<bool>(first));
+  first();
+  while (!q.Empty()) {
+    EventFn fn = q.Pop(&t);
+    if (fn) {
+      fn();
+    }
+  }
+  EXPECT_EQ(fired_live, 30);
+  EXPECT_EQ(fired_cancelled, 10);  // only the uncancelled survivors
+}
+
+// A handle whose slot was recycled must read as not-pending and its Cancel
+// must not touch the new occupant (the generation check).
+TEST(EventQueueTest, StaleHandleCannotCancelRecycledSlot) {
+  EventQueue q;
+  bool first_fired = false;
+  bool second_fired = false;
+  EventHandle stale = q.Push(1, [&first_fired] { first_fired = true; });
+  SimTime t = 0;
+  EventFn fn = q.Pop(&t);
+  fn();
+  EXPECT_TRUE(first_fired);
+  EXPECT_FALSE(stale.pending());
+  // The freed slot is recycled for a new event; the stale handle points at
+  // the same slot index but an older generation.
+  EventHandle fresh = q.Push(2, [&second_fired] { second_fired = true; });
+  stale.Cancel();  // must be a no-op
+  EXPECT_TRUE(fresh.pending());
+  fn = q.Pop(&t);
+  fn();
+  EXPECT_TRUE(second_fired);
 }
 
 TEST(RngTest, UniformBounds) {

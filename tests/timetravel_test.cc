@@ -5,6 +5,8 @@
 
 #include <memory>
 
+#include "src/sim/image.h"
+#include "src/sim/image_store.h"
 #include "src/timetravel/basic_run.h"
 #include "src/timetravel/distributed_run.h"
 #include "src/timetravel/checkpoint_tree.h"
@@ -121,6 +123,76 @@ TEST(ImageRestoreTest, RestoredDigestMatchesRecordedOnCpuWorkload) {
     EXPECT_TRUE(tree.VerifyImageRestore(id)) << "checkpoint " << id;
     EXPECT_TRUE(tree.VerifyDeterministicReplay(id)) << "checkpoint " << id;
   }
+}
+
+// Runs the same deterministic workload twice — once emitting full images,
+// once emitting a delta chain — captures at the same instants, and verifies
+// that every materialized delta image restores to exactly the state digest
+// the full image restores to. Raw (unmaterialized) delta images must be
+// rejected by the restore path, never half-applied.
+template <typename RunT>
+void VerifyDeltaChainMatchesFullRestores() {
+  typename RunT::Params full_params;
+  full_params.delta_images = false;
+  typename RunT::Params delta_params;
+  delta_params.delta_images = true;
+  delta_params.retain_image_chain = true;
+
+  RunT full(full_params);
+  RunT delta(delta_params);
+
+  struct Recorded {
+    CheckpointCapture full_cap;
+    CheckpointCapture delta_cap;
+    uint64_t image_id = 0;
+  };
+  std::vector<Recorded> caps;
+  for (int k = 1; k <= 4; ++k) {
+    full.AdvanceTo(k * 2 * kSecond);
+    delta.AdvanceTo(k * 2 * kSecond);
+    Recorded rec;
+    rec.full_cap = full.CaptureCheckpoint();
+    rec.delta_cap = delta.CaptureCheckpoint();
+    rec.image_id = delta.engine().last_image_id();
+    // Identical workloads checkpointed at identical instants: the recorded
+    // post-resume digests must agree regardless of the image format.
+    ASSERT_EQ(rec.full_cap.digest, rec.delta_cap.digest) << "capture " << k;
+    caps.push_back(std::move(rec));
+  }
+  // The chain actually deltified: later captures reference their parents.
+  EXPECT_GT(delta.engine().last_capture_stats().delta_chunks, 0u);
+
+  ImageStore& store = delta.engine().image_store();
+  for (size_t k = 0; k < caps.size(); ++k) {
+    const std::vector<uint8_t> materialized = store.Materialize(caps[k].image_id);
+    ASSERT_FALSE(materialized.empty()) << "capture " << k;
+
+    RunT from_full(full_params);
+    std::optional<uint64_t> df = from_full.RestoreFromImage(*caps[k].full_cap.image);
+    RunT from_delta(delta_params);
+    std::optional<uint64_t> dd = from_delta.RestoreFromImage(materialized);
+    ASSERT_TRUE(df.has_value()) << "capture " << k;
+    ASSERT_TRUE(dd.has_value()) << "capture " << k;
+    EXPECT_EQ(*df, caps[k].full_cap.digest) << "capture " << k;
+    EXPECT_EQ(*dd, caps[k].full_cap.digest) << "capture " << k;
+
+    const std::vector<uint8_t>& raw = store.RawBytes(caps[k].image_id);
+    CheckpointImageView raw_view(raw);
+    ASSERT_TRUE(raw_view.ok()) << raw_view.error();
+    if (raw_view.is_delta()) {
+      RunT reject(delta_params);
+      EXPECT_FALSE(reject.RestoreFromImage(raw).has_value())
+          << "raw delta image " << caps[k].image_id << " must be rejected";
+    }
+  }
+}
+
+TEST(DeltaChainRestoreTest, BasicRunDeltaChainRestoresDigestIdentical) {
+  VerifyDeltaChainMatchesFullRestores<BasicExperimentRun>();
+}
+
+TEST(DeltaChainRestoreTest, CpuRunDeltaChainRestoresDigestIdentical) {
+  VerifyDeltaChainMatchesFullRestores<CpuExperimentRun>();
 }
 
 TEST(ImageRestoreTest, ImageReplayContinuesLikeTheOriginalFuture) {
