@@ -9,7 +9,7 @@
 // invoked with --json, the plain-text output is suppressed and BenchMain
 // emits the recorded report as one JSON object on stdout instead — the same
 // numbers, machine-readable, consumed by bench/run_all.sh to build a
-// consolidated BENCH_PR3.json.
+// consolidated JSON document (BENCH_PR4.json by default).
 
 #ifndef TCSIM_BENCH_BENCH_UTIL_H_
 #define TCSIM_BENCH_BENCH_UTIL_H_

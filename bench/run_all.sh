@@ -4,16 +4,18 @@
 #
 #   bench/run_all.sh [build_dir] [out_file]
 #
-# Defaults: build/ and BENCH_PR3.json. Plain POSIX shell, no jq/python —
-# each bench emits exactly one JSON object and this script concatenates them.
+# Defaults: build/ and $BENCH_OUT (BENCH_PR4.json if unset). The bench list
+# can be overridden with $BENCH_LIST (space-separated binary names). Plain
+# POSIX shell, no jq/python — each bench emits exactly one JSON object and
+# this script concatenates them.
 set -u
 
 BUILD="${1:-build}"
-OUT="${2:-BENCH_PR3.json}"
-BENCHES="fig4_sleep_loop fig5_cpu_loop fig6_iperf fig7_bittorrent \
-fig8_cow_storage fig9_background_transfer tab_clock_sync \
+OUT="${2:-${BENCH_OUT:-BENCH_PR4.json}}"
+BENCHES="${BENCH_LIST:-fig4_sleep_loop fig5_cpu_loop fig6_iperf \
+fig7_bittorrent fig8_cow_storage fig9_background_transfer tab_clock_sync \
 tab_free_block_elim tab_stateful_swap tab_restore_path tab_delta_capture \
-ablation_coordination ablation_storage"
+tab_repo_persist ablation_coordination ablation_storage}"
 
 rc=0
 tmp="$(mktemp)"
@@ -29,7 +31,11 @@ trap 'rm -f "$tmp"' EXIT
       rc=1
       continue
     fi
-    if ! "$bin" --json >"$tmp"; then
+    args="--json"
+    # The swap bench persists node state through the durable repository when
+    # asked; the consolidated run always exercises that mode.
+    [ "$b" = "tab_stateful_swap" ] && args="--json --repo"
+    if ! "$bin" $args >"$tmp"; then
       echo "run_all.sh: $b exited non-zero" >&2
       rc=1
     fi

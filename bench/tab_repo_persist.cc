@@ -1,0 +1,231 @@
+// Durable checkpoint repository persistence throughput (new subsystem, no
+// paper counterpart — the paper's file server stores swapped-out state but
+// reports no storage-layer numbers).
+//
+// Measures the wall-clock cost of the repository's four verbs over a
+// synthetic delta chain shaped like a stateful-swap series: one full image
+// followed by deltas that each rewrite a few chunks and pin the rest to the
+// parent by CRC.
+//
+//   put          — chain ingestion (logical MB/s, dedup ratio)
+//   materialize  — streaming read-back of every stored image (MB/s)
+//   compact      — folding the whole chain into self-contained records
+//   gc + reopen  — epoch rewrite, then recovery scan of the new epoch
+//
+// Every phase re-verifies byte identity of the chain head against the
+// pre-phase materialization; a mismatch fails the bench.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/repo/checkpoint_repo.h"
+#include "src/sim/image.h"
+
+namespace tcsim {
+namespace {
+
+constexpr size_t kChunkBytes = 256 * 1024;
+constexpr size_t kChunksPerImage = 16;
+constexpr size_t kDeltaCount = 24;       // chain: 1 full + 24 deltas
+constexpr size_t kRewritesPerDelta = 4;  // chunks changed per delta
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  const double s = std::chrono::duration<double>(dt).count();
+  return s > 1e-9 ? s : 1e-9;
+}
+
+std::vector<uint8_t> ChunkPayload(uint64_t seed) {
+  std::vector<uint8_t> bytes(kChunkBytes);
+  uint64_t x = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (size_t i = 0; i < bytes.size(); i += 8) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    std::memcpy(&bytes[i], &x, 8);
+  }
+  return bytes;
+}
+
+std::string ChunkId(size_t index) { return "blk" + std::to_string(index); }
+
+int Run() {
+  namespace fs = std::filesystem;
+  PrintHeader("repo-persist",
+              "durable checkpoint repository put/materialize/compact/GC");
+
+  const fs::path dir = fs::temp_directory_path() / "tcsim_bench_repo_persist";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  std::string err;
+  std::unique_ptr<CheckpointRepo> repo =
+      CheckpointRepo::Open(dir.string(), RepoOptions{}, &err);
+  if (repo == nullptr) {
+    std::fprintf(stderr, "tab_repo_persist: cannot open repository: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  constexpr double kMiB = 1024.0 * 1024.0;
+  int rc = 0;
+
+  // The evolving guest state: chunk index -> current payload. Deltas rewrite
+  // a sliding window of chunks and pin the rest to the parent by CRC.
+  std::vector<std::vector<uint8_t>> state(kChunksPerImage);
+  uint64_t next_seed = 1;
+  for (size_t c = 0; c < kChunksPerImage; ++c) {
+    state[c] = ChunkPayload(next_seed++);
+  }
+  std::vector<std::vector<uint8_t>> images;
+  {
+    CheckpointImageBuilder full;
+    full.SetDeltaHeader(/*image_id=*/1, /*parent_id=*/0);
+    for (size_t c = 0; c < kChunksPerImage; ++c) {
+      full.AddChunk(ChunkId(c), state[c]);
+    }
+    images.push_back(full.Serialize());
+  }
+  for (size_t d = 1; d <= kDeltaCount; ++d) {
+    CheckpointImageBuilder delta;
+    delta.SetDeltaHeader(/*image_id=*/d + 1, /*parent_id=*/d);
+    const size_t first = (d * kRewritesPerDelta) % kChunksPerImage;
+    for (size_t c = 0; c < kChunksPerImage; ++c) {
+      const bool rewritten =
+          c >= first && c < first + kRewritesPerDelta;
+      if (rewritten) {
+        // Every third delta reverts its window to the base image's content —
+        // repeated payloads that content addressing must store only once.
+        state[c] = ChunkPayload(d % 3 == 0 ? c + 1 : next_seed++);
+        delta.AddChunk(ChunkId(c), state[c]);
+      } else {
+        delta.AddDeltaChunk(ChunkId(c), Crc32(state[c]));
+      }
+    }
+    images.push_back(delta.Serialize());
+  }
+
+  PrintSection("put (full image + delta chain)");
+  std::vector<uint64_t> handles;
+  const auto put_t0 = std::chrono::steady_clock::now();
+  for (const std::vector<uint8_t>& bytes : images) {
+    const uint64_t parent = handles.empty() ? 0 : handles.back();
+    const uint64_t handle = repo->PutImage(bytes, parent);
+    if (handle == 0) {
+      std::fprintf(stderr, "tab_repo_persist: put rejected: %s\n",
+                   repo->error().c_str());
+      return 1;
+    }
+    handles.push_back(handle);
+  }
+  const double put_s = SecondsSince(put_t0);
+  const double logical_mb =
+      static_cast<double>(repo->logical_put_bytes()) / kMiB;
+  const double physical_mb =
+      static_cast<double>(repo->physical_put_bytes()) / kMiB;
+  const double dedup = physical_mb > 0 ? logical_mb / physical_mb : 1.0;
+  PrintValue("images put", static_cast<double>(handles.size()), "images");
+  PrintValue("chain depth at head",
+             static_cast<double>(repo->ChainDepth(handles.back())), "hops");
+  PrintValue("logical bytes put", logical_mb, "MB");
+  PrintValue("physical bytes appended", physical_mb, "MB");
+  PrintValue("dedup ratio (logical/physical)", dedup, "x");
+  PrintValue("put throughput", logical_mb / put_s, "MB/s");
+
+  PrintSection("materialize (streaming read of every image)");
+  const std::vector<uint8_t> head_before = repo->Materialize(handles.back());
+  uint64_t materialized_bytes = 0;
+  const auto mat_t0 = std::chrono::steady_clock::now();
+  for (uint64_t handle : handles) {
+    const std::vector<uint8_t> out = repo->Materialize(handle);
+    if (out.empty()) {
+      std::fprintf(stderr, "tab_repo_persist: materialize failed: %s\n",
+                   repo->error().c_str());
+      return 1;
+    }
+    materialized_bytes += out.size();
+  }
+  const double mat_s = SecondsSince(mat_t0);
+  const double mat_mb = static_cast<double>(materialized_bytes) / kMiB;
+  PrintValue("bytes materialized", mat_mb, "MB");
+  PrintValue("materialize throughput", mat_mb / mat_s, "MB/s");
+
+  PrintSection("compaction (fold every chain to depth 0)");
+  const auto compact_t0 = std::chrono::steady_clock::now();
+  const size_t folded = repo->CompactChains(/*max_depth=*/0);
+  const double compact_s = SecondsSince(compact_t0);
+  PrintValue("images folded", static_cast<double>(folded), "images");
+  PrintValue("compaction time", compact_s * 1000.0, "ms");
+  if (repo->Materialize(handles.back()) != head_before) {
+    PrintNote("COMPACTION CHANGED MATERIALIZED BYTES");
+    rc = 1;
+  }
+
+  PrintSection("GC (retire all but the chain head, rewrite the epoch)");
+  for (size_t i = 0; i + 1 < handles.size(); ++i) {
+    repo->RetireImage(handles[i]);
+  }
+  const auto gc_t0 = std::chrono::steady_clock::now();
+  const CheckpointRepo::GcResult gc = repo->CollectGarbage();
+  const double gc_s = SecondsSince(gc_t0);
+  if (!gc.ok) {
+    std::fprintf(stderr, "tab_repo_persist: GC failed: %s\n",
+                 repo->error().c_str());
+    return 1;
+  }
+  PrintValue("GC time", gc_s * 1000.0, "ms");
+  PrintValue("bytes reclaimed", static_cast<double>(gc.reclaimed_bytes) / kMiB,
+             "MB");
+  PrintValue("live bytes after GC", static_cast<double>(gc.live_bytes) / kMiB,
+             "MB");
+  if (repo->Materialize(handles.back()) != head_before) {
+    PrintNote("GC CHANGED MATERIALIZED BYTES");
+    rc = 1;
+  }
+
+  PrintSection("reopen (recovery scan of the post-GC epoch)");
+  repo.reset();
+  const auto reopen_t0 = std::chrono::steady_clock::now();
+  repo = CheckpointRepo::Open(dir.string(), RepoOptions{}, &err);
+  const double reopen_s = SecondsSince(reopen_t0);
+  if (repo == nullptr) {
+    std::fprintf(stderr, "tab_repo_persist: reopen failed: %s\n", err.c_str());
+    return 1;
+  }
+  PrintValue("reopen time (recovery scan)", reopen_s * 1000.0, "ms");
+  PrintValue("live images after reopen",
+             static_cast<double>(repo->live_image_count()), "images");
+  const bool survivor_ok = repo->Materialize(handles.back()) == head_before;
+  PrintNote(survivor_ok
+                ? "chain head byte-identical through compaction, GC and reopen"
+                : "REOPEN CHANGED MATERIALIZED BYTES");
+  if (!survivor_ok) {
+    rc = 1;
+  }
+
+  char extra[512];
+  std::snprintf(
+      extra, sizeof extra,
+      "{\"put_mb_per_s\": %.6g, \"materialize_mb_per_s\": %.6g, "
+      "\"compact_ms\": %.6g, \"gc_ms\": %.6g, \"reopen_ms\": %.6g, "
+      "\"dedup_ratio\": %.6g, \"verified\": %s}",
+      logical_mb / put_s, mat_mb / mat_s, compact_s * 1000.0, gc_s * 1000.0,
+      reopen_s * 1000.0, dedup, rc == 0 ? "true" : "false");
+  BenchReport::Instance().AddExtra("repo_persist", extra);
+
+  repo.reset();
+  fs::remove_all(dir, ec);
+  return rc;
+}
+
+}  // namespace
+}  // namespace tcsim
+
+int main(int argc, char** argv) {
+  tcsim::BenchMain bm(argc, argv, "tab_repo_persist");
+  return bm.Finish(tcsim::Run());
+}

@@ -12,7 +12,9 @@
 //     blocks get overwritten and re-sent, and the pre-copy is rate-limited).
 
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -20,6 +22,7 @@
 #include "src/emulab/experiment.h"
 #include "src/emulab/experiment_spec.h"
 #include "src/emulab/testbed.h"
+#include "src/repo/checkpoint_repo.h"
 #include "src/sim/simulator.h"
 
 namespace tcsim {
@@ -30,13 +33,19 @@ constexpr uint64_t kSessionDataBytes = 275ull * 1024 * 1024;
 struct CycleTimes {
   std::vector<double> swap_in_s;
   std::vector<double> swap_out_s;
+  bool repo_verified = true;
 };
 
-// Runs four swap cycles; returns per-cycle durations.
+// Runs four swap cycles; returns per-cycle durations. When `repo` is
+// non-null, node state is persisted through the durable checkpoint
+// repository on every swap-out and verified against it on every swap-in.
 CycleTimes RunCycles(bool lazy, bool disk_intensive_during_swapout,
-                     MultiRunAudit* audit) {
+                     MultiRunAudit* audit, CheckpointRepo* repo = nullptr) {
   Simulator sim;
   Testbed testbed(&sim, 7);
+  if (repo != nullptr) {
+    testbed.AttachRepository(repo);
+  }
   ExperimentSpec spec("swap");
   spec.AddNode("pc1");
   Experiment* experiment = testbed.CreateExperiment(spec);
@@ -100,6 +109,7 @@ CycleTimes RunCycles(bool lazy, bool disk_intensive_during_swapout,
     }
     *stop_rewriting = true;
     times.swap_out_s.push_back(ToSeconds(out_rec.duration()));
+    times.repo_verified = times.repo_verified && out_rec.repo_verified;
 
     bool in = false;
     SwapRecord in_rec;
@@ -112,6 +122,7 @@ CycleTimes RunCycles(bool lazy, bool disk_intensive_during_swapout,
       sim.RunUntil(sim.Now() + kSecond);
     }
     times.swap_in_s.push_back(ToSeconds(in_rec.duration()));
+    times.repo_verified = times.repo_verified && in_rec.repo_verified;
     // Sessions are long enough that the lazy background copy-in finishes
     // before the next swap-out (as in the paper's runs).
     const SimTime drain_deadline = sim.Now() + 3600 * kSecond;
@@ -124,7 +135,67 @@ CycleTimes RunCycles(bool lazy, bool disk_intensive_during_swapout,
   return times;
 }
 
-int Run(bool audit_enabled) {
+// Repeats the lazy swap cycles with a durable checkpoint repository attached
+// to the testbed: every swap-out persists node state through the repository
+// and every swap-in verifies the persisted image against the in-memory path.
+// Reports the repository's I/O and dedup accounting.
+int RunRepoBacked(MultiRunAudit* audit) {
+  namespace fs = std::filesystem;
+  PrintSection("repository-backed stateful swap (lazy)");
+  const fs::path dir = fs::temp_directory_path() / "tcsim_bench_swap_repo";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  std::string err;
+  std::unique_ptr<CheckpointRepo> repo =
+      CheckpointRepo::Open(dir.string(), RepoOptions{}, &err);
+  if (repo == nullptr) {
+    std::fprintf(stderr, "tab_stateful_swap: cannot open repository: %s\n",
+                 err.c_str());
+    return 1;
+  }
+
+  const CycleTimes cycles =
+      RunCycles(/*lazy=*/true, /*disk_intensive_during_swapout=*/false, audit,
+                repo.get());
+  constexpr double kMiB = 1024.0 * 1024.0;
+  const double written_mb = static_cast<double>(repo->bytes_written()) / kMiB;
+  const double read_mb = static_cast<double>(repo->bytes_read()) / kMiB;
+  const double dedup =
+      repo->physical_put_bytes() > 0
+          ? static_cast<double>(repo->logical_put_bytes()) /
+                static_cast<double>(repo->physical_put_bytes())
+          : 1.0;
+
+  PrintValue("4th-cycle lazy swap-in (repo-backed)", cycles.swap_in_s.back(),
+             "s");
+  PrintValue("repo bytes written", written_mb, "MB");
+  PrintValue("repo bytes read", read_mb, "MB");
+  PrintValue("repo dedup ratio (logical/physical)", dedup, "x");
+  PrintValue("repo live images", static_cast<double>(repo->live_image_count()),
+             "images");
+  PrintNote(cycles.repo_verified
+                ? "every swap-in verified byte-identical against the repository"
+                : "REPO VERIFICATION FAILED: persisted image diverged");
+
+  char extra[512];
+  std::snprintf(extra, sizeof extra,
+                "{\"bytes_written\": %llu, \"bytes_read\": %llu, "
+                "\"logical_put_bytes\": %llu, \"physical_put_bytes\": %llu, "
+                "\"dedup_ratio\": %.6g, \"verified\": %s}",
+                static_cast<unsigned long long>(repo->bytes_written()),
+                static_cast<unsigned long long>(repo->bytes_read()),
+                static_cast<unsigned long long>(repo->logical_put_bytes()),
+                static_cast<unsigned long long>(repo->physical_put_bytes()),
+                dedup, cycles.repo_verified ? "true" : "false");
+  BenchReport::Instance().AddExtra("repo", extra);
+
+  const int rc = cycles.repo_verified ? 0 : 1;
+  repo.reset();
+  fs::remove_all(dir, ec);
+  return rc;
+}
+
+int Run(bool audit_enabled, bool repo_enabled) {
   PrintHeader("Section 7.2", "stateful swapping performance (4 swap cycles)");
   MultiRunAudit audit(audit_enabled);
 
@@ -175,7 +246,11 @@ int Run(bool audit_enabled) {
   PrintNote("pre-copied blocks overwritten during the copy are sent twice, and the");
   PrintNote("pre-copy rate limiter trades swap time for workload fidelity.");
 
-  return audit.Finish();
+  int rc = 0;
+  if (repo_enabled) {
+    rc |= RunRepoBacked(&audit);
+  }
+  return rc | audit.Finish();
 }
 
 }  // namespace
@@ -183,5 +258,6 @@ int Run(bool audit_enabled) {
 
 int main(int argc, char** argv) {
   tcsim::BenchMain bm(argc, argv, "tab_stateful_swap");
-  return bm.Finish(tcsim::Run(tcsim::HasFlag(argc, argv, "--audit")));
+  return bm.Finish(tcsim::Run(tcsim::HasFlag(argc, argv, "--audit"),
+                              tcsim::HasFlag(argc, argv, "--repo")));
 }

@@ -189,9 +189,33 @@ void LocalCheckpointEngine::BuildCompositeImage() {
   // restore it without consulting this engine's store.
   last_image_ = std::make_shared<const std::vector<uint8_t>>(
       self_contained ? store_.RawBytes(image_id) : store_.Materialize(image_id));
+
+  // Spill-to-repository: persist the capture as emitted (delta against the
+  // previously spilled generation when possible), falling back to a
+  // self-contained materialization when the repository has no usable parent.
+  if (repo_ != nullptr) {
+    uint64_t handle = 0;
+    if (self_contained) {
+      handle = repo_->PutImage(store_.RawBytes(image_id));
+    } else if (repo_parent_handle_ != 0) {
+      handle = repo_->PutImage(store_.RawBytes(image_id), repo_parent_handle_);
+    }
+    if (handle == 0) {
+      handle = repo_->PutImage(store_.Materialize(image_id));
+    }
+    repo_parent_handle_ = handle;
+  }
+
   if (!policy_.retain_image_chain) {
     store_.PruneExcept(image_id);
   }
+}
+
+void LocalCheckpointEngine::AttachRepository(CheckpointRepo* repo) {
+  repo_ = repo;
+  // The repository knows nothing of captures made before attach: the next
+  // spill must be self-contained.
+  repo_parent_handle_ = 0;
 }
 
 bool LocalCheckpointEngine::RestoreImage(const std::vector<uint8_t>& image_bytes) {
@@ -240,6 +264,7 @@ bool LocalCheckpointEngine::RestoreImage(const std::vector<uint8_t>& image_bytes
   // self-contained and restarts the chain.
   parent_image_id_ = 0;
   tracks_.clear();
+  repo_parent_handle_ = 0;  // the spill chain restarts with the image chain
 
   in_progress_ = true;
   hold_after_save_ = true;  // a restored run has no saved-callback to fire

@@ -26,6 +26,7 @@
 
 #include "src/checkpoint/participant.h"
 #include "src/guest/node.h"
+#include "src/repo/checkpoint_repo.h"
 #include "src/sim/checkpointable.h"
 #include "src/sim/image.h"
 #include "src/sim/image_store.h"
@@ -147,6 +148,20 @@ class LocalCheckpointEngine : public CheckpointParticipant {
   // images by id, and hard-rejects broken chains on ingest.
   ImageStore& image_store() { return store_; }
 
+  // --- Spill-to-repository mode ------------------------------------------------
+  //
+  // With a repository attached, every capture is also put durably: delta
+  // captures are stored as deltas against the previous spilled generation
+  // (the repository resolves them on disk), so the per-capture disk cost is
+  // O(changed state) too. If the repository cannot accept the delta (no
+  // spilled parent yet, or it rejects the chain), the engine falls back to
+  // spilling a self-contained materialization. Pass null to detach.
+  void AttachRepository(CheckpointRepo* repo);
+
+  // Repository handle of the last spilled capture (0 before the first
+  // capture after attach, or if the last spill failed — see repo errors).
+  uint64_t last_repo_handle() const { return repo_parent_handle_; }
+
   // Applies a composite image to this engine's (freshly built, running)
   // experiment and leaves it suspended-held at the saved instant. Returns
   // false without touching the run if the container is malformed (bad
@@ -206,6 +221,9 @@ class LocalCheckpointEngine : public CheckpointParticipant {
   std::vector<ComponentTrack> tracks_;
   uint64_t parent_image_id_ = 0;  // 0 = next capture is self-contained
   CaptureStats last_capture_stats_;
+
+  CheckpointRepo* repo_ = nullptr;       // not owned
+  uint64_t repo_parent_handle_ = 0;      // last spilled generation
 };
 
 }  // namespace tcsim

@@ -224,6 +224,30 @@ void Experiment::StatefulSwapOut(bool eager_precopy,
           for (const LocalCheckpointRecord& local : ckpt.locals) {
             last_image_bytes_[local.participant] = local.image_bytes;
           }
+          // Persist every node's checkpoint image in the fs server's durable
+          // repository while the experiment is held. The previous swap
+          // generation is retired only after its replacement is committed.
+          if (CheckpointRepo* repo = testbed_->repo(); repo != nullptr) {
+            const uint64_t io_before = repo->bytes_written();
+            for (const std::string& name : node_order_) {
+              const auto image = nodes_[name].engine->last_image();
+              if (image == nullptr) {
+                continue;
+              }
+              const uint64_t handle = repo->PutImage(*image);
+              if (handle == 0) {
+                record->repo_verified = false;
+                continue;
+              }
+              const auto prev = swap_repo_handles_.find(name);
+              if (prev != swap_repo_handles_.end() &&
+                  repo->IsLive(prev->second)) {
+                repo->RetireImage(prev->second);
+              }
+              swap_repo_handles_[name] = handle;
+            }
+            record->repo_bytes_written = repo->bytes_written() - io_before;
+          }
           for (const std::string& name : node_order_) {
             MappedNode& mapped = nodes_[name];
             const uint64_t live = mapped.node->store().LiveDeltaBlocks();
@@ -271,6 +295,28 @@ void Experiment::StatefulSwapIn(bool lazy, std::function<void(const SwapRecord&)
   record->kind = SwapRecord::Kind::kStatefulSwapIn;
   record->started = sim_->Now();
   record->lazy = lazy;
+
+  // Read each node's image back from the durable repository and prove it
+  // byte-identical to what the engine's own store would materialize — the
+  // held run resumes from verified state.
+  if (CheckpointRepo* repo = testbed_->repo(); repo != nullptr) {
+    const uint64_t io_before = repo->bytes_read();
+    for (const std::string& name : node_order_) {
+      const auto handle_it = swap_repo_handles_.find(name);
+      if (handle_it == swap_repo_handles_.end()) {
+        continue;
+      }
+      LocalCheckpointEngine* engine = nodes_[name].engine.get();
+      const std::vector<uint8_t> from_repo =
+          repo->Materialize(handle_it->second);
+      const std::vector<uint8_t> expected =
+          engine->image_store().Materialize(engine->last_image_id());
+      if (from_repo.empty() || from_repo != expected) {
+        record->repo_verified = false;
+      }
+    }
+    record->repo_bytes_read = repo->bytes_read() - io_before;
+  }
 
   // Per-node memory images stream back in parallel over each node's NFS
   // path to the fs server.

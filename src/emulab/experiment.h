@@ -34,6 +34,12 @@ struct SwapRecord {
   uint64_t bytes_transferred = 0;
   bool lazy = false;          // stateful swap-in: lazy disk copy-in
   bool golden_cached = true;  // initial swap-in: was the base image cached?
+  // Durable-repository accounting (zero unless the testbed has a repository
+  // attached): file bytes written by swap-out puts / read by swap-in
+  // materialization, and whether every image read back byte-identical.
+  uint64_t repo_bytes_written = 0;
+  uint64_t repo_bytes_read = 0;
+  bool repo_verified = true;
   SimTime duration() const { return finished - started; }
 };
 
@@ -130,6 +136,8 @@ class Experiment {
   uint64_t last_swapout_delta_bytes_ = 0;
   // Memory image sizes captured at the last swap-out, per node.
   std::unordered_map<std::string, uint64_t> last_image_bytes_;
+  // Repository handles of the current swap generation, per node.
+  std::unordered_map<std::string, uint64_t> swap_repo_handles_;
 };
 
 }  // namespace tcsim

@@ -73,6 +73,14 @@ class Testbed {
   // Allocates a fresh guest NodeId.
   NodeId AllocateNodeId() { return next_node_id_++; }
 
+  // Attaches the fs server's durable checkpoint repository. With one
+  // attached, stateful swap-out puts every node's checkpoint image into it
+  // (retiring the previous swap generation) and stateful swap-in reads the
+  // images back, verifying them byte-for-byte against the engines' stores.
+  // Not owned; pass null to detach.
+  void AttachRepository(CheckpointRepo* repo) { repo_ = repo; }
+  CheckpointRepo* repo() { return repo_; }
+
  private:
   Simulator* sim_;
   TestbedConfig config_;
@@ -83,6 +91,7 @@ class Testbed {
   std::unique_ptr<NetworkStack> fs_stack_;
   std::unique_ptr<Lan> control_lan_;
   NodeId next_node_id_ = 1;
+  CheckpointRepo* repo_ = nullptr;
   std::vector<std::unique_ptr<Experiment>> experiments_;
 };
 

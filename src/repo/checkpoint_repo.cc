@@ -1,0 +1,738 @@
+#include "src/repo/checkpoint_repo.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "src/sim/archive.h"
+#include "src/sim/image.h"
+
+namespace tcsim {
+
+namespace {
+
+constexpr uint8_t kJournalNextHandle = 4;
+
+std::string SegmentPath(const std::string& dir, uint64_t epoch) {
+  return dir + "/segment." + std::to_string(epoch);
+}
+
+std::string JournalPath(const std::string& dir, uint64_t epoch) {
+  return dir + "/journal." + std::to_string(epoch);
+}
+
+std::string CurrentPath(const std::string& dir) { return dir + "/CURRENT"; }
+
+// Atomically (via rename) points CURRENT at `epoch`.
+bool WriteCurrent(const std::string& dir, uint64_t epoch) {
+  const std::string tmp = CurrentPath(dir) + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool wrote =
+      std::fprintf(f, "epoch %" PRIu64 "\n", epoch) > 0 && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote) {
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, CurrentPath(dir), ec);
+  return !ec;
+}
+
+// Reads the epoch named by CURRENT; 0 on parse failure.
+uint64_t ReadCurrent(const std::string& dir) {
+  std::FILE* f = std::fopen(CurrentPath(dir).c_str(), "rb");
+  if (f == nullptr) {
+    return 0;
+  }
+  uint64_t epoch = 0;
+  const int n = std::fscanf(f, "epoch %" SCNu64, &epoch);
+  std::fclose(f);
+  return n == 1 ? epoch : 0;
+}
+
+}  // namespace
+
+CheckpointRepo::CheckpointRepo(std::string dir, RepoOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+CheckpointRepo::~CheckpointRepo() = default;
+
+std::unique_ptr<CheckpointRepo> CheckpointRepo::Open(const std::string& dir,
+                                                     RepoOptions options,
+                                                     std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  auto repo =
+      std::unique_ptr<CheckpointRepo>(new CheckpointRepo(dir, options));
+
+  if (!std::filesystem::exists(CurrentPath(dir), ec)) {
+    // Fresh repository: epoch 1, empty pair, then publish CURRENT.
+    repo->segment_ = SegmentFile::Create(SegmentPath(dir, 1), error);
+    if (repo->segment_ == nullptr) {
+      return nullptr;
+    }
+    repo->journal_ = JournalWriter::Create(JournalPath(dir, 1), error);
+    if (repo->journal_ == nullptr) {
+      return nullptr;
+    }
+    if (!WriteCurrent(dir, 1)) {
+      *error = "cannot publish CURRENT in " + dir;
+      return nullptr;
+    }
+    return repo;
+  }
+
+  const uint64_t epoch = ReadCurrent(dir);
+  if (epoch == 0) {
+    *error = "corrupt CURRENT pointer in " + dir;
+    return nullptr;
+  }
+  repo->epoch_ = epoch;
+
+  std::vector<JournalRecord> journal_records;
+  uint64_t valid_prefix = 0;
+  if (!ReadJournal(JournalPath(dir, epoch), &journal_records, &valid_prefix,
+                   error)) {
+    return nullptr;
+  }
+  repo->segment_ = SegmentFile::OpenExisting(SegmentPath(dir, epoch), error);
+  if (repo->segment_ == nullptr) {
+    return nullptr;
+  }
+  // Replay. Every payload referenced by a visible record is read back and
+  // CRC-verified before the repository declares itself open.
+  for (const JournalRecord& rec : journal_records) {
+    if (!repo->ApplyJournalRecord(rec)) {
+      *error = "recovery failed: " + repo->error_;
+      return nullptr;
+    }
+  }
+  repo->journal_ =
+      JournalWriter::OpenExisting(JournalPath(dir, epoch), valid_prefix, error);
+  if (repo->journal_ == nullptr) {
+    return nullptr;
+  }
+  repo->RebuildRetention();
+
+  // Best-effort cleanup of pairs superseded before a crash could delete them.
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const bool stale_pair =
+        (name.rfind("segment.", 0) == 0 || name.rfind("journal.", 0) == 0) &&
+        name != "segment." + std::to_string(epoch) &&
+        name != "journal." + std::to_string(epoch);
+    if (stale_pair || name == "CURRENT.tmp") {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  return repo;
+}
+
+uint64_t CheckpointRepo::Reject(const std::string& why) {
+  error_ = why;
+  return 0;
+}
+
+std::vector<uint8_t> CheckpointRepo::EncodeImageRecord(uint64_t handle,
+                                                       const ImageRecord& rec) {
+  ArchiveWriter w;
+  w.Write<uint64_t>(handle);
+  w.Write<uint64_t>(rec.embedded_id);
+  w.Write<uint64_t>(rec.embedded_parent);
+  w.Write<uint64_t>(rec.parent_handle);
+  w.Write<uint64_t>(rec.chunks.size());
+  for (const ChunkRef& cr : rec.chunks) {
+    w.WriteString(cr.id);
+    w.Write<uint8_t>(cr.kind);
+    if (cr.kind == kRepoChunkPayloadRef) {
+      w.Write<uint64_t>(cr.key.hash);
+      w.Write<uint32_t>(cr.key.crc);
+      w.Write<uint64_t>(cr.key.size);
+      w.Write<uint64_t>(cr.offset);
+    } else {
+      w.Write<uint32_t>(cr.expected_crc);
+    }
+  }
+  return w.Take();
+}
+
+bool CheckpointRepo::DecodeImageRecord(const std::vector<uint8_t>& payload,
+                                       uint64_t* handle, ImageRecord* rec) {
+  ArchiveReader r(payload);
+  *handle = r.Read<uint64_t>();
+  rec->embedded_id = r.Read<uint64_t>();
+  rec->embedded_parent = r.Read<uint64_t>();
+  rec->parent_handle = r.Read<uint64_t>();
+  const uint64_t count = r.Read<uint64_t>();
+  if (!r.ok()) {
+    return false;
+  }
+  rec->chunks.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    ChunkRef cr;
+    cr.id = r.ReadString();
+    cr.kind = r.Read<uint8_t>();
+    if (cr.kind == kRepoChunkPayloadRef) {
+      cr.key.hash = r.Read<uint64_t>();
+      cr.key.crc = r.Read<uint32_t>();
+      cr.key.size = r.Read<uint64_t>();
+      cr.offset = r.Read<uint64_t>();
+    } else if (cr.kind == kRepoChunkParentRef) {
+      cr.expected_crc = r.Read<uint32_t>();
+    } else {
+      return false;
+    }
+    if (!r.ok()) {
+      return false;
+    }
+    rec->chunks.push_back(std::move(cr));
+  }
+  return r.AtEnd();
+}
+
+bool CheckpointRepo::ApplyJournalRecord(const JournalRecord& jrec) {
+  switch (jrec.type) {
+    case kJournalPutImage:
+    case kJournalCompactImage: {
+      uint64_t handle = 0;
+      ImageRecord rec;
+      if (!DecodeImageRecord(jrec.payload, &handle, &rec) || handle == 0) {
+        error_ = "corrupt image record in journal";
+        return false;
+      }
+      const bool is_put = jrec.type == kJournalPutImage;
+      if (is_put && records_.count(handle) != 0) {
+        error_ = "duplicate handle " + std::to_string(handle) + " in journal";
+        return false;
+      }
+      if (!is_put && records_.count(handle) == 0) {
+        error_ = "compaction of unknown handle " + std::to_string(handle);
+        return false;
+      }
+      if (rec.parent_handle != 0 && records_.count(rec.parent_handle) == 0) {
+        error_ = "record references unknown parent handle " +
+                 std::to_string(rec.parent_handle);
+        return false;
+      }
+      // Verify every payload this record makes visible, byte for byte.
+      std::vector<uint8_t> scratch;
+      for (const ChunkRef& cr : rec.chunks) {
+        if (cr.kind == kRepoChunkPayloadRef) {
+          if (!segment_->ReadPayload(cr.offset, cr.key, &scratch)) {
+            error_ = "payload of chunk '" + cr.id +
+                     "' failed verification (handle " +
+                     std::to_string(handle) + ")";
+            return false;
+          }
+          payloads_[cr.key].offset = cr.offset;
+        } else {
+          auto parent_it = records_.find(rec.parent_handle);
+          if (parent_it == records_.end() ||
+              ResolveChunk(parent_it->second, cr.id, cr.expected_crc,
+                           /*check_crc=*/true) == nullptr) {
+            error_ = "delta chunk '" + cr.id +
+                     "' does not resolve (handle " + std::to_string(handle) +
+                     ")";
+            return false;
+          }
+        }
+      }
+      if (is_put) {
+        rec.live = true;
+        records_.emplace(handle, std::move(rec));
+      } else {
+        ImageRecord& existing = records_.at(handle);
+        existing.embedded_parent = rec.embedded_parent;
+        existing.parent_handle = rec.parent_handle;
+        existing.chunks = std::move(rec.chunks);
+      }
+      next_handle_ = std::max(next_handle_, handle + 1);
+      return true;
+    }
+    case kJournalRetireImage: {
+      ArchiveReader r(jrec.payload);
+      const uint64_t handle = r.Read<uint64_t>();
+      auto it = records_.find(handle);
+      if (!r.ok() || it == records_.end() || !it->second.live) {
+        error_ = "retire of unknown or already-retired handle " +
+                 std::to_string(handle);
+        return false;
+      }
+      it->second.live = false;
+      return true;
+    }
+    case kJournalNextHandle: {
+      ArchiveReader r(jrec.payload);
+      const uint64_t watermark = r.Read<uint64_t>();
+      if (!r.ok()) {
+        error_ = "corrupt next-handle record in journal";
+        return false;
+      }
+      next_handle_ = std::max(next_handle_, watermark);
+      return true;
+    }
+    default:
+      error_ = "unknown journal record type " + std::to_string(jrec.type);
+      return false;
+  }
+}
+
+const CheckpointRepo::ChunkRef* CheckpointRepo::ResolveChunk(
+    const ImageRecord& rec, const std::string& id, uint32_t expected_crc,
+    bool check_crc) const {
+  const ImageRecord* r = &rec;
+  // Walk the parent chain. The hop bound is a cycle guard; real chains are
+  // as deep as the capture history that built them.
+  for (size_t hops = 0; hops <= records_.size(); ++hops) {
+    const ChunkRef* found = nullptr;
+    for (const ChunkRef& cr : r->chunks) {
+      if (cr.id == id) {
+        found = &cr;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      return nullptr;
+    }
+    if (found->kind == kRepoChunkPayloadRef) {
+      if (check_crc && found->key.crc != expected_crc) {
+        return nullptr;
+      }
+      return found;
+    }
+    // A parent ref along the chain must pin the same content the caller
+    // expects; diverging pins mean the chain was rebuilt underneath us.
+    if (check_crc && found->expected_crc != expected_crc) {
+      return nullptr;
+    }
+    auto it = records_.find(r->parent_handle);
+    if (it == records_.end()) {
+      return nullptr;
+    }
+    r = &it->second;
+  }
+  return nullptr;
+}
+
+uint64_t CheckpointRepo::PutImage(const std::vector<uint8_t>& image_bytes,
+                                  uint64_t parent_handle) {
+  CheckpointImageView view(image_bytes);
+  if (!view.ok()) {
+    return Reject("malformed image: " + view.error());
+  }
+  const uint64_t handle = next_handle_;
+
+  ImageRecord rec;
+  if (view.format_version() == kImageFormatVersion) {
+    rec.embedded_id = handle;  // v1 images carry no identity; assign one
+  } else {
+    rec.embedded_id = view.image_id();
+    if (rec.embedded_id == 0) {
+      return Reject("v2 image without an id");
+    }
+  }
+  rec.embedded_parent = view.parent_id();
+
+  const ImageRecord* parent = nullptr;
+  if (view.delta_ref_count() != 0) {
+    if (parent_handle == 0) {
+      return Reject("delta image requires its parent's handle");
+    }
+    auto it = records_.find(parent_handle);
+    if (it == records_.end() || retained_.count(parent_handle) == 0) {
+      return Reject("unknown or unretained parent handle " +
+                    std::to_string(parent_handle));
+    }
+    if (it->second.embedded_id != view.parent_id()) {
+      return Reject("parent handle names image " +
+                    std::to_string(it->second.embedded_id) +
+                    " but the delta links image " +
+                    std::to_string(view.parent_id()));
+    }
+    parent = &it->second;
+    rec.parent_handle = parent_handle;
+  }
+
+  // Validate the whole chunk table before touching the segment.
+  for (const std::string& id : view.ChunkIds()) {
+    ChunkRef cr;
+    cr.id = id;
+    if (view.HasChunk(id)) {
+      cr.kind = kRepoChunkPayloadRef;
+      cr.key = ContentKeyOf(view.Chunk(id));
+    } else {
+      cr.kind = kRepoChunkParentRef;
+      cr.expected_crc = view.DeltaRefCrc(id);
+      if (ResolveChunk(*parent, id, cr.expected_crc, /*check_crc=*/true) ==
+          nullptr) {
+        return Reject("stale or unresolvable delta ref for chunk '" + id +
+                      "'");
+      }
+    }
+    rec.chunks.push_back(std::move(cr));
+  }
+
+  // Append payloads the segment does not already hold (content dedup), then
+  // commit the journal record behind the durability barrier. A failure after
+  // some appends leaves orphan payload bytes — garbage for the next GC,
+  // never a visible image.
+  for (ChunkRef& cr : rec.chunks) {
+    if (cr.kind != kRepoChunkPayloadRef) {
+      continue;
+    }
+    logical_put_bytes_ += cr.key.size;
+    auto it = payloads_.find(cr.key);
+    if (it != payloads_.end()) {
+      cr.offset = it->second.offset;
+      continue;
+    }
+    cr.offset = segment_->Append(view.Chunk(cr.id));
+    if (cr.offset == 0) {
+      return Reject("segment append failed");
+    }
+    physical_put_bytes_ += cr.key.size;
+    payloads_[cr.key].offset = cr.offset;
+  }
+  if (!Commit(kJournalPutImage, EncodeImageRecord(handle, rec))) {
+    return 0;
+  }
+
+  records_.emplace(handle, std::move(rec));
+  next_handle_ = handle + 1;
+  RebuildRetention();
+  error_.clear();
+  return handle;
+}
+
+bool CheckpointRepo::RetireImage(uint64_t handle) {
+  auto it = records_.find(handle);
+  if (it == records_.end() || !it->second.live) {
+    error_ = "retire of unknown or already-retired handle " +
+             std::to_string(handle);
+    return false;
+  }
+  ArchiveWriter w;
+  w.Write<uint64_t>(handle);
+  if (!Commit(kJournalRetireImage, w.Take())) {
+    return false;
+  }
+  it->second.live = false;
+  RebuildRetention();
+  error_.clear();
+  return true;
+}
+
+std::vector<uint8_t> CheckpointRepo::Materialize(uint64_t handle) {
+  auto it = records_.find(handle);
+  if (it == records_.end()) {
+    error_ = "unknown handle " + std::to_string(handle);
+    return {};
+  }
+  const ImageRecord& rec = it->second;
+  if (!rec.live) {
+    error_ = "handle " + std::to_string(handle) + " is retired";
+    return {};
+  }
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(rec.embedded_id, 0);
+  std::vector<uint8_t> payload;
+  for (const ChunkRef& cr : rec.chunks) {
+    const ChunkRef* src = &cr;
+    if (cr.kind == kRepoChunkParentRef) {
+      auto parent_it = records_.find(rec.parent_handle);
+      src = parent_it == records_.end()
+                ? nullptr
+                : ResolveChunk(parent_it->second, cr.id, cr.expected_crc,
+                               /*check_crc=*/true);
+      if (src == nullptr) {
+        error_ = "broken parent chain at chunk '" + cr.id + "'";
+        return {};
+      }
+    }
+    if (!segment_->ReadPayload(src->offset, src->key, &payload)) {
+      error_ = "payload of chunk '" + cr.id + "' failed CRC verification";
+      return {};
+    }
+    builder.AddChunk(cr.id, std::move(payload));
+    payload.clear();
+  }
+  error_.clear();
+  return builder.Serialize();
+}
+
+size_t CheckpointRepo::CompactChains(size_t max_depth) {
+  size_t folded = 0;
+  for (auto& [handle, rec] : records_) {
+    if (!rec.live || ChainDepth(handle) <= max_depth) {
+      continue;
+    }
+    ImageRecord folded_rec = rec;
+    folded_rec.parent_handle = 0;
+    folded_rec.embedded_parent = 0;
+    bool resolvable = true;
+    for (ChunkRef& cr : folded_rec.chunks) {
+      if (cr.kind != kRepoChunkParentRef) {
+        continue;
+      }
+      auto parent_it = records_.find(rec.parent_handle);
+      const ChunkRef* src =
+          parent_it == records_.end()
+              ? nullptr
+              : ResolveChunk(parent_it->second, cr.id, cr.expected_crc,
+                             /*check_crc=*/true);
+      if (src == nullptr) {
+        resolvable = false;
+        break;
+      }
+      ChunkRef resolved;
+      resolved.id = cr.id;
+      resolved.kind = kRepoChunkPayloadRef;
+      resolved.key = src->key;
+      resolved.offset = src->offset;
+      cr = std::move(resolved);
+    }
+    if (!resolvable) {
+      continue;  // broken chain: leave the record as-is, Materialize reports
+    }
+    if (!Commit(kJournalCompactImage, EncodeImageRecord(handle, folded_rec))) {
+      return folded;
+    }
+    rec = std::move(folded_rec);
+    ++folded;
+  }
+  if (folded != 0) {
+    RebuildRetention();
+  }
+  return folded;
+}
+
+CheckpointRepo::GcResult CheckpointRepo::CollectGarbage() {
+  GcResult result;
+  const uint64_t new_epoch = epoch_ + 1;
+  std::string err;
+  auto new_segment = SegmentFile::Create(SegmentPath(dir_, new_epoch), &err);
+  auto new_journal = JournalWriter::Create(JournalPath(dir_, new_epoch), &err);
+  if (new_segment == nullptr || new_journal == nullptr) {
+    error_ = err;
+    return result;
+  }
+
+  // The handle watermark must survive even if the highest-handled records
+  // are dropped: a reused handle would silently re-bind a caller's stale
+  // reference to a different image.
+  ArchiveWriter watermark;
+  watermark.Write<uint64_t>(next_handle_);
+  if (!new_journal->Append(kJournalNextHandle, watermark.Take())) {
+    error_ = "GC journal write failed";
+    return result;
+  }
+
+  // Copy retained records in handle order (parents precede children), with
+  // payloads deduped into the new segment.
+  std::map<ContentKey, uint64_t> new_offsets;
+  std::map<uint64_t, ImageRecord> new_records;
+  std::vector<uint8_t> payload;
+  for (const auto& [handle, rec] : records_) {
+    if (retained_.count(handle) == 0) {
+      continue;
+    }
+    ImageRecord copy = rec;
+    for (ChunkRef& cr : copy.chunks) {
+      if (cr.kind != kRepoChunkPayloadRef) {
+        continue;
+      }
+      auto it = new_offsets.find(cr.key);
+      if (it == new_offsets.end()) {
+        if (!segment_->ReadPayload(cr.offset, cr.key, &payload)) {
+          error_ = "GC read of chunk '" + cr.id + "' failed verification";
+          return result;
+        }
+        const uint64_t offset = new_segment->Append(payload);
+        if (offset == 0) {
+          error_ = "GC segment write failed";
+          return result;
+        }
+        it = new_offsets.emplace(cr.key, offset).first;
+      }
+      cr.offset = it->second;
+    }
+    if (!new_journal->Append(kJournalPutImage,
+                             EncodeImageRecord(handle, copy))) {
+      error_ = "GC journal write failed";
+      return result;
+    }
+    new_records.emplace(handle, std::move(copy));
+  }
+  // Retired-but-pinned ancestors keep their retired status across the epoch.
+  for (const auto& [handle, rec] : new_records) {
+    if (rec.live) {
+      continue;
+    }
+    ArchiveWriter w;
+    w.Write<uint64_t>(handle);
+    if (!new_journal->Append(kJournalRetireImage, w.Take())) {
+      error_ = "GC journal write failed";
+      return result;
+    }
+  }
+  if (!new_segment->Flush(options_.fsync) || !new_journal->Flush(options_.fsync)) {
+    error_ = "GC flush failed";
+    return result;
+  }
+  // The atomic install point: until this rename, the old epoch is the
+  // repository; after it, the new one is.
+  if (!WriteCurrent(dir_, new_epoch)) {
+    error_ = "cannot publish CURRENT for epoch " + std::to_string(new_epoch);
+    return result;
+  }
+
+  result.reclaimed_bytes = segment_->size() > new_segment->size()
+                               ? segment_->size() - new_segment->size()
+                               : 0;
+  result.live_bytes = new_segment->size();
+
+  retired_io_written_ += segment_->bytes_written() + journal_->bytes_written();
+  retired_io_read_ += segment_->bytes_read();
+  const uint64_t old_epoch = epoch_;
+  segment_ = std::move(new_segment);
+  journal_ = std::move(new_journal);
+  epoch_ = new_epoch;
+  records_ = std::move(new_records);
+  payloads_.clear();
+  for (const auto& [key, offset] : new_offsets) {
+    payloads_[key].offset = offset;
+  }
+  RebuildRetention();
+
+  std::error_code ec;
+  std::filesystem::remove(SegmentPath(dir_, old_epoch), ec);
+  std::filesystem::remove(JournalPath(dir_, old_epoch), ec);
+
+  result.ok = true;
+  error_.clear();
+  return result;
+}
+
+void CheckpointRepo::RebuildRetention() {
+  retained_.clear();
+  for (const auto& [handle, rec] : records_) {
+    if (!rec.live) {
+      continue;
+    }
+    retained_.insert(handle);
+    // Ancestors are needed exactly while records along the chain still carry
+    // unresolved parent refs.
+    const ImageRecord* r = &rec;
+    while (r->parent_handle != 0 &&
+           std::any_of(r->chunks.begin(), r->chunks.end(),
+                       [](const ChunkRef& cr) {
+                         return cr.kind == kRepoChunkParentRef;
+                       })) {
+      auto it = records_.find(r->parent_handle);
+      if (it == records_.end() || !retained_.insert(it->first).second) {
+        break;  // missing (broken chain) or already walked from here up
+      }
+      r = &it->second;
+    }
+  }
+
+  for (auto& [key, entry] : payloads_) {
+    entry.refs = 0;
+  }
+  for (uint64_t handle : retained_) {
+    for (const ChunkRef& cr : records_.at(handle).chunks) {
+      if (cr.kind == kRepoChunkPayloadRef) {
+        ++payloads_[cr.key].refs;
+      }
+    }
+  }
+  live_payload_bytes_ = 0;
+  for (const auto& [key, entry] : payloads_) {
+    if (entry.refs != 0) {
+      live_payload_bytes_ += kSegmentRecordOverhead + key.size;
+    }
+  }
+}
+
+bool CheckpointRepo::Commit(uint8_t type, const std::vector<uint8_t>& payload) {
+  // Durability barrier: every payload byte the record references reaches the
+  // segment before the record itself exists.
+  if (!segment_->Flush(options_.fsync)) {
+    error_ = "segment flush failed";
+    return false;
+  }
+  if (!journal_->Append(type, payload) || !journal_->Flush(options_.fsync)) {
+    error_ = "journal append failed";
+    return false;
+  }
+  return true;
+}
+
+bool CheckpointRepo::IsLive(uint64_t handle) const {
+  auto it = records_.find(handle);
+  return it != records_.end() && it->second.live;
+}
+
+std::vector<uint64_t> CheckpointRepo::LiveHandles() const {
+  std::vector<uint64_t> handles;
+  for (const auto& [handle, rec] : records_) {
+    if (rec.live) {
+      handles.push_back(handle);
+    }
+  }
+  return handles;
+}
+
+uint64_t CheckpointRepo::ImageIdOf(uint64_t handle) const {
+  return records_.at(handle).embedded_id;
+}
+
+uint64_t CheckpointRepo::ParentHandleOf(uint64_t handle) const {
+  return records_.at(handle).parent_handle;
+}
+
+size_t CheckpointRepo::ChainDepth(uint64_t handle) const {
+  size_t depth = 0;
+  const ImageRecord* rec = &records_.at(handle);
+  while (std::any_of(rec->chunks.begin(), rec->chunks.end(),
+                     [](const ChunkRef& cr) {
+                       return cr.kind == kRepoChunkParentRef;
+                     })) {
+    auto it = records_.find(rec->parent_handle);
+    if (it == records_.end() || depth > records_.size()) {
+      break;
+    }
+    rec = &it->second;
+    ++depth;
+  }
+  return depth;
+}
+
+size_t CheckpointRepo::live_image_count() const {
+  size_t count = 0;
+  for (const auto& [handle, rec] : records_) {
+    count += rec.live ? 1 : 0;
+  }
+  return count;
+}
+
+uint64_t CheckpointRepo::garbage_payload_bytes() const {
+  const uint64_t content = segment_->size() - kSegmentHeaderBytes;
+  return content > live_payload_bytes_ ? content - live_payload_bytes_ : 0;
+}
+
+uint64_t CheckpointRepo::bytes_written() const {
+  return retired_io_written_ + segment_->bytes_written() +
+         journal_->bytes_written();
+}
+
+uint64_t CheckpointRepo::bytes_read() const {
+  return retired_io_read_ + segment_->bytes_read();
+}
+
+}  // namespace tcsim

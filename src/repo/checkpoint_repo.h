@@ -1,0 +1,223 @@
+// The durable checkpoint repository: a crash-safe, content-addressed on-disk
+// store of checkpoint images (the reproduction's Emulab file server storage
+// for stateful swap-out, Section 7.2).
+//
+// Layering (see repo_format.h for the byte layout):
+//
+//   CheckpointRepo      image records, parent chains, refcounts, compaction/GC
+//     ├── JournalWriter write-ahead log of put / retire / compact operations
+//     └── SegmentFile   append-only, content-addressed chunk payloads
+//
+// Key properties:
+//  - Content-addressed dedup: a payload is stored once per repository no
+//    matter how many images reference it, so a delta chain's shared chunks
+//    (and identical chunks across unrelated images) cost one copy.
+//  - Atomic multi-chunk publication: payloads are flushed to the segment
+//    before the journal record naming them is appended; a crash between the
+//    two leaves orphan payload bytes (reclaimed by the next GC), never a
+//    visible image with missing bytes.
+//  - Recovery: opening an existing repository replays the journal, truncates
+//    a torn tail, and re-verifies the CRC of every payload referenced by a
+//    visible image. A repository that cannot prove its payloads intact
+//    refuses to open.
+//  - Delta chains on disk: a put may store a format-v2 delta image as-is;
+//    its parent-ref chunks are resolved through the parent chain at read
+//    time. CompactChains() folds chains into self-contained records (pure
+//    payload-ref tables) and a refcount-based GC rewrites the (segment,
+//    journal) pair without unreferenced payloads, installing the new epoch
+//    by an atomic CURRENT rename.
+//  - Materialize(handle) rebuilds the stored image as a self-contained
+//    composite image (src/sim/image.h), byte-identical to what the in-memory
+//    ImageStore::Materialize produces for the same image.
+
+#ifndef TCSIM_SRC_REPO_CHECKPOINT_REPO_H_
+#define TCSIM_SRC_REPO_CHECKPOINT_REPO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/repo/journal.h"
+#include "src/repo/repo_format.h"
+#include "src/repo/segment_file.h"
+
+namespace tcsim {
+
+struct RepoOptions {
+  // fsync the segment and journal at every publication barrier. Off by
+  // default: tests and benches rely on the ordering guarantees of buffered
+  // writes within one process; production swap-out turns it on.
+  bool fsync = false;
+};
+
+class CheckpointRepo {
+ public:
+  // Opens the repository at directory `dir`, creating it (and the directory)
+  // if empty, or recovering an existing one. Null on failure with `error`
+  // set: unreadable files, a corrupt CURRENT pointer, or any visible image
+  // whose payloads fail CRC verification.
+  static std::unique_ptr<CheckpointRepo> Open(const std::string& dir,
+                                              RepoOptions options,
+                                              std::string* error);
+
+  ~CheckpointRepo();
+  CheckpointRepo(const CheckpointRepo&) = delete;
+  CheckpointRepo& operator=(const CheckpointRepo&) = delete;
+
+  // Stores a serialized composite image (format v1 or v2, full or delta) and
+  // returns its repository handle (monotonic, never reused), or 0 on
+  // rejection (error() says why; the repository is unchanged). A delta image
+  // (one carrying parent-ref chunks) requires `parent_handle`: the handle
+  // returned when its parent was put. Validation mirrors ImageStore::Put —
+  // the parent's embedded image id must match the delta's parent link and
+  // every parent-ref CRC must pin actual parent content.
+  uint64_t PutImage(const std::vector<uint8_t>& image_bytes,
+                    uint64_t parent_handle = 0);
+
+  // Marks an image retired (no longer materializable). Its payloads stay on
+  // disk while still referenced — by other images through dedup, or by live
+  // descendants whose delta chunks resolve through this record — and become
+  // garbage once unreferenced. False if the handle is unknown or already
+  // retired.
+  bool RetireImage(uint64_t handle);
+
+  // Rebuilds the stored image as a self-contained composite image, resolving
+  // parent-ref chunks through the on-disk parent chain and re-verifying
+  // every payload CRC as it streams chunks from the segment. Empty on
+  // failure (error() says why).
+  std::vector<uint8_t> Materialize(uint64_t handle);
+
+  // Folds every live image whose delta chain is deeper than `max_depth` into
+  // a self-contained record (all chunks become direct payload refs; content
+  // addressing means no payload bytes are rewritten). Ancestors kept alive
+  // only as chain links become garbage for the next GC. Returns the number
+  // of images folded.
+  size_t CompactChains(size_t max_depth = 0);
+
+  struct GcResult {
+    bool ok = false;
+    uint64_t reclaimed_bytes = 0;  // segment bytes dropped
+    uint64_t live_bytes = 0;       // segment bytes in the new epoch
+  };
+
+  // Rewrites the (segment, journal) pair keeping only retained records and
+  // the payloads they reference, then atomically installs the new epoch via
+  // the CURRENT pointer. Crash-safe: until CURRENT is renamed the old epoch
+  // stays authoritative.
+  GcResult CollectGarbage();
+
+  // --- Introspection -----------------------------------------------------------
+
+  const std::string& error() const { return error_; }
+
+  bool Has(uint64_t handle) const { return records_.count(handle) != 0; }
+  bool IsLive(uint64_t handle) const;
+  // Live handles in ascending order.
+  std::vector<uint64_t> LiveHandles() const;
+
+  // The image id embedded in the stored image's header (v1 images are
+  // assigned their handle). Handle must exist.
+  uint64_t ImageIdOf(uint64_t handle) const;
+  // Parent handle (0 = self-contained record). Handle must exist.
+  uint64_t ParentHandleOf(uint64_t handle) const;
+  // Number of parent hops needed to resolve this record's chunks.
+  size_t ChainDepth(uint64_t handle) const;
+
+  size_t image_count() const { return records_.size(); }
+  size_t live_image_count() const;
+
+  // Space accounting (payload record bytes in the current segment).
+  uint64_t segment_bytes() const { return segment_->size(); }
+  uint64_t live_payload_bytes() const { return live_payload_bytes_; }
+  uint64_t garbage_payload_bytes() const;
+
+  // Dedup accounting: payload bytes offered across all puts vs. bytes
+  // actually appended to segments (both monotonic since this Open).
+  uint64_t logical_put_bytes() const { return logical_put_bytes_; }
+  uint64_t physical_put_bytes() const { return physical_put_bytes_; }
+
+  // Total file I/O, including journal and GC rewrites.
+  uint64_t bytes_written() const;
+  uint64_t bytes_read() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct ChunkRef {
+    std::string id;
+    uint8_t kind = kRepoChunkPayloadRef;
+    ContentKey key;           // payload ref
+    uint64_t offset = 0;      // payload ref: segment offset
+    uint32_t expected_crc = 0;  // parent ref
+  };
+
+  struct ImageRecord {
+    uint64_t embedded_id = 0;
+    uint64_t embedded_parent = 0;
+    uint64_t parent_handle = 0;
+    bool live = true;
+    std::vector<ChunkRef> chunks;
+  };
+
+  CheckpointRepo(std::string dir, RepoOptions options);
+
+  uint64_t Reject(const std::string& why);
+
+  // Serializes / parses the journal payload of a put or compact record.
+  static std::vector<uint8_t> EncodeImageRecord(uint64_t handle,
+                                                const ImageRecord& rec);
+  static bool DecodeImageRecord(const std::vector<uint8_t>& payload,
+                                uint64_t* handle, ImageRecord* rec);
+
+  // Applies one parsed journal record to in-memory state, verifying every
+  // payload reference against the segment. False (with error_) on anything
+  // a crash cannot explain: bad refs, unknown handles, CRC mismatches.
+  bool ApplyJournalRecord(const JournalRecord& rec);
+
+  // Resolves chunk `id` of `rec` to its payload ref, walking parent-ref
+  // chunks up the chain. Null if the chain is broken.
+  const ChunkRef* ResolveChunk(const ImageRecord& rec, const std::string& id,
+                               uint32_t expected_crc, bool check_crc) const;
+
+  // Recomputes the retained set, payload refcounts and live byte count
+  // after any mutation. O(images * chunks) — repository populations are
+  // small; correctness over cleverness.
+  void RebuildRetention();
+
+  // Appends a journal record with the publication barrier (segment flushed
+  // first). False on I/O failure.
+  bool Commit(uint8_t type, const std::vector<uint8_t>& payload);
+
+  std::string dir_;
+  RepoOptions options_;
+  uint64_t epoch_ = 1;
+  std::unique_ptr<SegmentFile> segment_;
+  std::unique_ptr<JournalWriter> journal_;
+
+  std::map<uint64_t, ImageRecord> records_;
+  uint64_t next_handle_ = 1;
+
+  // ContentKey -> (segment offset, refcount among retained records).
+  struct PayloadEntry {
+    uint64_t offset = 0;
+    uint64_t refs = 0;
+  };
+  std::map<ContentKey, PayloadEntry> payloads_;
+  // Handles retained for materialization: live, or an ancestor a live
+  // image's delta chunks resolve through.
+  std::set<uint64_t> retained_;
+
+  uint64_t live_payload_bytes_ = 0;
+  uint64_t logical_put_bytes_ = 0;
+  uint64_t physical_put_bytes_ = 0;
+  uint64_t retired_io_written_ = 0;  // carried across GC epoch swaps
+  uint64_t retired_io_read_ = 0;
+  std::string error_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_REPO_CHECKPOINT_REPO_H_

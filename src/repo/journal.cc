@@ -1,0 +1,157 @@
+#include "src/repo/journal.h"
+
+#include <filesystem>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "src/repo/repo_format.h"
+#include "src/sim/image.h"
+
+namespace tcsim {
+
+namespace {
+
+bool SyncFile(std::FILE* f) {
+#ifdef _WIN32
+  return _commit(_fileno(f)) == 0;
+#else
+  return ::fsync(fileno(f)) == 0;
+#endif
+}
+
+}  // namespace
+
+bool ReadJournal(const std::string& path, std::vector<JournalRecord>* out,
+                 uint64_t* recovered_bytes, std::string* error) {
+  out->clear();
+  *recovered_bytes = 0;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open journal " + path;
+    return false;
+  }
+  uint32_t magic = 0, version = 0;
+  if (std::fread(&magic, sizeof magic, 1, f) != 1 ||
+      std::fread(&version, sizeof version, 1, f) != 1 ||
+      magic != kJournalMagic || version != kRepoFormatVersion) {
+    *error = "bad journal header in " + path;
+    std::fclose(f);
+    return false;
+  }
+  uint64_t good = kJournalHeaderBytes;
+  for (;;) {
+    uint32_t rec_magic = 0;
+    uint8_t type = 0;
+    uint64_t len = 0;
+    if (std::fread(&rec_magic, sizeof rec_magic, 1, f) != 1 ||
+        std::fread(&type, sizeof type, 1, f) != 1 ||
+        std::fread(&len, sizeof len, 1, f) != 1 ||
+        rec_magic != kJournalRecordMagic) {
+      break;  // torn or absent header: the valid prefix ends at `good`
+    }
+    // Guard the length before allocating: a torn length field must not
+    // trigger a huge allocation. Anything claiming to run past EOF is torn.
+    const long here = std::ftell(f);
+    std::fseek(f, 0, SEEK_END);
+    const uint64_t file_size = static_cast<uint64_t>(std::ftell(f));
+    std::fseek(f, here, SEEK_SET);
+    if (len > file_size - static_cast<uint64_t>(here) ||
+        static_cast<uint64_t>(here) + len + sizeof(uint32_t) > file_size) {
+      break;
+    }
+    JournalRecord rec;
+    rec.type = type;
+    rec.payload.resize(len);
+    uint32_t crc = 0;
+    if ((len != 0 && std::fread(rec.payload.data(), 1, len, f) != len) ||
+        std::fread(&crc, sizeof crc, 1, f) != 1 ||
+        crc != Crc32(rec.payload)) {
+      break;
+    }
+    out->push_back(std::move(rec));
+    good += kJournalRecordOverhead + len;
+  }
+  std::fclose(f);
+  *recovered_bytes = good;
+  return true;
+}
+
+JournalWriter::JournalWriter(std::FILE* file, uint64_t size)
+    : file_(file), size_(size) {}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+std::unique_ptr<JournalWriter> JournalWriter::Create(const std::string& path,
+                                                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    *error = "cannot create journal " + path;
+    return nullptr;
+  }
+  const uint32_t magic = kJournalMagic;
+  const uint32_t version = kRepoFormatVersion;
+  if (std::fwrite(&magic, sizeof magic, 1, f) != 1 ||
+      std::fwrite(&version, sizeof version, 1, f) != 1 ||
+      std::fflush(f) != 0) {
+    *error = "cannot write journal header of " + path;
+    std::fclose(f);
+    return nullptr;
+  }
+  auto w = std::unique_ptr<JournalWriter>(
+      new JournalWriter(f, kJournalHeaderBytes));
+  w->bytes_written_ = kJournalHeaderBytes;
+  return w;
+}
+
+std::unique_ptr<JournalWriter> JournalWriter::OpenExisting(
+    const std::string& path, uint64_t append_at, std::string* error) {
+  // Discard a torn tail before appending: a new record written after garbage
+  // would be unreachable on the next replay.
+  std::error_code ec;
+  if (std::filesystem::file_size(path, ec) != append_at) {
+    std::filesystem::resize_file(path, append_at, ec);
+    if (ec) {
+      *error = "cannot truncate journal tail of " + path;
+      return nullptr;
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    *error = "cannot open journal " + path;
+    return nullptr;
+  }
+  return std::unique_ptr<JournalWriter>(new JournalWriter(f, append_at));
+}
+
+bool JournalWriter::Append(uint8_t type, const std::vector<uint8_t>& payload) {
+  const uint32_t magic = kJournalRecordMagic;
+  const uint64_t len = payload.size();
+  const uint32_t crc = Crc32(payload);
+  if (std::fwrite(&magic, sizeof magic, 1, file_) != 1 ||
+      std::fwrite(&type, sizeof type, 1, file_) != 1 ||
+      std::fwrite(&len, sizeof len, 1, file_) != 1 ||
+      (len != 0 && std::fwrite(payload.data(), 1, len, file_) != len) ||
+      std::fwrite(&crc, sizeof crc, 1, file_) != 1) {
+    return false;
+  }
+  size_ += kJournalRecordOverhead + len;
+  bytes_written_ += kJournalRecordOverhead + len;
+  return true;
+}
+
+bool JournalWriter::Flush(bool fsync) {
+  if (std::fflush(file_) != 0) {
+    return false;
+  }
+  return !fsync || SyncFile(file_);
+}
+
+}  // namespace tcsim

@@ -1,0 +1,72 @@
+// Append-only segment file of chunk payloads (see repo_format.h).
+//
+// The segment is the payload half of the repository: every distinct chunk
+// payload is appended exactly once (callers dedup by ContentKey before
+// appending) and addressed by the byte offset of its record. Reads re-verify
+// the record framing and the payload CRC on every access — a flipped bit in
+// the file is detected at the read site, never served to a restore path.
+
+#ifndef TCSIM_SRC_REPO_SEGMENT_FILE_H_
+#define TCSIM_SRC_REPO_SEGMENT_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/repo/repo_format.h"
+
+namespace tcsim {
+
+class SegmentFile {
+ public:
+  // Creates a fresh segment (truncating any existing file) and writes the
+  // header. Null on I/O failure (`error` says why).
+  static std::unique_ptr<SegmentFile> Create(const std::string& path,
+                                             std::string* error);
+
+  // Opens an existing segment for reading and appending. Validates the
+  // header; the record stream itself is validated lazily, read by read
+  // (recovery drives those reads through the journal's references).
+  static std::unique_ptr<SegmentFile> OpenExisting(const std::string& path,
+                                                   std::string* error);
+
+  ~SegmentFile();
+  SegmentFile(const SegmentFile&) = delete;
+  SegmentFile& operator=(const SegmentFile&) = delete;
+
+  // Appends one payload record; returns the record's byte offset, or 0 on
+  // I/O failure (0 is never a valid record offset — the header precedes all
+  // records). Not flushed until Flush().
+  uint64_t Append(const std::vector<uint8_t>& payload);
+
+  // Reads the payload at `offset`, verifying the record magic, the length
+  // and CRC against `expected`, and bounds against the file size. False on
+  // any mismatch; `out` is cleared, never partially filled.
+  bool ReadPayload(uint64_t offset, const ContentKey& expected,
+                   std::vector<uint8_t>* out);
+
+  // Flushes buffered appends to the OS (and to stable storage with `fsync`).
+  bool Flush(bool fsync);
+
+  // Current end-of-file append position (header + all records).
+  uint64_t size() const { return append_pos_; }
+
+  // I/O accounting for benches.
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  SegmentFile(std::FILE* file, std::string path, uint64_t append_pos);
+
+  std::FILE* file_;
+  std::string path_;
+  uint64_t append_pos_;
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_REPO_SEGMENT_FILE_H_

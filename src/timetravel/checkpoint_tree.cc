@@ -4,7 +4,15 @@
 #include <cassert>
 #include <utility>
 
+#include "src/sim/archive.h"
+#include "src/sim/image.h"
+
 namespace tcsim {
+
+namespace {
+// Chunk id of the tree manifest inside its composite-image envelope.
+const char kManifestChunk[] = "timetravel.tree";
+}  // namespace
 
 TimeTravelTree::TimeTravelTree(Factory factory) : factory_(std::move(factory)) {}
 
@@ -116,6 +124,96 @@ bool TimeTravelTree::VerifyImageRestore(int checkpoint_id) {
   auto run = factory_();
   const std::optional<uint64_t> digest = run->RestoreFromImage(*target.image);
   return digest.has_value() && *digest == target.digest;
+}
+
+uint64_t TimeTravelTree::PersistTo(CheckpointRepo* repo) {
+  // Node images first: a manifest only becomes visible once every image it
+  // names is durably in the repository (the same publication discipline the
+  // repository applies to chunks within one image).
+  for (TreeNode& node : nodes_) {
+    if (node.image == nullptr || node.repo_handle != 0) {
+      continue;
+    }
+    const uint64_t handle = repo->PutImage(*node.image);
+    if (handle == 0) {
+      return 0;
+    }
+    node.repo_handle = handle;
+  }
+
+  ArchiveWriter manifest;
+  manifest.Write<uint64_t>(nodes_.size());
+  for (const TreeNode& node : nodes_) {
+    manifest.Write<int32_t>(node.id);
+    manifest.Write<int32_t>(node.parent);
+    manifest.Write<int32_t>(node.branch);
+    manifest.Write<SimTime>(node.time);
+    manifest.Write<uint64_t>(node.image_bytes);
+    manifest.Write<uint64_t>(node.digest);
+    manifest.Write<uint64_t>(node.repo_handle);
+  }
+  manifest.Write<int32_t>(branch_count_);
+
+  CheckpointImageBuilder builder;
+  builder.AddChunk(kManifestChunk, manifest.Take());
+  const uint64_t handle = repo->PutImage(builder.Serialize());
+  if (handle == 0) {
+    return 0;
+  }
+  if (persisted_manifest_ != 0 && repo->IsLive(persisted_manifest_)) {
+    repo->RetireImage(persisted_manifest_);
+  }
+  persisted_manifest_ = handle;
+  return handle;
+}
+
+bool TimeTravelTree::ReopenFrom(CheckpointRepo* repo, uint64_t manifest_handle) {
+  assert(nodes_.empty() && "ReopenFrom requires an empty tree");
+  const std::vector<uint8_t> manifest_image = repo->Materialize(manifest_handle);
+  if (manifest_image.empty()) {
+    return false;
+  }
+  CheckpointImageView view(manifest_image);
+  if (!view.ok() || !view.HasChunk(kManifestChunk)) {
+    return false;
+  }
+  ArchiveReader r(view.Chunk(kManifestChunk));
+  const uint64_t count = r.Read<uint64_t>();
+  if (!r.ok()) {
+    return false;
+  }
+  std::vector<TreeNode> nodes;
+  nodes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TreeNode node;
+    node.id = r.Read<int32_t>();
+    node.parent = r.Read<int32_t>();
+    node.branch = r.Read<int32_t>();
+    node.time = r.Read<SimTime>();
+    node.image_bytes = r.Read<uint64_t>();
+    node.digest = r.Read<uint64_t>();
+    node.repo_handle = r.Read<uint64_t>();
+    if (!r.ok()) {
+      return false;
+    }
+    if (node.repo_handle != 0) {
+      std::vector<uint8_t> image = repo->Materialize(node.repo_handle);
+      if (image.empty()) {
+        return false;
+      }
+      node.image =
+          std::make_shared<const std::vector<uint8_t>>(std::move(image));
+    }
+    nodes.push_back(std::move(node));
+  }
+  const int branches = r.Read<int32_t>();
+  if (!r.AtEnd()) {
+    return false;
+  }
+  nodes_ = std::move(nodes);
+  branch_count_ = branches;
+  persisted_manifest_ = manifest_handle;
+  return true;
 }
 
 SimTime TimeTravelTree::EstimateRestoreTime(int checkpoint_id,

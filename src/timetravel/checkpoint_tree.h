@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/repo/checkpoint_repo.h"
 #include "src/sim/time.h"
 #include "src/timetravel/replayable_run.h"
 
@@ -32,6 +33,9 @@ struct TreeNode {
   // The serialized composite image; null when the run type only supports
   // restore by re-execution. Shared, so thousands of nodes stay cheap.
   std::shared_ptr<const std::vector<uint8_t>> image;
+  // Repository handle of this node's image after PersistTo / ReopenFrom
+  // (0 = not persisted, or the node has no image).
+  uint64_t repo_handle = 0;
 };
 
 // How ReplayFrom reconstructs the state at the branch point.
@@ -71,6 +75,26 @@ class TimeTravelTree {
   // or the digests differ.
   bool VerifyImageRestore(int checkpoint_id);
 
+  // --- Durable persistence -----------------------------------------------------
+  //
+  // A tree survives process restarts through a CheckpointRepo: PersistTo
+  // stores every node image plus a manifest of the tree structure, and
+  // ReopenFrom (in a fresh process, on an empty tree) rebuilds the identical
+  // tree from the repository — same topology, digests, and images, so
+  // VerifyImageRestore and ReplayFrom work exactly as before the restart.
+
+  // Puts every node image (skipping already-persisted nodes) and a tree
+  // manifest into `repo`, retiring the manifest of a previous PersistTo.
+  // Returns the manifest's repository handle, or 0 on failure (repo->error()
+  // says why; the tree itself is unchanged).
+  uint64_t PersistTo(CheckpointRepo* repo);
+
+  // Rebuilds the tree recorded by PersistTo from `repo`. Must be called on
+  // an empty tree (no RecordOriginalRun yet). Node images are materialized
+  // eagerly and re-verified (CRC) as they stream from the repository. False
+  // on failure with the tree left empty.
+  bool ReopenFrom(CheckpointRepo* repo, uint64_t manifest_handle);
+
   // Models the paper's restore path: time to load the images on the rollback
   // path from the local snapshot disk at `disk_rate_bytes_per_sec`.
   SimTime EstimateRestoreTime(int checkpoint_id, uint64_t disk_rate_bytes_per_sec) const;
@@ -107,6 +131,7 @@ class TimeTravelTree {
   std::vector<TreeNode> nodes_;
   int branch_count_ = 0;
   std::unique_ptr<ReplayableRun> active_;
+  uint64_t persisted_manifest_ = 0;  // retired on the next PersistTo
 };
 
 }  // namespace tcsim

@@ -1,0 +1,458 @@
+// The durable checkpoint repository: put/materialize byte-fidelity against
+// the in-memory ImageStore oracle, content dedup, delta-chain storage and
+// compaction, refcount GC with epoch switch, and crash recovery — including
+// an every-byte truncation sweep of both the journal and the segment (the
+// sanitize-preset run of this file is the no-UB durability acceptance check).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/repo/checkpoint_repo.h"
+#include "src/repo/repo_format.h"
+#include "src/sim/archive.h"
+#include "src/sim/image.h"
+#include "src/sim/image_store.h"
+#include "src/timetravel/basic_run.h"
+#include "src/timetravel/checkpoint_tree.h"
+
+namespace tcsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh directory per test, removed on teardown.
+class RepoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::path(::testing::TempDir()) /
+            (std::string("tcsim_repo_") + info->test_suite_name() + "_" +
+             info->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::unique_ptr<CheckpointRepo> OpenRepo() {
+    std::string error;
+    auto repo = CheckpointRepo::Open(dir_, RepoOptions{}, &error);
+    EXPECT_NE(repo, nullptr) << error;
+    return repo;
+  }
+
+  std::string dir_;
+};
+
+std::vector<uint8_t> PayloadOf(uint64_t value) {
+  ArchiveWriter w;
+  w.Write<uint64_t>(value);
+  return w.Take();
+}
+
+// A self-contained v2 image with two payload chunks.
+std::vector<uint8_t> FullImage(uint64_t id, uint64_t a, uint64_t b) {
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(id, 0);
+  builder.AddChunk("a", PayloadOf(a));
+  builder.AddChunk("b", PayloadOf(b));
+  return builder.Serialize();
+}
+
+// A delta image: chunk "a" changed, chunk "b" pinned to the parent's content.
+std::vector<uint8_t> DeltaImage(uint64_t id, uint64_t parent, uint64_t a,
+                                uint64_t parent_b) {
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(id, parent);
+  builder.AddChunk("a", PayloadOf(a));
+  builder.AddDeltaChunk("b", Crc32(PayloadOf(parent_b)));
+  return builder.Serialize();
+}
+
+// --- Put / Materialize fidelity ------------------------------------------------
+
+TEST_F(RepoTest, MaterializeMatchesImageStoreOracle) {
+  // The same images through both stores: the repository's disk materialization
+  // must be byte-identical to the in-memory ImageStore's.
+  ImageStore store;
+  auto repo = OpenRepo();
+
+  const std::vector<uint8_t> full = FullImage(1, 10, 20);
+  const std::vector<uint8_t> delta = DeltaImage(2, 1, 11, 20);
+  ASSERT_EQ(store.Put(full), 1u);
+  ASSERT_EQ(store.Put(delta), 2u);
+  const uint64_t h1 = repo->PutImage(full);
+  ASSERT_NE(h1, 0u) << repo->error();
+  const uint64_t h2 = repo->PutImage(delta, h1);
+  ASSERT_NE(h2, 0u) << repo->error();
+
+  EXPECT_EQ(repo->Materialize(h1), store.Materialize(1));
+  EXPECT_EQ(repo->Materialize(h2), store.Materialize(2));
+  EXPECT_EQ(repo->ChainDepth(h1), 0u);
+  EXPECT_EQ(repo->ChainDepth(h2), 1u);
+  EXPECT_EQ(repo->ParentHandleOf(h2), h1);
+}
+
+TEST_F(RepoTest, DedupStoresSharedPayloadsOnce) {
+  auto repo = OpenRepo();
+  // Two unrelated images sharing chunk contents: payload bytes land once.
+  ASSERT_NE(repo->PutImage(FullImage(1, 10, 20)), 0u) << repo->error();
+  const uint64_t physical_after_first = repo->physical_put_bytes();
+  ASSERT_NE(repo->PutImage(FullImage(2, 10, 20)), 0u) << repo->error();
+  EXPECT_EQ(repo->physical_put_bytes(), physical_after_first);
+  EXPECT_EQ(repo->logical_put_bytes(), 2 * physical_after_first);
+}
+
+TEST_F(RepoTest, RejectsBadPuts) {
+  auto repo = OpenRepo();
+  const uint64_t h1 = repo->PutImage(FullImage(1, 10, 20));
+  ASSERT_NE(h1, 0u);
+
+  // Garbage bytes.
+  EXPECT_EQ(repo->PutImage(std::vector<uint8_t>{1, 2, 3}), 0u);
+  EXPECT_FALSE(repo->error().empty());
+  // A delta without its parent's handle.
+  EXPECT_EQ(repo->PutImage(DeltaImage(2, 1, 11, 20)), 0u);
+  // A delta naming a parent the handle does not hold.
+  EXPECT_EQ(repo->PutImage(DeltaImage(2, 99, 11, 20), h1), 0u);
+  // A delta whose CRC pin does not match the parent's actual content.
+  EXPECT_EQ(repo->PutImage(DeltaImage(2, 1, 11, /*parent_b=*/999), h1), 0u);
+  EXPECT_NE(repo->error().find("delta ref"), std::string::npos)
+      << repo->error();
+  // Rejections leave the repository unchanged.
+  EXPECT_EQ(repo->image_count(), 1u);
+}
+
+// --- Retire / compaction / GC --------------------------------------------------
+
+TEST_F(RepoTest, RetiredAncestorStaysResolvableForLiveDeltas) {
+  auto repo = OpenRepo();
+  const uint64_t h1 = repo->PutImage(FullImage(1, 10, 20));
+  const uint64_t h2 = repo->PutImage(DeltaImage(2, 1, 11, 20), h1);
+  ASSERT_NE(h2, 0u) << repo->error();
+
+  ASSERT_TRUE(repo->RetireImage(h1));
+  EXPECT_FALSE(repo->IsLive(h1));
+  EXPECT_TRUE(repo->Materialize(h1).empty());  // retired: not materializable
+  // ...but the live delta still resolves through it.
+  EXPECT_FALSE(repo->Materialize(h2).empty()) << repo->error();
+  EXPECT_EQ(repo->garbage_payload_bytes(), 0u);
+
+  // Double retire fails; retiring the last live image orphans everything.
+  EXPECT_FALSE(repo->RetireImage(h1));
+  ASSERT_TRUE(repo->RetireImage(h2));
+  EXPECT_GT(repo->garbage_payload_bytes(), 0u);
+  EXPECT_EQ(repo->live_payload_bytes(), 0u);
+}
+
+TEST_F(RepoTest, CompactionFoldsChainsWithoutChangingBytes) {
+  ImageStore store;
+  auto repo = OpenRepo();
+  store.Put(FullImage(1, 10, 20));
+  store.Put(DeltaImage(2, 1, 11, 20));
+  store.Put(DeltaImage(3, 2, 12, 20));
+  const uint64_t h1 = repo->PutImage(FullImage(1, 10, 20));
+  const uint64_t h2 = repo->PutImage(DeltaImage(2, 1, 11, 20), h1);
+  const uint64_t h3 = repo->PutImage(DeltaImage(3, 2, 12, 20), h2);
+  ASSERT_NE(h3, 0u) << repo->error();
+  ASSERT_EQ(repo->ChainDepth(h3), 2u);
+  const uint64_t segment_before = repo->segment_bytes();
+
+  EXPECT_EQ(repo->CompactChains(), 2u);  // h2 and h3 fold
+  EXPECT_EQ(repo->ChainDepth(h2), 0u);
+  EXPECT_EQ(repo->ChainDepth(h3), 0u);
+  EXPECT_EQ(repo->ParentHandleOf(h3), 0u);
+  // Folding rewrites records, not payloads: the segment did not grow.
+  EXPECT_EQ(repo->segment_bytes(), segment_before);
+  // Materializations are unchanged and still match the oracle.
+  EXPECT_EQ(repo->Materialize(h2), store.Materialize(2));
+  EXPECT_EQ(repo->Materialize(h3), store.Materialize(3));
+  // A second pass finds nothing to fold.
+  EXPECT_EQ(repo->CompactChains(), 0u);
+}
+
+TEST_F(RepoTest, GcReclaimsUnreferencedPayloadsAndSurvivesReopen) {
+  ImageStore store;
+  store.Put(FullImage(1, 10, 20));
+  store.Put(DeltaImage(2, 1, 11, 20));
+  uint64_t h2 = 0;
+  {
+    auto repo = OpenRepo();
+    const uint64_t h1 = repo->PutImage(FullImage(1, 10, 20));
+    h2 = repo->PutImage(DeltaImage(2, 1, 11, 20), h1);
+    ASSERT_NE(h2, 0u) << repo->error();
+    ASSERT_EQ(repo->CompactChains(), 1u);
+    // After folding, h1 is no longer needed as a chain link.
+    ASSERT_TRUE(repo->RetireImage(h1));
+    ASSERT_GT(repo->garbage_payload_bytes(), 0u);
+
+    const auto gc = repo->CollectGarbage();
+    ASSERT_TRUE(gc.ok) << repo->error();
+    EXPECT_GT(gc.reclaimed_bytes, 0u);
+    EXPECT_EQ(repo->garbage_payload_bytes(), 0u);
+    EXPECT_FALSE(repo->Has(h1));  // dropped entirely
+    EXPECT_EQ(repo->Materialize(h2), store.Materialize(2));
+  }
+  // The GC'd epoch is what a fresh process opens.
+  auto repo = OpenRepo();
+  ASSERT_NE(repo, nullptr);
+  EXPECT_EQ(repo->live_image_count(), 1u);
+  EXPECT_EQ(repo->Materialize(h2), store.Materialize(2));
+  // Handles are never reused, even though the GC dropped records.
+  const uint64_t h3 = repo->PutImage(FullImage(7, 1, 2));
+  EXPECT_GT(h3, h2);
+}
+
+// --- Recovery ------------------------------------------------------------------
+
+TEST_F(RepoTest, ReopenContinuesWhereTheLastProcessStopped) {
+  ImageStore store;
+  store.Put(FullImage(1, 10, 20));
+  store.Put(DeltaImage(2, 1, 11, 20));
+  uint64_t h1 = 0, h2 = 0;
+  {
+    auto repo = OpenRepo();
+    h1 = repo->PutImage(FullImage(1, 10, 20));
+    h2 = repo->PutImage(DeltaImage(2, 1, 11, 20), h1);
+    ASSERT_NE(h2, 0u) << repo->error();
+  }
+  auto repo = OpenRepo();
+  ASSERT_NE(repo, nullptr);
+  EXPECT_EQ(repo->LiveHandles(), (std::vector<uint64_t>{h1, h2}));
+  EXPECT_EQ(repo->Materialize(h1), store.Materialize(1));
+  EXPECT_EQ(repo->Materialize(h2), store.Materialize(2));
+  // The chain extends across the restart.
+  const uint64_t h3 = repo->PutImage(DeltaImage(3, 2, 12, 20), h2);
+  ASSERT_NE(h3, 0u) << repo->error();
+  EXPECT_EQ(repo->ChainDepth(h3), 2u);
+}
+
+TEST_F(RepoTest, TornJournalTailIsDiscarded) {
+  uint64_t h1 = 0;
+  {
+    auto repo = OpenRepo();
+    h1 = repo->PutImage(FullImage(1, 10, 20));
+    ASSERT_NE(h1, 0u);
+  }
+  // A crash mid-append leaves a torn record at the tail.
+  const std::string journal = dir_ + "/journal.1";
+  std::FILE* f = std::fopen(journal.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const uint8_t garbage[] = {0x54, 0x4A, 0x52, 0x43, 0x01, 0xFF, 0xFF};
+  std::fwrite(garbage, 1, sizeof garbage, f);
+  std::fclose(f);
+
+  auto repo = OpenRepo();
+  ASSERT_NE(repo, nullptr);
+  EXPECT_TRUE(repo->IsLive(h1));
+  EXPECT_FALSE(repo->Materialize(h1).empty());
+  // The tail was truncated: appending works and survives another reopen.
+  const uint64_t h2 = repo->PutImage(FullImage(2, 30, 40));
+  ASSERT_NE(h2, 0u);
+  repo.reset();
+  repo = OpenRepo();
+  EXPECT_EQ(repo->live_image_count(), 2u);
+}
+
+TEST_F(RepoTest, FlippedSegmentByteIsRejectedAtOpen) {
+  {
+    auto repo = OpenRepo();
+    ASSERT_NE(repo->PutImage(FullImage(1, 10, 20)), 0u);
+  }
+  const std::string segment = dir_ + "/segment.1";
+  const uint64_t size = fs::file_size(segment);
+  std::FILE* f = std::fopen(segment.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, static_cast<long>(size - 3), SEEK_SET);  // inside a payload
+  int c = std::fgetc(f);
+  std::fseek(f, static_cast<long>(size - 3), SEEK_SET);
+  std::fputc(c ^ 0x40, f);
+  std::fclose(f);
+
+  std::string error;
+  auto repo = CheckpointRepo::Open(dir_, RepoOptions{}, &error);
+  EXPECT_EQ(repo, nullptr);
+  EXPECT_NE(error.find("verification"), std::string::npos) << error;
+}
+
+// Truncates a copy of the repository's `file` to every possible length and
+// opens it. Every open must either fail cleanly or yield a repository whose
+// surviving live images all materialize — and must never crash.
+void TruncationSweep(const std::string& dir, const std::string& file,
+                     bool expect_some_open) {
+  const std::string scratch = dir + "_truncated";
+  const uint64_t full_size = fs::file_size(fs::path(dir) / file);
+  size_t opened = 0;
+  for (uint64_t len = 0; len < full_size; ++len) {
+    fs::remove_all(scratch);
+    fs::copy(dir, scratch);
+    fs::resize_file(fs::path(scratch) / file, len);
+    std::string error;
+    auto repo = CheckpointRepo::Open(scratch, RepoOptions{}, &error);
+    if (repo == nullptr) {
+      EXPECT_FALSE(error.empty()) << file << " truncated to " << len;
+      continue;
+    }
+    ++opened;
+    for (const uint64_t handle : repo->LiveHandles()) {
+      EXPECT_FALSE(repo->Materialize(handle).empty())
+          << file << " truncated to " << len << ", handle " << handle;
+    }
+  }
+  fs::remove_all(scratch);
+  if (expect_some_open) {
+    // Some prefixes must still open (at minimum, the untorn early ones).
+    EXPECT_GT(opened, 0u) << file;
+  }
+}
+
+class RepoDurabilityTest : public RepoTest {
+ protected:
+  // A small repository exercising every record type: two puts, a delta, a
+  // retire. Closed so all bytes are on disk.
+  void BuildFixture() {
+    auto repo = OpenRepo();
+    const uint64_t h1 = repo->PutImage(FullImage(1, 10, 20));
+    const uint64_t h2 = repo->PutImage(DeltaImage(2, 1, 11, 20), h1);
+    ASSERT_NE(h2, 0u) << repo->error();
+    ASSERT_NE(repo->PutImage(FullImage(3, 30, 40)), 0u);
+    ASSERT_TRUE(repo->RetireImage(3));
+  }
+};
+
+TEST_F(RepoDurabilityTest, SurvivesJournalTruncationAtEveryByte) {
+  BuildFixture();
+  // A torn journal is a crash artifact: the valid prefix must keep opening.
+  TruncationSweep(dir_, "journal.1", /*expect_some_open=*/true);
+}
+
+TEST_F(RepoDurabilityTest, SurvivesSegmentTruncationAtEveryByte) {
+  BuildFixture();
+  // Every segment payload here is journal-referenced, so any truncation is
+  // corruption the open must reject — cleanly, never by crashing.
+  TruncationSweep(dir_, "segment.1", /*expect_some_open=*/false);
+}
+
+// --- End-to-end: a persisted TimeTravelTree across process restarts -----------
+
+TimeTravelTree::Factory TreeFactory() {
+  return [] {
+    BasicExperimentRun::Params params;
+    params.seed = 31;
+    return std::make_unique<BasicExperimentRun>(params);
+  };
+}
+
+TEST_F(RepoTest, TreePersistsAndReopensDigestIdentical) {
+  std::vector<int> ids;
+  uint64_t manifest = 0;
+  {
+    TimeTravelTree tree(TreeFactory());
+    ids = tree.RecordOriginalRun(6 * kSecond, 2 * kSecond);
+    ASSERT_GE(ids.size(), 3u);
+    auto repo = OpenRepo();
+    manifest = tree.PersistTo(repo.get());
+    ASSERT_NE(manifest, 0u) << repo->error();
+  }
+  // "Fresh process": nothing survives but the directory and the manifest
+  // handle. A rebuilt tree must verify every checkpoint — a fresh Simulator
+  // restored from repository bytes reproduces the recorded digests.
+  uint64_t reclaimed = 0;
+  {
+    auto repo = OpenRepo();
+    TimeTravelTree tree(TreeFactory());
+    ASSERT_TRUE(tree.ReopenFrom(repo.get(), manifest));
+    ASSERT_EQ(tree.tree().size(), ids.size());
+    for (int id : ids) {
+      EXPECT_TRUE(tree.VerifyImageRestore(id)) << "checkpoint " << id;
+    }
+    // Replay still branches off the reopened history.
+    const std::vector<int> branch =
+        tree.ReplayFrom(ids[0], 6 * kSecond, 2 * kSecond, /*perturb_seed=*/0,
+                        RestoreMode::kImage);
+    EXPECT_FALSE(branch.empty());
+
+    // Housekeeping passes must not disturb the persisted tree.
+    repo->CompactChains();
+    const auto gc = repo->CollectGarbage();
+    ASSERT_TRUE(gc.ok) << repo->error();
+    reclaimed = gc.reclaimed_bytes;
+  }
+  {
+    auto repo = OpenRepo();
+    TimeTravelTree tree(TreeFactory());
+    ASSERT_TRUE(tree.ReopenFrom(repo.get(), manifest));
+    for (int id : ids) {
+      EXPECT_TRUE(tree.VerifyImageRestore(id))
+          << "checkpoint " << id << " after GC reclaiming " << reclaimed;
+    }
+  }
+}
+
+// --- End-to-end: engine spill-to-repository delta chains -----------------------
+
+TEST_F(RepoTest, EngineSpillChainRestoresDigestIdenticalAcrossHousekeeping) {
+  BasicExperimentRun::Params params;
+  params.seed = 41;
+  params.retain_image_chain = true;
+
+  struct Gen {
+    uint64_t handle = 0;
+    uint64_t digest = 0;
+  };
+  std::vector<Gen> gens;
+  {
+    auto repo = OpenRepo();
+    BasicExperimentRun run(params);
+    run.engine().AttachRepository(repo.get());
+    for (int i = 0; i < 6; ++i) {
+      run.AdvanceTo(run.Now() + 500 * kMillisecond);
+      const CheckpointCapture cap = run.CaptureCheckpoint();
+      const uint64_t handle = run.engine().last_repo_handle();
+      ASSERT_NE(handle, 0u) << repo->error();
+      gens.push_back({handle, cap.digest});
+    }
+    // Later captures really were spilled as deltas: the chain has depth.
+    EXPECT_GT(repo->ChainDepth(gens.back().handle), 0u);
+  }
+
+  // Fresh process, fresh simulators: every spilled generation restores to
+  // the digest recorded at its capture.
+  auto repo = OpenRepo();
+  for (const Gen& gen : gens) {
+    const std::vector<uint8_t> image = repo->Materialize(gen.handle);
+    ASSERT_FALSE(image.empty()) << repo->error();
+    BasicExperimentRun fresh(params);
+    const std::optional<uint64_t> digest = fresh.RestoreFromImage(image);
+    ASSERT_TRUE(digest.has_value());
+    EXPECT_EQ(*digest, gen.digest) << "handle " << gen.handle;
+  }
+
+  // Compaction, retirement of all but the newest generation, and a GC pass:
+  // the survivor must still restore digest-identical in yet another process.
+  ASSERT_GT(repo->CompactChains(), 0u);
+  for (size_t i = 0; i + 1 < gens.size(); ++i) {
+    ASSERT_TRUE(repo->RetireImage(gens[i].handle)) << repo->error();
+  }
+  ASSERT_TRUE(repo->CollectGarbage().ok) << repo->error();
+  repo.reset();
+
+  repo = OpenRepo();
+  EXPECT_EQ(repo->live_image_count(), 1u);
+  for (size_t i = 0; i + 1 < gens.size(); ++i) {
+    EXPECT_FALSE(repo->Has(gens[i].handle));
+  }
+  const std::vector<uint8_t> image = repo->Materialize(gens.back().handle);
+  ASSERT_FALSE(image.empty()) << repo->error();
+  BasicExperimentRun fresh(params);
+  const std::optional<uint64_t> digest = fresh.RestoreFromImage(image);
+  ASSERT_TRUE(digest.has_value());
+  EXPECT_EQ(*digest, gens.back().digest);
+}
+
+}  // namespace
+}  // namespace tcsim

@@ -253,6 +253,57 @@ TEST(ImageRestoreTest, CorruptImageIsRejectedWithoutTouchingTheRun) {
   EXPECT_GT(fresh.counter(), 0u);
 }
 
+// Pruning mid-chain must not break later captures: the survivor anchors the
+// chain (its resolved content is what new delta refs pin), every retained
+// capture stays materializable, and each materialization restores to the
+// digest recorded when it was taken.
+TEST(ImageStorePruneTest, PruneMidChainKeepsLaterCapturesRestorable) {
+  BasicExperimentRun::Params params;
+  params.seed = 51;
+  params.retain_image_chain = true;
+  BasicExperimentRun run(params);
+
+  struct Recorded {
+    uint64_t image_id = 0;
+    uint64_t digest = 0;
+  };
+  std::vector<Recorded> caps;
+  auto capture = [&] {
+    run.AdvanceTo(run.Now() + kSecond);
+    const CheckpointCapture cap = run.CaptureCheckpoint();
+    caps.push_back({run.engine().last_image_id(), cap.digest});
+  };
+
+  for (int k = 0; k < 3; ++k) {
+    capture();
+  }
+  ImageStore& store = run.engine().image_store();
+  const uint64_t anchor = caps.back().image_id;
+  store.PruneExcept(anchor);
+  for (const Recorded& cap : caps) {
+    EXPECT_EQ(store.Has(cap.image_id), cap.image_id == anchor);
+  }
+  // Captures continue against the pruned store: deltas still resolve
+  // because the anchor carries the chain's resolved content.
+  for (int k = 0; k < 3; ++k) {
+    capture();
+  }
+  EXPECT_GT(run.engine().last_capture_stats().delta_chunks, 0u);
+
+  for (const Recorded& cap : caps) {
+    if (!store.Has(cap.image_id)) {
+      EXPECT_TRUE(store.Materialize(cap.image_id).empty());
+      continue;
+    }
+    const std::vector<uint8_t> image = store.Materialize(cap.image_id);
+    ASSERT_FALSE(image.empty()) << "image " << cap.image_id;
+    BasicExperimentRun fresh(params);
+    const std::optional<uint64_t> digest = fresh.RestoreFromImage(image);
+    ASSERT_TRUE(digest.has_value()) << "image " << cap.image_id;
+    EXPECT_EQ(*digest, cap.digest) << "image " << cap.image_id;
+  }
+}
+
 TEST(RestoreTimeTest, RestoreTimeScalesWithImageSize) {
   TimeTravelTree tree(MakeFactory());
   const std::vector<int> ids = tree.RecordOriginalRun(6 * kSecond, 2 * kSecond);
