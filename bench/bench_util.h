@@ -9,7 +9,15 @@
 // invoked with --json, the plain-text output is suppressed and BenchMain
 // emits the recorded report as one JSON object on stdout instead — the same
 // numbers, machine-readable, consumed by bench/run_all.sh to build a
-// consolidated JSON document (BENCH_PR4.json by default).
+// consolidated JSON document (BENCH_PR5.json by default).
+//
+// Telemetry flags (PR 5): --trace[=FILE] records every span/instant of the
+// run and writes Chrome trace JSON (open at chrome://tracing) to FILE or
+// <name>_trace.json; --metrics prints the metric registry and the span
+// summary table after the run. Under --audit without --trace the harness arms
+// the bounded ring-buffer flight recorder instead, so the first invariant
+// violation dumps the timeline that led up to it. With --json the metric
+// registry is always folded into the emitted object under "metrics".
 
 #ifndef TCSIM_BENCH_BENCH_UTIL_H_
 #define TCSIM_BENCH_BENCH_UTIL_H_
@@ -19,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace_session.h"
 #include "src/sim/invariants.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
@@ -34,6 +44,23 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
     }
   }
   return false;
+}
+
+// Value of `--flag` / `--flag=value` among the arguments: null when absent,
+// "" for the bare flag, the text after '=' otherwise.
+inline const char* FlagValue(int argc, char** argv, const char* flag) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0) {
+      if (argv[i][len] == '\0') {
+        return "";
+      }
+      if (argv[i][len] == '=') {
+        return argv[i] + len + 1;
+      }
+    }
+  }
+  return nullptr;
 }
 
 // Process-wide recorder behind the Print* helpers. Benches never touch it
@@ -202,13 +229,55 @@ class BenchMain {
   BenchMain(int argc, char** argv, const char* name) {
     BenchReport::Instance().SetName(name);
     BenchReport::Instance().SetJsonMode(HasFlag(argc, argv, "--json"));
+    metrics_ = HasFlag(argc, argv, "--metrics");
+    const char* trace = FlagValue(argc, argv, "--trace");
+    if (trace != nullptr) {
+      trace_file_ = *trace != '\0' ? trace : std::string(name) + "_trace.json";
+      obs::TraceSession::Global().StartFull();
+    } else if (HasFlag(argc, argv, "--audit")) {
+      // No full trace requested but audits are on: arm the flight recorder so
+      // a violation comes with the timeline that led up to it.
+      obs::TraceSession::Global().StartRing();
+    }
+    if (obs::TraceSession::Global().enabled()) {
+      obs::TraceSession::Global().InstallAuditDump();
+    }
   }
+
   int Finish(int rc) const {
+    obs::TraceSession& trace = obs::TraceSession::Global();
+    if (!trace_file_.empty()) {
+      std::FILE* f = std::fopen(trace_file_.c_str(), "w");
+      if (f != nullptr) {
+        const std::string json = trace.ExportChromeJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        if (!BenchReport::Instance().json_mode()) {
+          std::printf("\ntrace: %zu events -> %s (open in chrome://tracing)\n",
+                      trace.recorded(), trace_file_.c_str());
+        }
+      } else {
+        std::fprintf(stderr, "cannot write trace file %s\n", trace_file_.c_str());
+      }
+    }
+    if (metrics_ && !BenchReport::Instance().json_mode()) {
+      std::printf("\n--- metrics ---\n%s",
+                  obs::MetricsRegistry::Global().ExportTable().c_str());
+      if (trace.recorded() > 0) {
+        std::printf("\n--- spans ---\n%s", trace.ExportSummaryTable().c_str());
+      }
+    }
     if (BenchReport::Instance().json_mode()) {
+      BenchReport::Instance().AddExtra("metrics",
+                                       obs::MetricsRegistry::Global().ExportJson());
       BenchReport::Instance().EmitJson(rc);
     }
     return rc;
   }
+
+ private:
+  bool metrics_ = false;
+  std::string trace_file_;
 };
 
 // True while --json is active: helpers keep recording but stop printing.
@@ -218,6 +287,7 @@ inline bool JsonQuiet() { return BenchReport::Instance().json_mode(); }
 // the same seed must print the same value — the deterministic-replay check.
 inline void PrintDigest(const Simulator& sim) {
   BenchReport::Instance().RecordDigest(sim.Digest());
+  obs::CaptureSimulatorMetrics(sim);
   if (JsonQuiet()) {
     return;
   }
@@ -252,6 +322,7 @@ struct MultiRunAudit {
   // Call once per finished simulation; `reg` may be null (no audit run).
   void Collect(const Simulator& sim, InvariantRegistry* reg = nullptr) {
     digest ^= sim.Digest();
+    obs::CaptureSimulatorMetrics(sim);
     if (reg != nullptr) {
       rc |= FinishAudit(reg);
     }

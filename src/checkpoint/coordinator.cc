@@ -71,7 +71,13 @@ std::vector<std::string> AuditCheckpointRecord(const DistributedCheckpointRecord
 
 DistributedCoordinator::DistributedCoordinator(Simulator* sim, NotificationBus* bus,
                                                HardwareClock* boss_clock)
-    : sim_(sim), bus_(bus), boss_clock_(boss_clock) {
+    : sim_(sim),
+      bus_(bus),
+      boss_clock_(boss_clock),
+      rounds_counter_(
+          obs::MetricsRegistry::Global().FindCounter("checkpoint.coordinator.rounds")),
+      duplicate_done_counter_(obs::MetricsRegistry::Global().FindCounter(
+          "checkpoint.coordinator.duplicate_done")) {
   bus_->SetServerHandler([this](const CheckpointControlMessage& msg) {
     if (msg.type == CheckpointControlMessage::Type::kDone) {
       OnDone(msg.record);
@@ -94,6 +100,14 @@ void DistributedCoordinator::BeginRound(
   // experiment.
   expected_ = expected_override_ > 0 ? expected_override_ : bus_->subscriber_count();
   current_.expected_participants = expected_;
+
+  obs::TraceSession& trace = obs::TraceSession::Global();
+  epoch_span_ = trace.BeginSpan("coordinator", hold ? "ckpt.epoch.hold" : "ckpt.epoch",
+                                sim_->Now());
+  trace.AddSpanArg(epoch_span_, "expected", static_cast<double>(expected_));
+  quiesce_span_ = trace.BeginSpan("coordinator", "ckpt.quiesce", sim_->Now());
+  barrier_span_ = 0;
+  resume_span_ = 0;
 }
 
 void DistributedCoordinator::CheckpointScheduled(
@@ -126,6 +140,7 @@ void DistributedCoordinator::OnDone(const LocalCheckpointRecord& record) {
     // participant is still saving. Record it as an audit violation rather
     // than silently finishing early.
     ++duplicate_done_count_;
+    duplicate_done_counter_->Increment();
     if (invariants_ != nullptr) {
       invariants_->ReportViolation(
           "checkpoint.barrier", "duplicate kDone from participant " + record.participant);
@@ -136,7 +151,15 @@ void DistributedCoordinator::OnDone(const LocalCheckpointRecord& record) {
     // The barrier already completed (possible when the expected count is
     // pinned below the live subscriber set): a straggler reporting during the
     // resume window must not mutate the completed round's record.
+    obs::TraceSession::Global().Instant("coordinator", "ckpt.straggler_done", sim_->Now());
     return;
+  }
+  if (current_.locals.empty()) {
+    // First participant has saved: quiescing is over, the barrier collects.
+    obs::TraceSession& trace = obs::TraceSession::Global();
+    trace.EndSpan(quiesce_span_, sim_->Now());
+    quiesce_span_ = 0;
+    barrier_span_ = trace.BeginSpan("coordinator", "ckpt.barrier", sim_->Now());
   }
   current_.locals.push_back(record);
   if (current_.locals.size() >= expected_) {
@@ -164,17 +187,40 @@ void DistributedCoordinator::ResumeAll(std::function<void()> resumed) {
   msg->local_time = current_.resume_local_time;
   bus_->Publish(std::move(msg));
 
+  resume_span_ = obs::TraceSession::Global().BeginSpan("coordinator", "ckpt.resume",
+                                                       sim_->Now());
   boss_clock_->ScheduleAtLocal(current_.resume_local_time + kMillisecond,
                                [this, resumed = std::move(resumed)] {
                                  in_progress_ = false;
                                  history_.push_back(current_);
+                                 EndEpochSpans();
                                  if (resumed) {
                                    resumed();
                                  }
                                });
 }
 
+void DistributedCoordinator::EndEpochSpans() {
+  obs::TraceSession& trace = obs::TraceSession::Global();
+  trace.EndSpan(resume_span_, sim_->Now());
+  trace.AddSpanArg(epoch_span_, "collected",
+                   static_cast<double>(history_.back().locals.size()));
+  trace.EndSpan(epoch_span_, sim_->Now());
+  resume_span_ = 0;
+  epoch_span_ = 0;
+}
+
 void DistributedCoordinator::FinishRound() {
+  rounds_counter_->Increment();
+  obs::TraceSession& trace = obs::TraceSession::Global();
+  trace.AddSpanArg(barrier_span_, "expected", static_cast<double>(expected_));
+  trace.AddSpanArg(barrier_span_, "collected",
+                   static_cast<double>(current_.locals.size()));
+  trace.AddSpanArg(barrier_span_, "duplicate_done",
+                   static_cast<double>(duplicate_done_count_));
+  trace.EndSpan(barrier_span_, sim_->Now());
+  barrier_span_ = 0;
+
   if (hold_) {
     // Stateful swap-out: leave everything suspended; the caller resumes
     // later (possibly much later) via ResumeAll.
@@ -192,10 +238,12 @@ void DistributedCoordinator::FinishRound() {
   msg->local_time = current_.resume_local_time;
   bus_->Publish(std::move(msg));
 
+  resume_span_ = trace.BeginSpan("coordinator", "ckpt.resume", sim_->Now());
   // Report shortly after the resume instant, once everyone is running again.
   boss_clock_->ScheduleAtLocal(current_.resume_local_time + kMillisecond, [this] {
     in_progress_ = false;
     history_.push_back(current_);
+    EndEpochSpans();
     if (done_cb_) {
       auto cb = std::move(done_cb_);
       cb(history_.back());

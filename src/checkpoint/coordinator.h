@@ -24,6 +24,8 @@
 #include "src/checkpoint/notification_bus.h"
 #include "src/checkpoint/participant.h"
 #include "src/clock/hardware_clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_session.h"
 #include "src/sim/invariants.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
@@ -112,6 +114,8 @@ class DistributedCoordinator {
   void BeginRound(std::function<void(const DistributedCheckpointRecord&)> done, bool hold);
   void OnDone(const LocalCheckpointRecord& record);
   void FinishRound();
+  // Closes the resume + epoch spans once the round's record is in history_.
+  void EndEpochSpans();
 
   Simulator* sim_;
   NotificationBus* bus_;
@@ -129,6 +133,16 @@ class DistributedCoordinator {
   std::vector<DistributedCheckpointRecord> history_;
   uint64_t duplicate_done_count_ = 0;
   InvariantRegistry* invariants_ = nullptr;
+
+  // Telemetry. Counters are resolved once at construction; the epoch span and
+  // its phase children (quiesce -> barrier -> resume) live on the
+  // "coordinator" track. All no-ops while tracing is off.
+  obs::Counter* rounds_counter_;
+  obs::Counter* duplicate_done_counter_;
+  obs::SpanId epoch_span_ = 0;
+  obs::SpanId quiesce_span_ = 0;
+  obs::SpanId barrier_span_ = 0;
+  obs::SpanId resume_span_ = 0;
 };
 
 }  // namespace tcsim

@@ -11,7 +11,19 @@ LocalCheckpointEngine::LocalCheckpointEngine(Simulator* sim, ExperimentNode* nod
       node_(node),
       policy_(policy),
       saver_(sim, &node->hypervisor(), policy.saver),
-      rng_(0x9E3779B9u ^ node->id()) {
+      rng_(0x9E3779B9u ^ node->id()),
+      captures_counter_(
+          obs::MetricsRegistry::Global().FindCounter("checkpoint.engine.captures")),
+      restores_counter_(
+          obs::MetricsRegistry::Global().FindCounter("checkpoint.engine.restores")),
+      image_bytes_counter_(
+          obs::MetricsRegistry::Global().FindCounter("checkpoint.engine.image_bytes")),
+      serialized_bytes_counter_(obs::MetricsRegistry::Global().FindCounter(
+          "checkpoint.engine.serialized_bytes")),
+      payload_chunks_counter_(obs::MetricsRegistry::Global().FindCounter(
+          "checkpoint.engine.payload_chunks")),
+      delta_chunks_counter_(
+          obs::MetricsRegistry::Global().FindCounter("checkpoint.engine.delta_chunks")) {
   node_->kernel().SetResumeTimerLatency(policy_.resume_timer_latency,
                                         0xC0FFEEull ^ node->id());
 }
@@ -41,6 +53,8 @@ void LocalCheckpointEngine::CheckpointAtLocal(
 }
 
 void LocalCheckpointEngine::BeginPreCopy(SimTime suspend_at_physical) {
+  precopy_span_ =
+      obs::TraceSession::Global().BeginSpan(node_->name(), "ckpt.precopy", sim_->Now());
   if (policy_.live_precopy) {
     // For a scheduled checkpoint the suspend event fires at the appointed
     // instant; pre-copy merely shrinks the dirty set before it.
@@ -66,6 +80,12 @@ void LocalCheckpointEngine::BeginPreCopy(SimTime suspend_at_physical) {
 void LocalCheckpointEngine::AtomicSuspend() {
   assert(in_progress_);
   current_.suspended_at = sim_->Now();
+
+  obs::TraceSession& trace = obs::TraceSession::Global();
+  trace.EndSpan(precopy_span_, sim_->Now());
+  precopy_span_ = 0;
+  frozen_span_ = trace.BeginSpan(node_->name(), "ckpt.frozen", sim_->Now());
+  save_span_ = trace.BeginSpan(node_->name(), "ckpt.save", sim_->Now());
 
   // The instant the suspend thread (outside the firewall) commits the
   // suspension: every inside activity stops, the time page freezes, the TSC
@@ -185,6 +205,19 @@ void LocalCheckpointEngine::BuildCompositeImage() {
   parent_image_id_ = image_id;
   last_capture_stats_ = stats;
 
+  captures_counter_->Increment();
+  serialized_bytes_counter_->Add(stats.serialized_bytes);
+  payload_chunks_counter_->Add(stats.payload_chunks);
+  delta_chunks_counter_->Add(stats.delta_chunks);
+  obs::TraceSession::Global().Instant(
+      node_->name(), "ckpt.capture", sim_->Now(),
+      {{"image_id", static_cast<double>(stats.image_id)},
+       {"parent_id", static_cast<double>(stats.parent_id)},
+       {"payload_chunks", static_cast<double>(stats.payload_chunks)},
+       {"delta_chunks", static_cast<double>(stats.delta_chunks)},
+       {"version_skips", static_cast<double>(stats.version_skips)},
+       {"serialized_bytes", static_cast<double>(stats.serialized_bytes)}});
+
   // Publish a self-contained image: holders (the time-travel tree, swap-out)
   // restore it without consulting this engine's store.
   last_image_ = std::make_shared<const std::vector<uint8_t>>(
@@ -204,6 +237,10 @@ void LocalCheckpointEngine::BuildCompositeImage() {
       handle = repo_->PutImage(store_.Materialize(image_id));
     }
     repo_parent_handle_ = handle;
+    obs::TraceSession::Global().Instant(
+        node_->name(), "repo.spill", sim_->Now(),
+        {{"handle", static_cast<double>(handle)},
+         {"delta", self_contained ? 0.0 : 1.0}});
   }
 
   if (!policy_.retain_image_chain) {
@@ -270,6 +307,12 @@ bool LocalCheckpointEngine::RestoreImage(const std::vector<uint8_t>& image_bytes
   hold_after_save_ = true;  // a restored run has no saved-callback to fire
   held_ = true;
   saved_cb_ = nullptr;
+  restores_counter_->Increment();
+  obs::TraceSession& trace = obs::TraceSession::Global();
+  trace.Instant(node_->name(), "ckpt.restore_image", saved_at,
+                {{"bytes", static_cast<double>(image_bytes.size())}});
+  // The restored run sits frozen from the saved instant until ResumeRestored.
+  frozen_span_ = trace.BeginSpan(node_->name(), "ckpt.frozen", saved_at);
   return true;
 }
 
@@ -278,6 +321,12 @@ void LocalCheckpointEngine::ResumeRestored() { ResumeNow(); }
 void LocalCheckpointEngine::OnStateSaved() {
   current_.saved_at = sim_->Now();
   current_.image_bytes = saver_.last_image_bytes() + node_->kernel().StateSizeBytes();
+  image_bytes_counter_->Add(current_.image_bytes);
+  obs::TraceSession& trace = obs::TraceSession::Global();
+  trace.AddSpanArg(save_span_, "image_bytes", static_cast<double>(current_.image_bytes));
+  trace.AddSpanArg(save_span_, "residual_dirty", static_cast<double>(residual_dirty_));
+  trace.EndSpan(save_span_, sim_->Now());
+  save_span_ = 0;
   // Capture point: the composite image is serialized inside the suspended
   // window, after the memory image is saved and before any resume.
   BuildCompositeImage();
@@ -316,6 +365,8 @@ void LocalCheckpointEngine::AtomicResume() {
   current_.resumed_at = sim_->Now();
   history_.push_back(current_);
   in_progress_ = false;
+  obs::TraceSession::Global().EndSpan(frozen_span_, sim_->Now());
+  frozen_span_ = 0;
 
   // Flush the captured image to the snapshot disk in the background; the
   // Dom0 CPU and disk activity is the post-checkpoint perturbation the

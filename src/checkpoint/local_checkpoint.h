@@ -26,6 +26,8 @@
 
 #include "src/checkpoint/participant.h"
 #include "src/guest/node.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_session.h"
 #include "src/repo/checkpoint_repo.h"
 #include "src/sim/checkpointable.h"
 #include "src/sim/image.h"
@@ -224,6 +226,21 @@ class LocalCheckpointEngine : public CheckpointParticipant {
 
   CheckpointRepo* repo_ = nullptr;       // not owned
   uint64_t repo_parent_handle_ = 0;      // last spilled generation
+
+  // Telemetry. Counters are resolved once at construction; the phase spans
+  // live on this node's own track (the node name). The "ckpt.frozen" span
+  // covers suspend -> resume, "ckpt.save" the suspend -> state-saved prefix
+  // of it; the capture point emits a "ckpt.capture" instant carrying the
+  // CaptureStats. All no-ops while tracing is off.
+  obs::Counter* captures_counter_;
+  obs::Counter* restores_counter_;
+  obs::Counter* image_bytes_counter_;
+  obs::Counter* serialized_bytes_counter_;
+  obs::Counter* payload_chunks_counter_;
+  obs::Counter* delta_chunks_counter_;
+  obs::SpanId precopy_span_ = 0;
+  obs::SpanId frozen_span_ = 0;
+  obs::SpanId save_span_ = 0;
 };
 
 }  // namespace tcsim

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/emulab/testbed.h"
+#include "src/obs/trace_session.h"
 
 namespace tcsim {
 
@@ -176,14 +177,19 @@ void Experiment::SwapIn(bool golden_cached, std::function<void()> done) {
   record.started = sim_->Now();
   record.golden_cached = golden_cached;
 
+  obs::TraceSession& trace = obs::TraceSession::Global();
+  const obs::SpanId span = trace.BeginSpan("emulab", "emulab.swap_in", sim_->Now());
+  trace.AddSpanArg(span, "golden_cached", golden_cached ? 1.0 : 0.0);
+
   const TestbedConfig& cfg = testbed_->config();
   SimTime duration = cfg.base_boot_time;
   if (!golden_cached) {
     duration += cfg.golden_download_time;
   }
-  sim_->Schedule(duration, [this, record, done = std::move(done)]() mutable {
+  sim_->Schedule(duration, [this, record, span, done = std::move(done)]() mutable {
     record.finished = sim_->Now();
     swap_history_.push_back(record);
+    obs::TraceSession::Global().EndSpan(span, sim_->Now());
     state_ = State::kSwappedIn;
     if (done) {
       done();
@@ -214,11 +220,17 @@ void Experiment::StatefulSwapOut(bool eager_precopy,
   record->kind = SwapRecord::Kind::kStatefulSwapOut;
   record->started = sim_->Now();
 
-  auto after_precopy = [this, record, done = std::move(done)]() mutable {
+  obs::TraceSession& obs_trace = obs::TraceSession::Global();
+  const obs::SpanId swap_span =
+      obs_trace.BeginSpan("emulab", "emulab.stateful_swap_out", sim_->Now());
+  obs_trace.AddSpanArg(swap_span, "eager_precopy", eager_precopy ? 1.0 : 0.0);
+
+  auto after_precopy = [this, record, swap_span, done = std::move(done)]() mutable {
     // Suspend the whole experiment (nodes + delay nodes) and hold it.
     coordinator_->CheckpointScheduledAndHold(
         kSwapCheckpointLead,
-        [this, record, done = std::move(done)](const DistributedCheckpointRecord& ckpt) mutable {
+        [this, record, swap_span,
+         done = std::move(done)](const DistributedCheckpointRecord& ckpt) mutable {
           // Ship memory images plus the residual (not yet pre-copied) delta.
           uint64_t bytes = ckpt.TotalImageBytes();
           for (const LocalCheckpointRecord& local : ckpt.locals) {
@@ -235,6 +247,10 @@ void Experiment::StatefulSwapOut(bool eager_precopy,
                 continue;
               }
               const uint64_t handle = repo->PutImage(*image);
+              obs::TraceSession::Global().Instant(
+                  name, "repo.spill", sim_->Now(),
+                  {{"handle", static_cast<double>(handle)},
+                   {"bytes", static_cast<double>(image->size())}});
               if (handle == 0) {
                 record->repo_verified = false;
                 continue;
@@ -256,7 +272,8 @@ void Experiment::StatefulSwapOut(bool eager_precopy,
             bytes += residual * kBlockSize;
             last_swapout_delta_bytes_ += live * kBlockSize;
           }
-          TransferToFs(bytes, [this, record, bytes, done = std::move(done)]() mutable {
+          TransferToFs(bytes, [this, record, bytes, swap_span,
+                               done = std::move(done)]() mutable {
             for (const std::string& name : node_order_) {
               nodes_[name].node->store().MergeCurrentIntoAggregated();
             }
@@ -264,6 +281,10 @@ void Experiment::StatefulSwapOut(bool eager_precopy,
             record->finished = sim_->Now();
             swap_history_.push_back(*record);
             state_ = State::kSwappedOut;
+            obs::TraceSession& trace = obs::TraceSession::Global();
+            trace.AddSpanArg(swap_span, "bytes_transferred",
+                             static_cast<double>(bytes));
+            trace.EndSpan(swap_span, sim_->Now());
             if (done) {
               done(swap_history_.back());
             }
@@ -289,12 +310,25 @@ void Experiment::StatefulSwapOut(bool eager_precopy,
   }
 }
 
+void Experiment::FinishSwapInSpan(obs::SpanId span, const SwapRecord& record) {
+  obs::TraceSession& trace = obs::TraceSession::Global();
+  trace.AddSpanArg(span, "bytes_transferred",
+                   static_cast<double>(record.bytes_transferred));
+  trace.AddSpanArg(span, "repo_verified", record.repo_verified ? 1.0 : 0.0);
+  trace.EndSpan(span, sim_->Now());
+}
+
 void Experiment::StatefulSwapIn(bool lazy, std::function<void(const SwapRecord&)> done) {
   assert(state_ == State::kSwappedOut);
   auto record = std::make_shared<SwapRecord>();
   record->kind = SwapRecord::Kind::kStatefulSwapIn;
   record->started = sim_->Now();
   record->lazy = lazy;
+
+  obs::TraceSession& obs_trace = obs::TraceSession::Global();
+  const obs::SpanId swap_span =
+      obs_trace.BeginSpan("emulab", "emulab.stateful_swap_in", sim_->Now());
+  obs_trace.AddSpanArg(swap_span, "lazy", lazy ? 1.0 : 0.0);
 
   // Read each node's image back from the durable repository and prove it
   // byte-identical to what the engine's own store would materialize — the
@@ -321,7 +355,7 @@ void Experiment::StatefulSwapIn(bool lazy, std::function<void(const SwapRecord&)
   // Per-node memory images stream back in parallel over each node's NFS
   // path to the fs server.
   auto outstanding = std::make_shared<size_t>(node_order_.size());
-  auto after_memory = [this, record, lazy, done = std::move(done)]() mutable {
+  auto after_memory = [this, record, lazy, swap_span, done = std::move(done)]() mutable {
     if (lazy) {
       // Resume now; the aggregated delta demand-pages / prefetches in the
       // background.
@@ -332,10 +366,11 @@ void Experiment::StatefulSwapIn(bool lazy, std::function<void(const SwapRecord&)
         mapped.node->mirror().BeginLazyCopyIn(mapped.node->store().AggregatedBlockSet(),
                                               nullptr);
       }
-      coordinator_->ResumeAll([this, record, done = std::move(done)]() mutable {
+      coordinator_->ResumeAll([this, record, swap_span, done = std::move(done)]() mutable {
         record->finished = sim_->Now();
         swap_history_.push_back(*record);
         state_ = State::kSwappedIn;
+        FinishSwapInSpan(swap_span, *record);
         if (done) {
           done(swap_history_.back());
         }
@@ -348,11 +383,12 @@ void Experiment::StatefulSwapIn(bool lazy, std::function<void(const SwapRecord&)
       delta_bytes += nodes_[name].node->store().AggregatedBlockSet().size() * kBlockSize;
     }
     record->bytes_transferred += delta_bytes;
-    TransferToFs(delta_bytes, [this, record, done = std::move(done)]() mutable {
-      coordinator_->ResumeAll([this, record, done = std::move(done)]() mutable {
+    TransferToFs(delta_bytes, [this, record, swap_span, done = std::move(done)]() mutable {
+      coordinator_->ResumeAll([this, record, swap_span, done = std::move(done)]() mutable {
         record->finished = sim_->Now();
         swap_history_.push_back(*record);
         state_ = State::kSwappedIn;
+        FinishSwapInSpan(swap_span, *record);
         if (done) {
           done(swap_history_.back());
         }

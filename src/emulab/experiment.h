@@ -112,6 +112,9 @@ class Experiment {
 
   void BuildTopology(const ExperimentSpec& spec);
   void TransferToFs(uint64_t bytes, std::function<void()> done);
+  // Annotates a finished stateful-swap-in span with the record's outcome
+  // (bytes transferred, repo verification) and closes it.
+  void FinishSwapInSpan(obs::SpanId span, const SwapRecord& record);
 
   Testbed* testbed_;
   Simulator* sim_;

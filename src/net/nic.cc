@@ -1,17 +1,31 @@
 #include "src/net/nic.h"
 
 #include <cassert>
+#include <string>
 
 namespace tcsim {
 
+Nic::Nic(Simulator* sim, NodeId addr) : sim_(sim), addr_(addr) {
+  const std::string prefix = "net.nic." + std::to_string(addr) + ".";
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  rx_packets_counter_ = metrics.FindCounter(prefix + "rx_packets");
+  rx_bytes_counter_ = metrics.FindCounter(prefix + "rx_bytes");
+  tx_packets_counter_ = metrics.FindCounter(prefix + "tx_packets");
+  tx_bytes_counter_ = metrics.FindCounter(prefix + "tx_bytes");
+}
+
 void Nic::Send(const Packet& pkt) {
   assert(tx_ != nullptr && "NIC transmit side not connected");
+  tx_packets_counter_->Increment();
+  tx_bytes_counter_->Add(pkt.size_bytes);
   tx_->Transmit(pkt);
 }
 
 void Nic::HandlePacket(const Packet& pkt) {
   version_.Bump();  // arrival counters and the suspend log are serialized
   ++packets_arrived_;
+  rx_packets_counter_->Increment();
+  rx_bytes_counter_->Add(pkt.size_bytes);
   if (suspended_) {
     suspend_log_.push_back({pkt, sim_->Now()});
     ++packets_logged_;

@@ -9,6 +9,7 @@
 
 #include "src/net/packet.h"
 #include "src/net/wire.h"
+#include "src/obs/metrics.h"
 #include "src/sim/checkpointable.h"
 #include "src/sim/invariants.h"
 #include "src/sim/simulator.h"
@@ -25,7 +26,9 @@ namespace tcsim {
 // checkpoint downtime.
 class Nic : public PacketHandler, public Checkpointable {
  public:
-  Nic(Simulator* sim, NodeId addr) : sim_(sim), addr_(addr) {}
+  // Per-NIC packet/byte counters ("net.nic.<addr>.rx_packets", ...) are
+  // resolved here, once; the data path only increments.
+  Nic(Simulator* sim, NodeId addr);
 
   // Names this interface's chunk in a composite node image (a node owns
   // several NICs, so ids like "net.nic.expt" are assigned by the owner).
@@ -103,6 +106,13 @@ class Nic : public PacketHandler, public Checkpointable {
   uint64_t packets_arrived_ = 0;
   Samples replay_delays_;
   StateVersion version_;
+
+  // Telemetry handles (never serialized; counters are process-wide and
+  // monotonic across restores by design).
+  obs::Counter* rx_packets_counter_;
+  obs::Counter* rx_bytes_counter_;
+  obs::Counter* tx_packets_counter_;
+  obs::Counter* tx_bytes_counter_;
 };
 
 }  // namespace tcsim

@@ -5,6 +5,17 @@
 #include <utility>
 
 #include "src/net/stack.h"
+#include "src/obs/metrics.h"
+
+namespace {
+
+// Process-wide TCP counters, resolved once on first use (the retransmit
+// paths are rare enough that a function-local static suffices).
+tcsim::obs::Counter* TcpCounter(const char* name) {
+  return tcsim::obs::MetricsRegistry::Global().FindCounter(name);
+}
+
+}  // namespace
 
 namespace tcsim {
 
@@ -137,6 +148,8 @@ void TcpConnection::SendDataSegment(uint64_t seq, uint32_t len, bool retransmit)
   ++stats_.segments_sent;
   if (retransmit) {
     ++stats_.retransmits;
+    static obs::Counter* const counter = TcpCounter("net.tcp.retransmits");
+    counter->Increment();
   } else {
     in_flight_.push_back({seq, len, timers_->VirtualNow(), false});
   }
@@ -211,6 +224,8 @@ void TcpConnection::RetransmitFirstUnacked() {
   if (fin_sent_ && seg.seq == stream_end_) {
     ++stats_.retransmits;
     ++stats_.segments_sent;
+    static obs::Counter* const counter = TcpCounter("net.tcp.retransmits");
+    counter->Increment();
     SendControl(/*syn=*/false, /*ack=*/true, /*fin=*/true, seg.seq);
   } else {
     SendDataSegment(seg.seq, seg.len, /*retransmit=*/true);
@@ -235,6 +250,8 @@ void TcpConnection::OnRto() {
     return;
   }
   ++stats_.timeouts;
+  static obs::Counter* const counter = TcpCounter("net.tcp.timeouts");
+  counter->Increment();
   ssthresh_ = std::max(static_cast<double>(BytesInFlight()) / 2.0,
                        2.0 * static_cast<double>(params_.mss));
   cwnd_ = params_.mss;
@@ -498,6 +515,8 @@ void TcpConnection::OnAck(const Packet& pkt) {
     ++dup_ack_count_;
     if (dup_ack_count_ == 3) {
       ++stats_.fast_retransmits;
+      static obs::Counter* const counter = TcpCounter("net.tcp.fast_retransmits");
+      counter->Increment();
       ssthresh_ = std::max(static_cast<double>(BytesInFlight()) / 2.0,
                            2.0 * static_cast<double>(params_.mss));
       cwnd_ = ssthresh_ + 3.0 * params_.mss;

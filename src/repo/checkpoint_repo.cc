@@ -6,12 +6,22 @@
 #include <filesystem>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace_session.h"
 #include "src/sim/archive.h"
 #include "src/sim/image.h"
 
 namespace tcsim {
 
 namespace {
+
+// Repository counters, resolved once on first use. The repository has no
+// simulator of its own; trace instants are stamped with the trace session's
+// last-seen sim time (repo I/O happens inside a capture event, so that is
+// the causally enclosing instant).
+obs::Counter* RepoCounter(const char* name) {
+  return obs::MetricsRegistry::Global().FindCounter(name);
+}
 
 constexpr uint8_t kJournalNextHandle = 4;
 
@@ -386,8 +396,12 @@ uint64_t CheckpointRepo::PutImage(const std::vector<uint8_t>& image_bytes,
       continue;
     }
     logical_put_bytes_ += cr.key.size;
+    static obs::Counter* const logical_bytes = RepoCounter("repo.put.logical_bytes");
+    logical_bytes->Add(cr.key.size);
     auto it = payloads_.find(cr.key);
     if (it != payloads_.end()) {
+      static obs::Counter* const dedup_hits = RepoCounter("repo.dedup.hits");
+      dedup_hits->Increment();
       cr.offset = it->second.offset;
       continue;
     }
@@ -396,6 +410,8 @@ uint64_t CheckpointRepo::PutImage(const std::vector<uint8_t>& image_bytes,
       return Reject("segment append failed");
     }
     physical_put_bytes_ += cr.key.size;
+    static obs::Counter* const physical_bytes = RepoCounter("repo.put.physical_bytes");
+    physical_bytes->Add(cr.key.size);
     payloads_[cr.key].offset = cr.offset;
   }
   if (!Commit(kJournalPutImage, EncodeImageRecord(handle, rec))) {
@@ -406,6 +422,8 @@ uint64_t CheckpointRepo::PutImage(const std::vector<uint8_t>& image_bytes,
   next_handle_ = handle + 1;
   RebuildRetention();
   error_.clear();
+  static obs::Counter* const put_images = RepoCounter("repo.put.images");
+  put_images->Increment();
   return handle;
 }
 
@@ -462,7 +480,12 @@ std::vector<uint8_t> CheckpointRepo::Materialize(uint64_t handle) {
     payload.clear();
   }
   error_.clear();
-  return builder.Serialize();
+  std::vector<uint8_t> bytes = builder.Serialize();
+  static obs::Counter* const count = RepoCounter("repo.materialize.count");
+  static obs::Counter* const out_bytes = RepoCounter("repo.materialize.bytes");
+  count->Increment();
+  out_bytes->Add(bytes.size());
+  return bytes;
 }
 
 size_t CheckpointRepo::CompactChains(size_t max_depth) {
@@ -507,6 +530,11 @@ size_t CheckpointRepo::CompactChains(size_t max_depth) {
   }
   if (folded != 0) {
     RebuildRetention();
+    static obs::Counter* const folded_counter = RepoCounter("repo.compact.folded");
+    folded_counter->Add(folded);
+    obs::TraceSession& trace = obs::TraceSession::Global();
+    trace.Instant("repo", "repo.compact", trace.LastTime(),
+                  {{"folded", static_cast<double>(folded)}});
   }
   return folded;
 }
@@ -615,6 +643,14 @@ CheckpointRepo::GcResult CheckpointRepo::CollectGarbage() {
 
   result.ok = true;
   error_.clear();
+  static obs::Counter* const gc_runs = RepoCounter("repo.gc.runs");
+  static obs::Counter* const gc_reclaimed = RepoCounter("repo.gc.reclaimed_bytes");
+  gc_runs->Increment();
+  gc_reclaimed->Add(result.reclaimed_bytes);
+  obs::TraceSession& trace = obs::TraceSession::Global();
+  trace.Instant("repo", "repo.gc", trace.LastTime(),
+                {{"reclaimed_bytes", static_cast<double>(result.reclaimed_bytes)},
+                 {"live_bytes", static_cast<double>(result.live_bytes)}});
   return result;
 }
 
@@ -670,6 +706,10 @@ bool CheckpointRepo::Commit(uint8_t type, const std::vector<uint8_t>& payload) {
     error_ = "journal append failed";
     return false;
   }
+  static obs::Counter* const appends = RepoCounter("repo.journal.appends");
+  static obs::Counter* const append_bytes = RepoCounter("repo.journal.bytes");
+  appends->Increment();
+  append_bytes->Add(payload.size());
   return true;
 }
 

@@ -36,6 +36,9 @@ EventHandle EventQueue::Push(SimTime t, EventFn fn) {
   heap_.push_back(HeapEntry{t, seq, index, slot.generation});
   std::push_heap(heap_.begin(), heap_.end(), After);
   ++live_;
+  if (live_ > live_high_water_) {
+    live_high_water_ = live_;
+  }
   return EventHandle(this, index, slot.generation);
 }
 

@@ -98,6 +98,12 @@ class EventQueue {
   // Pushes served by reusing a freed slot (pool hits).
   uint64_t slot_reuses() const { return slot_reuses_; }
 
+  // Largest live-event population ever reached — the queue-depth high-water
+  // mark exported as "sim.queue.depth_high_water". Maintained inline in Push
+  // (one compare); the telemetry layer only reads it, keeping the dispatch
+  // hot path free of any metric lookup.
+  size_t live_high_water() const { return live_high_water_; }
+
  private:
   friend class EventHandle;
 
@@ -144,6 +150,7 @@ class EventQueue {
   uint32_t free_head_ = kNoSlot;
   mutable std::vector<HeapEntry> heap_;
   size_t live_ = 0;
+  size_t live_high_water_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t slot_reuses_ = 0;
   Fnv1aDigest digest_;

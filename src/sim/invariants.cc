@@ -8,6 +8,27 @@
 
 namespace tcsim {
 
+namespace {
+
+InvariantRegistry::ViolationHook& GlobalViolationHook() {
+  static InvariantRegistry::ViolationHook* hook =
+      new InvariantRegistry::ViolationHook();
+  return *hook;
+}
+
+}  // namespace
+
+void InvariantRegistry::SetGlobalViolationHook(ViolationHook hook) {
+  GlobalViolationHook() = std::move(hook);
+}
+
+void InvariantRegistry::Append(InvariantViolation violation) {
+  if (GlobalViolationHook()) {
+    GlobalViolationHook()(violation);
+  }
+  violations_.push_back(std::move(violation));
+}
+
 void InvariantRegistry::Register(std::string name, AuditFn audit) {
   audits_.push_back(NamedAudit{std::move(name), std::move(audit)});
 }
@@ -19,7 +40,7 @@ size_t InvariantRegistry::AuditNow() {
     AuditReport report;
     audit.fn(report);
     for (const std::string& detail : report.failures()) {
-      violations_.push_back(InvariantViolation{audit.name, now, detail});
+      Append(InvariantViolation{audit.name, now, detail});
     }
   }
   ++passes_run_;
@@ -51,7 +72,7 @@ size_t InvariantRegistry::FinishRun() {
 
 void InvariantRegistry::ReportViolation(std::string invariant, std::string detail) {
   const SimTime now = sim_ != nullptr ? sim_->Now() : 0;
-  violations_.push_back(InvariantViolation{std::move(invariant), now, std::move(detail)});
+  Append(InvariantViolation{std::move(invariant), now, std::move(detail)});
 }
 
 std::string InvariantRegistry::Summary() const {

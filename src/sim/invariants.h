@@ -81,6 +81,14 @@ class InvariantRegistry {
   // duplicate barrier message) rather than at an audit interval.
   void ReportViolation(std::string invariant, std::string detail);
 
+  // Process-wide observer invoked for every violation any registry records,
+  // before it is appended. The telemetry layer installs the flight-recorder
+  // auto-dump here (obs::TraceSession::InstallAuditDump) so an audit failure
+  // arrives with the timeline that led up to it. The hook must only observe
+  // — it runs between events and must never mutate simulation state.
+  using ViolationHook = std::function<void(const InvariantViolation&)>;
+  static void SetGlobalViolationHook(ViolationHook hook);
+
   const std::vector<InvariantViolation>& violations() const { return violations_; }
   bool ok() const { return violations_.empty(); }
   size_t audit_count() const { return audits_.size(); }
@@ -97,6 +105,7 @@ class InvariantRegistry {
   };
 
   void PeriodicTick();
+  void Append(InvariantViolation violation);
 
   Simulator* sim_;
   std::vector<NamedAudit> audits_;

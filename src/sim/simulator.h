@@ -52,6 +52,12 @@ class Simulator {
   // Number of events currently pending.
   size_t pending_events() const { return queue_.Size(); }
 
+  // Event-kernel diagnostics surfaced to the telemetry layer (gauges
+  // "sim.queue.*"; see obs::CaptureSimulatorMetrics).
+  size_t pending_high_water() const { return queue_.live_high_water(); }
+  size_t slot_capacity() const { return queue_.slot_capacity(); }
+  uint64_t slot_reuses() const { return queue_.slot_reuses(); }
+
   // Prepares the simulator to receive a checkpoint image captured at time
   // `t`: discards every pending event and jumps the clock to `t` (forward or
   // backward). Components re-arm their own events while restoring; see

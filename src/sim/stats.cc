@@ -33,6 +33,8 @@ double Samples::Percentile(double p) const {
   if (values_.empty()) {
     return 0.0;
   }
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
   std::vector<double> sorted = values_;
   std::sort(sorted.begin(), sorted.end());
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
@@ -85,8 +87,14 @@ TimeSeries ThroughputMeter::Bucketize() const {
   if (samples_.empty() || bucket_width_ <= 0) {
     return series;
   }
-  const SimTime first = samples_.front().time;
-  const SimTime last = samples_.back().time;
+  // Min/max rather than front/back: meters are normally fed in time order,
+  // but an out-of-order sample must not index a bucket out of range.
+  SimTime first = samples_.front().time;
+  SimTime last = samples_.front().time;
+  for (const Sample& s : samples_) {
+    first = std::min(first, s.time);
+    last = std::max(last, s.time);
+  }
   const size_t buckets = static_cast<size_t>((last - first) / bucket_width_) + 1;
   std::vector<uint64_t> sums(buckets, 0);
   for (const Sample& s : samples_) {

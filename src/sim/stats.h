@@ -32,7 +32,9 @@ class Samples {
 
   Summary Summarize() const;
 
-  // p-th percentile (p in [0, 100]) by nearest-rank on a sorted copy.
+  // p-th percentile by linear interpolation on a sorted copy. Defined edge
+  // behaviour: an empty set yields 0.0; a single sample is every percentile
+  // of itself; `p` outside [0, 100] is clamped to that range.
   double Percentile(double p) const;
 
   // Fraction of samples with |v - center| <= tol.
@@ -76,7 +78,9 @@ class ThroughputMeter {
   void Add(SimTime t, uint64_t bytes);
 
   // Throughput series, one point per bucket, in megabytes/second. Buckets
-  // with no traffic between first and last are emitted as zero.
+  // with no traffic between first and last are emitted as zero. Defined edge
+  // behaviour: no samples (or a non-positive bucket width) yields an empty
+  // series; a single sample yields exactly one bucket holding its bytes.
   TimeSeries Bucketize() const;
 
   uint64_t total_bytes() const { return total_bytes_; }

@@ -25,10 +25,26 @@ struct TraceRecord {
 
 // Result of comparing two traces record-by-record.
 struct TraceDiff {
+  // No record index.
+  static constexpr size_t kNoMismatch = static_cast<size_t>(-1);
+
   bool comparable = false;       // same length and same tag sequence
   SimTime max_time_delta = 0;    // max |virtual_time difference|
   double max_value_delta = 0.0;  // max |value difference|
   size_t records = 0;
+
+  // When comparable == false, where the traces diverged: the index of the
+  // first record whose tags differ, or — if the common prefix agrees — the
+  // length of the shorter trace (one side simply ended). The two mismatching
+  // tags are captured for the failure message; a trace that ran out of
+  // records reports "<end-of-trace>". kNoMismatch when comparable.
+  size_t first_mismatch = kNoMismatch;
+  std::string mismatch_a;
+  std::string mismatch_b;
+
+  // "comparable" or "diverged at record N: 'x' vs 'y'" — the one-line
+  // explanation transparency-test failures print.
+  std::string Describe() const;
 };
 
 // Append-only log of guest observations.

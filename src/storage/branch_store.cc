@@ -4,7 +4,18 @@
 #include <cassert>
 #include <memory>
 
+#include "src/obs/metrics.h"
+
 namespace tcsim {
+
+namespace {
+
+// CoW data-path counters, resolved once on first use.
+obs::Counter* CowCounter(const char* name) {
+  return obs::MetricsRegistry::Global().FindCounter(name);
+}
+
+}  // namespace
 
 // --- RawDisk ----------------------------------------------------------------
 
@@ -78,6 +89,10 @@ uint64_t BranchStore::ResolvePhysical(uint64_t block) const {
 void BranchStore::Read(uint64_t block, uint32_t nblocks,
                        std::function<void(std::vector<uint64_t>)> done) {
   assert(block + nblocks <= size_blocks_);
+  static obs::Counter* const reads = CowCounter("storage.cow.reads");
+  static obs::Counter* const read_blocks = CowCounter("storage.cow.read_blocks");
+  reads->Increment();
+  read_blocks->Add(nblocks);
   std::vector<uint64_t> contents(nblocks);
   for (uint32_t i = 0; i < nblocks; ++i) {
     contents[i] = ResolveContent(block + i);
@@ -116,6 +131,10 @@ void BranchStore::Write(uint64_t block, const std::vector<uint64_t>& contents,
   version_.Bump();  // delta maps / allocator heads are serialized
   assert(block + contents.size() <= size_blocks_);
   const uint32_t nblocks = static_cast<uint32_t>(contents.size());
+  static obs::Counter* const writes = CowCounter("storage.cow.writes");
+  static obs::Counter* const write_blocks = CowCounter("storage.cow.write_blocks");
+  writes->Increment();
+  write_blocks->Add(nblocks);
 
   // Which metadata regions does this write touch for the first time, and
   // which blocks are first-writes to the branch (read-before-write in the

@@ -1,0 +1,305 @@
+// Tests for the telemetry layer (src/obs): metric registry semantics,
+// histogram bucketing, span recording and Chrome export, the ring-buffer
+// flight recorder, the invariant-audit dump hook, and — the layer's defining
+// property — that tracing is perturbation-free: the event digest of a run
+// with tracing fully on is bit-identical to the same run with tracing off.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace_session.h"
+#include "src/sim/invariants.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+#include "src/timetravel/basic_run.h"
+
+namespace tcsim {
+namespace {
+
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::SpanId;
+using obs::TraceSession;
+
+// Every test starts from a quiet global session/registry and leaves it quiet:
+// both are process-wide singletons shared with the instrumented layers.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceSession::Global().Stop();
+    TraceSession::Global().Clear();
+    MetricsRegistry::Global().ResetAll();
+  }
+  void TearDown() override {
+    TraceSession::Global().Stop();
+    TraceSession::Global().Clear();
+    TraceSession::SetAuditDumpSink(nullptr);
+    MetricsRegistry::Global().ResetAll();
+  }
+};
+
+// --- Metric registry ----------------------------------------------------------
+
+TEST_F(ObsTest, CounterHandlesAreStableAndReused) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  obs::Counter* a = reg.FindCounter("test.obs.counter");
+  obs::Counter* b = reg.FindCounter("test.obs.counter");
+  EXPECT_EQ(a, b) << "same name must resolve to the same handle";
+
+  a->Increment();
+  a->Add(4);
+  EXPECT_EQ(b->value(), 5u);
+
+  // ResetAll zeroes the value but never invalidates the handle.
+  reg.ResetAll();
+  EXPECT_EQ(a->value(), 0u);
+  EXPECT_EQ(reg.FindCounter("test.obs.counter"), a);
+  a->Increment();
+  EXPECT_EQ(b->value(), 1u);
+}
+
+TEST_F(ObsTest, GaugeSetMaxKeepsHighWater) {
+  obs::Gauge* g = MetricsRegistry::Global().FindGauge("test.obs.gauge");
+  g->SetMax(10.0);
+  g->SetMax(4.0);
+  EXPECT_DOUBLE_EQ(g->value(), 10.0);
+  g->Set(4.0);
+  EXPECT_DOUBLE_EQ(g->value(), 4.0);
+}
+
+TEST_F(ObsTest, HistogramBucketing) {
+  // Bucket 0 holds v < 1; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-3.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(0.99), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(1.99), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2.0), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3.0), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4.0), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1024.0), 11u);
+
+  Histogram* h = MetricsRegistry::Global().FindHistogram("test.obs.hist");
+  for (double v : {0.5, 1.0, 2.0, 3.0, 1000.0}) {
+    h->Observe(v);
+  }
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 1000.0);
+  EXPECT_EQ(h->buckets()[0], 1u);
+  EXPECT_EQ(h->buckets()[1], 1u);
+  EXPECT_EQ(h->buckets()[2], 2u);
+  // Percentiles resolve to bucket upper bounds; the median of the five
+  // samples lands in bucket 2 ([2, 4)).
+  EXPECT_DOUBLE_EQ(h->ApproxPercentile(50.0), Histogram::BucketUpperBound(2));
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.ApproxPercentile(99.0), 0.0);
+}
+
+// --- Span recording and export ------------------------------------------------
+
+TEST_F(ObsTest, SpansNestAndOrderInChromeJson) {
+  TraceSession& trace = TraceSession::Global();
+  trace.StartFull();
+
+  const SpanId outer = trace.BeginSpan("node0", "outer", 1 * kMicrosecond);
+  const SpanId inner = trace.BeginSpan("node0", "inner", 2 * kMicrosecond);
+  trace.AddSpanArg(inner, "bytes", 42.0);
+  trace.Instant("node0", "mark", 3 * kMicrosecond, {{"v", 1.0}});
+  trace.EndSpan(inner, 4 * kMicrosecond);
+  trace.EndSpan(outer, 9 * kMicrosecond);
+
+  const std::string json = trace.ExportChromeJson();
+
+  // Track metadata names tid 0.
+  EXPECT_NE(json.find("\"thread_name\", \"args\": {\"name\": \"node0\"}"),
+            std::string::npos);
+  // Outer: ts 1us dur 8us; inner: ts 2us dur 2us — inner nests inside outer
+  // by [ts, ts+dur] containment, the rule chrome://tracing renders by.
+  const size_t outer_pos =
+      json.find("\"name\": \"outer\", \"ts\": 1.000, \"dur\": 8.000");
+  const size_t inner_pos =
+      json.find("\"name\": \"inner\", \"ts\": 2.000, \"dur\": 2.000");
+  const size_t mark_pos = json.find("\"name\": \"mark\", \"ts\": 3.000");
+  ASSERT_NE(outer_pos, std::string::npos) << json;
+  ASSERT_NE(inner_pos, std::string::npos) << json;
+  ASSERT_NE(mark_pos, std::string::npos) << json;
+  // Records export in recording order: outer before inner before the instant.
+  EXPECT_LT(outer_pos, inner_pos);
+  EXPECT_LT(inner_pos, mark_pos);
+  // The span arg and the instant arg both survive export.
+  EXPECT_NE(json.find("\"bytes\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"v\": 1"), std::string::npos);
+
+  EXPECT_EQ(trace.LastTime(), 9 * kMicrosecond);
+}
+
+TEST_F(ObsTest, OpenSpanExportsWithZeroDurationAndFlag) {
+  TraceSession& trace = TraceSession::Global();
+  trace.StartFull();
+  trace.BeginSpan("t", "never_ended", 5 * kMicrosecond);
+  const std::string json = trace.ExportChromeJson();
+  EXPECT_NE(json.find("\"open\": 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledSessionRecordsNothing) {
+  TraceSession& trace = TraceSession::Global();
+  ASSERT_FALSE(trace.enabled());
+  const SpanId id = trace.BeginSpan("t", "ignored", 1);
+  EXPECT_EQ(id, 0u);
+  trace.EndSpan(id, 2);       // no-op by contract
+  trace.AddSpanArg(id, "k", 1.0);
+  trace.Instant("t", "ignored", 3);
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_EQ(trace.total_events(), 0u);
+}
+
+// --- Ring-buffer flight recorder ----------------------------------------------
+
+TEST_F(ObsTest, RingBufferWrapsKeepingNewestRecords) {
+  TraceSession& trace = TraceSession::Global();
+  trace.StartRing(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.Instant("ring", i % 2 == 0 ? "even" : "odd",
+                  static_cast<SimTime>(i) * kMicrosecond, {{"i", double(i)}});
+  }
+  EXPECT_EQ(trace.recorded(), 4u);
+  EXPECT_EQ(trace.total_events(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+
+  // The newest four records (i = 6..9) survive, oldest first.
+  const std::string tail = trace.DumpTail(16);
+  EXPECT_EQ(tail.find("\"i\": 5"), std::string::npos);
+  for (int i = 6; i < 10; ++i) {
+    EXPECT_NE(tail.find("i=" + std::to_string(i)), std::string::npos) << tail;
+  }
+  EXPECT_LT(tail.find("i=6"), tail.find("i=9"));
+}
+
+TEST_F(ObsTest, EndSpanOnOverwrittenRecordIsSafe) {
+  TraceSession& trace = TraceSession::Global();
+  trace.StartRing(2);
+  const SpanId old_span = trace.BeginSpan("ring", "old", 1 * kMicrosecond);
+  for (int i = 0; i < 4; ++i) {
+    trace.Instant("ring", "filler", static_cast<SimTime>(2 + i) * kMicrosecond);
+  }
+  // The slot that held `old_span` now holds a filler; ending the stale id
+  // must not corrupt it.
+  trace.EndSpan(old_span, 10 * kMicrosecond);
+  const std::string tail = trace.DumpTail(4);
+  EXPECT_EQ(tail.find("old"), std::string::npos);
+  EXPECT_NE(tail.find("filler"), std::string::npos);
+}
+
+// --- Invariant-audit auto-dump ------------------------------------------------
+
+TEST_F(ObsTest, AuditViolationDumpsFlightRecorderOnce) {
+  TraceSession& trace = TraceSession::Global();
+  trace.StartRing(8);
+  trace.Instant("node0", "before_failure", 7 * kMicrosecond);
+  trace.InstallAuditDump(/*tail=*/8);
+
+  std::vector<std::string> dumps;
+  TraceSession::SetAuditDumpSink([&](const std::string& d) { dumps.push_back(d); });
+
+  Simulator sim;
+  InvariantRegistry reg(&sim);
+  reg.ReportViolation("test.invariant", "deliberately broken");
+  reg.ReportViolation("test.invariant", "second violation");
+
+  // Only the first violation dumps; the dump carries the violation header and
+  // the recorded timeline.
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_NE(dumps[0].find("flight recorder"), std::string::npos);
+  EXPECT_NE(dumps[0].find("test.invariant"), std::string::npos);
+  EXPECT_NE(dumps[0].find("deliberately broken"), std::string::npos);
+  EXPECT_NE(dumps[0].find("before_failure"), std::string::npos);
+
+  // Both violations are still recorded as usual.
+  EXPECT_EQ(reg.violations().size(), 2u);
+
+  InvariantRegistry::SetGlobalViolationHook(nullptr);
+}
+
+// --- The perturbation-free rule -----------------------------------------------
+//
+// Running a full checkpointed scenario with tracing on must produce an event
+// digest bit-identical to the same scenario with tracing off: telemetry never
+// schedules events, never consumes randomness, never changes a code path a
+// component observes.
+
+template <typename Run>
+uint64_t RunCheckpointedScenario() {
+  typename Run::Params params;
+  params.seed = 11;
+  Run run(params);
+  run.AdvanceTo(200 * kMillisecond);
+  run.CaptureCheckpoint();
+  run.AdvanceTo(500 * kMillisecond);
+  run.CaptureCheckpoint();
+  run.AdvanceTo(800 * kMillisecond);
+  return run.sim().Digest();
+}
+
+TEST_F(ObsTest, TracingIsPerturbationFreeOnBasicExperimentRun) {
+  TraceSession::Global().Stop();
+  const uint64_t digest_off = RunCheckpointedScenario<BasicExperimentRun>();
+
+  TraceSession::Global().StartFull();
+  const uint64_t digest_full = RunCheckpointedScenario<BasicExperimentRun>();
+  EXPECT_GT(TraceSession::Global().recorded(), 0u)
+      << "the traced run must actually have recorded spans";
+
+  TraceSession::Global().StartRing(16);
+  const uint64_t digest_ring = RunCheckpointedScenario<BasicExperimentRun>();
+
+  EXPECT_EQ(digest_off, digest_full);
+  EXPECT_EQ(digest_off, digest_ring);
+}
+
+TEST_F(ObsTest, TracingIsPerturbationFreeOnCpuExperimentRun) {
+  TraceSession::Global().Stop();
+  const uint64_t digest_off = RunCheckpointedScenario<CpuExperimentRun>();
+
+  TraceSession::Global().StartFull();
+  const uint64_t digest_full = RunCheckpointedScenario<CpuExperimentRun>();
+  EXPECT_GT(TraceSession::Global().recorded(), 0u);
+
+  EXPECT_EQ(digest_off, digest_full);
+}
+
+// --- Simulator sampling -------------------------------------------------------
+
+TEST_F(ObsTest, CaptureSimulatorMetricsRecordsQueueGauges) {
+  Simulator sim;
+  for (int i = 0; i < 32; ++i) {
+    sim.Schedule(i * kMillisecond, [] {});
+  }
+  sim.Run();
+  obs::CaptureSimulatorMetrics(sim);
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  EXPECT_DOUBLE_EQ(reg.FindGauge("sim.queue.events_dispatched")->value(), 32.0);
+  EXPECT_GE(reg.FindGauge("sim.queue.depth_high_water")->value(), 1.0);
+  EXPECT_GT(reg.FindGauge("sim.queue.events_per_sim_sec")->value(), 0.0);
+}
+
+TEST_F(ObsTest, ExportJsonIsWellFormedEnoughForTheBenchReport) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.FindCounter("a.count")->Add(3);
+  reg.FindGauge("b.gauge")->Set(1.5);
+  reg.FindHistogram("c.hist")->Observe(2.0);
+  const std::string json = reg.ExportJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcsim

@@ -311,6 +311,46 @@ TEST(StatsTest, ThroughputMeterBucketizes) {
   EXPECT_DOUBLE_EQ(series.points()[2].value, 1.0);
 }
 
+TEST(StatsTest, PercentileEdgeBehaviour) {
+  Samples empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(0), 0.0);
+
+  Samples one;
+  one.Add(7.0);
+  // A single sample is every percentile of itself.
+  EXPECT_DOUBLE_EQ(one.Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(100), 7.0);
+
+  Samples s;
+  s.Add(1.0);
+  s.Add(2.0);
+  // p outside [0, 100] clamps to the range ends.
+  EXPECT_DOUBLE_EQ(s.Percentile(-10), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(250), 2.0);
+}
+
+TEST(StatsTest, ThroughputMeterEdgeBehaviour) {
+  // No samples: empty series, not a crash or a zero-width bucket.
+  ThroughputMeter empty(kSecond);
+  EXPECT_TRUE(empty.Bucketize().empty());
+  EXPECT_EQ(empty.total_bytes(), 0u);
+
+  // A single sample yields exactly one bucket holding its bytes.
+  ThroughputMeter one(kSecond);
+  one.Add(3 * kSecond + kMillisecond, 2 * 1024 * 1024);
+  const TimeSeries series = one.Bucketize();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series.points()[0].value, 2.0);
+  EXPECT_EQ(one.total_bytes(), 2u * 1024 * 1024);
+
+  // Non-positive bucket width degrades to an empty series.
+  ThroughputMeter degenerate(0);
+  degenerate.Add(kSecond, 1024);
+  EXPECT_TRUE(degenerate.Bucketize().empty());
+}
+
 TEST(TraceTest, IdenticalTracesCompareEqual) {
   TraceLog a;
   TraceLog b;
@@ -341,6 +381,59 @@ TEST(TraceTest, DifferentShapesNotComparable) {
   EXPECT_FALSE(a.Compare(b).comparable);
   b.Record(1, "y", 1);
   EXPECT_FALSE(a.Compare(b).comparable);
+}
+
+TEST(TraceTest, ComparableDiffReportsNoMismatch) {
+  TraceLog a;
+  TraceLog b;
+  a.Record(kMillisecond, "x", 1);
+  b.Record(kMillisecond, "x", 1);
+  const TraceDiff diff = a.Compare(b);
+  ASSERT_TRUE(diff.comparable);
+  EXPECT_EQ(diff.first_mismatch, TraceDiff::kNoMismatch);
+  EXPECT_EQ(diff.Describe(), "comparable");
+}
+
+TEST(TraceTest, TagDivergencePinpointsFirstMismatch) {
+  TraceLog a;
+  TraceLog b;
+  for (int i = 0; i < 3; ++i) {
+    a.Record(i, "iter", i);
+    b.Record(i, "iter", i);
+  }
+  a.Record(3, "iter", 3);
+  b.Record(3, "recv", 3);
+  a.Record(4, "late", 4);  // differs too, but index 3 diverged first
+  b.Record(4, "tail", 4);
+  const TraceDiff diff = a.Compare(b);
+  EXPECT_FALSE(diff.comparable);
+  EXPECT_EQ(diff.first_mismatch, 3u);
+  EXPECT_EQ(diff.mismatch_a, "iter");
+  EXPECT_EQ(diff.mismatch_b, "recv");
+  EXPECT_EQ(diff.Describe(), "diverged at record 3: 'iter' vs 'recv'");
+}
+
+TEST(TraceTest, LengthMismatchReportsEndOfTrace) {
+  TraceLog a;
+  TraceLog b;
+  a.Record(0, "x", 0);
+  a.Record(1, "x", 1);
+  b.Record(0, "x", 0);
+  const TraceDiff diff = a.Compare(b);
+  EXPECT_FALSE(diff.comparable);
+  // The common prefix agrees, so the divergence is where the shorter trace
+  // ran out of records.
+  EXPECT_EQ(diff.first_mismatch, 1u);
+  EXPECT_EQ(diff.mismatch_a, "x");
+  EXPECT_EQ(diff.mismatch_b, "<end-of-trace>");
+  EXPECT_EQ(diff.Describe(), "diverged at record 1: 'x' vs '<end-of-trace>'");
+
+  // Symmetric: comparing the short trace against the long one flags the
+  // short side as ended.
+  const TraceDiff rev = b.Compare(a);
+  EXPECT_EQ(rev.first_mismatch, 1u);
+  EXPECT_EQ(rev.mismatch_a, "<end-of-trace>");
+  EXPECT_EQ(rev.mismatch_b, "x");
 }
 
 TEST(ArchiveTest, RoundTripsPodsStringsVectors) {

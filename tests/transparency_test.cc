@@ -76,7 +76,8 @@ TEST(TransparencyPropertyTest, TransparentCheckpointPreservesObservableTrace) {
   const TraceLog base = RunSleepLoop(/*checkpointing=*/false, /*transparent=*/true);
   const TraceLog ckpt = RunSleepLoop(/*checkpointing=*/true, /*transparent=*/true);
   const TraceDiff diff = base.Compare(ckpt);
-  ASSERT_TRUE(diff.comparable) << "trace shape changed under checkpointing";
+  ASSERT_TRUE(diff.comparable)
+      << "trace shape changed under checkpointing: " << diff.Describe();
 
   // Per-record virtual timestamps: almost every observation agrees to within
   // the paper's ~80 us per-checkpoint error bound. A checkpoint's residual
@@ -114,7 +115,7 @@ TEST(TransparencyPropertyTest, BaselineCheckpointVisiblyDistortsTrace) {
   const TraceLog base = RunSleepLoop(false, true);
   const TraceLog baseline = RunSleepLoop(true, /*transparent=*/false);
   const TraceDiff diff = base.Compare(baseline);
-  ASSERT_TRUE(diff.comparable);
+  ASSERT_TRUE(diff.comparable) << diff.Describe();
   // Non-transparent checkpoints leak their downtime: the guest's timeline
   // drifts by the accumulated downtimes (hundreds of ms), and it never
   // realigns.
