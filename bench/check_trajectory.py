@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Structural diff of a fresh consolidated bench JSON against the committed
+baseline (BENCH_PR6.json).
+
+The committed baseline locks in the bench *trajectory* — which benches run,
+which metrics each reports, and that every one passed — not the measured
+numbers, which vary by machine (and by libm across distros, which shifts the
+event digests of rng-heavy scenarios). A regression that drops a bench, loses
+a metric, or flips an "ok" to false fails this check; a slower machine does
+not.
+
+  bench/check_trajectory.py BASELINE NEW
+
+Exit 0 when NEW covers the baseline's structure and all its benches pass.
+"""
+
+import json
+import sys
+
+
+def bench_index(doc):
+    return {b.get("bench", "?"): b for b in doc.get("benches", [])}
+
+
+def metric_labels(bench):
+    """Set of (kind, name) for every metric the bench reported.
+
+    metrics is {"counters": {name: value}, "gauges": {...}, "histograms":
+    {...}}; the names are derived from the workload topology and are
+    machine-independent even though the values are not.
+    """
+    labels = set()
+    metrics = bench.get("metrics") or {}
+    for kind, entries in metrics.items():
+        if isinstance(entries, dict):
+            for name in entries:
+                labels.add((kind, name))
+    return labels
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+
+    base_benches = bench_index(baseline)
+    new_benches = bench_index(fresh)
+    errors = []
+
+    for name, base in sorted(base_benches.items()):
+        got = new_benches.get(name)
+        if got is None:
+            errors.append(f"bench missing from new run: {name}")
+            continue
+        if got.get("ok") is not True:
+            errors.append(f"bench failed: {name} (ok={got.get('ok')!r})")
+        missing = metric_labels(base) - metric_labels(got)
+        for kind, label in sorted(missing):
+            errors.append(f"{name}: metric dropped: [{kind}] {label}")
+        # Bench-specific structural invariants that must never regress.
+        if name == "tab_parallel_kernel":
+            if got.get("digest_oracle_ok") is not True:
+                errors.append(f"{name}: digest_oracle_ok is not true")
+            sweep = got.get("partition_sweep", [])
+            base_sweep = base.get("partition_sweep", [])
+            if len(sweep) < len(base_sweep):
+                errors.append(f"{name}: partition sweep shrank "
+                              f"({len(base_sweep)} -> {len(sweep)})")
+            for row in sweep:
+                if row.get("digest_ok") is not True:
+                    errors.append(f"{name}: partitions={row.get('partitions')}"
+                                  " digest mismatch vs oracle")
+
+    if baseline.get("micro_benchmarks") and not fresh.get("micro_benchmarks"):
+        errors.append("micro_benchmarks section missing from new run")
+
+    if errors:
+        for e in errors:
+            print(f"check_trajectory: {e}")
+        print(f"check_trajectory: FAIL ({len(errors)} problems)")
+        return 1
+    print(f"check_trajectory: OK ({len(base_benches)} benches covered)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

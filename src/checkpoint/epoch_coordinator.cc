@@ -1,0 +1,48 @@
+#include "src/checkpoint/epoch_coordinator.h"
+
+#include <chrono>
+#include <utility>
+
+namespace tcsim {
+
+PartitionEpochCoordinator::PartitionEpochCoordinator(
+    PartitionScheduler* scheduler, SimTime period, CaptureFn capture)
+    : scheduler_(scheduler),
+      period_(period),
+      capture_(std::move(capture)),
+      next_epoch_(period) {}
+
+void PartitionEpochCoordinator::RunUntil(SimTime t) {
+  while (next_epoch_ <= t) {
+    scheduler_->RunUntil(next_epoch_);
+    CaptureEpoch();
+    next_epoch_ += period_;
+  }
+  scheduler_->RunUntil(t);
+}
+
+void PartitionEpochCoordinator::CaptureEpoch() {
+  EpochRecord rec;
+  rec.at = scheduler_->partition_count() > 0
+               ? scheduler_->partition(0)->sim()->Now()
+               : next_epoch_;
+  if (capture_) {
+    images_.assign(scheduler_->partition_count(), {});
+    const auto start = std::chrono::steady_clock::now();
+    // Each capture runs as one pool task and writes only its own slot; the
+    // phase barrier inside ForEachPartition publishes the slots back to this
+    // thread.
+    scheduler_->ForEachPartition(
+        [this](Partition* p) { images_[p->id()] = capture_(p); });
+    const auto end = std::chrono::steady_clock::now();
+    rec.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    for (const std::vector<uint8_t>& image : images_) {
+      rec.image_bytes += image.size();
+      captures_digest_.MixBytes(image.data(), image.size());
+    }
+  }
+  history_.push_back(rec);
+}
+
+}  // namespace tcsim

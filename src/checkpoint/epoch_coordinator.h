@@ -1,0 +1,69 @@
+// Checkpoint epochs over a partitioned simulation.
+//
+// The paper's distributed checkpoint needs every node stopped at one instant;
+// in the partitioned kernel that instant is a scheduler barrier.
+// PartitionScheduler::RunUntil(epoch) quiesces the whole system — every
+// partition has fired all events up to the epoch, every cross-partition
+// delivery due by then has been applied, and every clock reads exactly the
+// epoch time, because conservative windows never cross the target. At that
+// barrier the coordinator captures one checkpoint image per partition (on the
+// scheduler's worker pool, so capture cost scales with partitions like event
+// dispatch does) before releasing the next window.
+
+#ifndef TCSIM_SRC_CHECKPOINT_EPOCH_COORDINATOR_H_
+#define TCSIM_SRC_CHECKPOINT_EPOCH_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/digest.h"
+#include "src/sim/partition.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+
+namespace tcsim {
+
+class PartitionEpochCoordinator {
+ public:
+  // Returns the partition's checkpoint image bytes; runs at the epoch
+  // barrier, possibly on a worker thread, and must touch only that partition.
+  using CaptureFn = std::function<std::vector<uint8_t>(Partition*)>;
+
+  struct EpochRecord {
+    SimTime at = 0;             // simulated instant of the barrier
+    uint64_t image_bytes = 0;   // total bytes across partitions
+    double wall_ms = 0.0;       // wall-clock cost of the capture phase
+  };
+
+  // Epochs fire at period, 2*period, ... `capture` may be empty, in which
+  // case epochs only quiesce (barrier-cost measurement without capture).
+  PartitionEpochCoordinator(PartitionScheduler* scheduler, SimTime period,
+                            CaptureFn capture);
+
+  // Advances the whole system to `t`, pausing at every epoch barrier on the
+  // way. Resumable: successive calls continue the same epoch cadence.
+  void RunUntil(SimTime t);
+
+  const std::vector<EpochRecord>& history() const { return history_; }
+
+  // FNV-1a digest over every captured image's bytes, folded in (epoch,
+  // partition id) order. Bit-identical between sequential and parallel runs
+  // of one workload — the captures themselves are part of the oracle check.
+  uint64_t CapturesDigest() const { return captures_digest_.value(); }
+
+ private:
+  void CaptureEpoch();
+
+  PartitionScheduler* scheduler_;
+  SimTime period_;
+  CaptureFn capture_;
+  SimTime next_epoch_;
+  std::vector<EpochRecord> history_;
+  std::vector<std::vector<uint8_t>> images_;  // scratch, indexed by partition
+  Fnv1aDigest captures_digest_;
+};
+
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_CHECKPOINT_EPOCH_COORDINATOR_H_

@@ -13,6 +13,11 @@ void Lan::Attach(Nic* nic) {
 void Lan::HandlePacket(const Packet& pkt) {
   auto it = ports_.find(pkt.dst);
   if (it == ports_.end()) {
+    if (gateway_ != nullptr) {
+      ++forwarded_to_gateway_;
+      gateway_->HandlePacket(pkt);
+      return;
+    }
     ++unknown_dst_drops_;
     return;
   }

@@ -18,7 +18,8 @@ namespace tcsim {
 // dedicated uplink wire at the port bandwidth; the switch forwards by
 // destination NodeId with negligible internal latency (propagation is
 // modelled on the uplink). Frames for unknown destinations are dropped and
-// counted.
+// counted — unless a gateway is set, in which case they are forwarded to it
+// (the generated multi-LAN topologies hang a router off every segment).
 class Lan : public PacketHandler {
  public:
   // `port_bandwidth_bps` / `port_delay` / `loss_rate` apply to every port.
@@ -39,6 +40,14 @@ class Lan : public PacketHandler {
 
   uint64_t unknown_dst_drops() const { return unknown_dst_drops_; }
 
+  // Routes frames for addresses not on this segment to `gw` (an uplink
+  // router) instead of dropping them. The hop is a direct call at the
+  // switch's negligible internal latency; any real link cost belongs to the
+  // router's own wires.
+  void SetGateway(PacketHandler* gw) { gateway_ = gw; }
+
+  uint64_t forwarded_to_gateway() const { return forwarded_to_gateway_; }
+
  private:
   Simulator* sim_;
   Rng rng_;
@@ -47,7 +56,9 @@ class Lan : public PacketHandler {
   double loss_rate_;
   std::vector<std::unique_ptr<Wire>> uplinks_;
   std::unordered_map<NodeId, Nic*> ports_;
+  PacketHandler* gateway_ = nullptr;
   uint64_t unknown_dst_drops_ = 0;
+  uint64_t forwarded_to_gateway_ = 0;
 };
 
 }  // namespace tcsim

@@ -468,7 +468,7 @@ void TcpConnection::OnAck(const Packet& pkt) {
       if (!in_flight_.front().retransmitted) {
         sample_sent = in_flight_.front().sent_vtime;
       }
-      in_flight_.erase(in_flight_.begin());
+      in_flight_.pop_front();
     }
     if (sample_sent >= 0) {
       UpdateRtt(timers_->VirtualNow() - sample_sent);

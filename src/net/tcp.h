@@ -15,6 +15,7 @@
 #define TCSIM_SRC_NET_TCP_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -190,7 +191,10 @@ class TcpConnection {
   // ACK retransmits the next hole instead of waiting out an RTO.
   bool in_recovery_ = false;
   uint64_t recovery_point_ = 0;
-  std::vector<InFlightSegment> in_flight_;
+  // Deque, not vector: cumulative ACKs retire segments from the front one at
+  // a time, and a bulk transfer over a fat pipe keeps tens of thousands of
+  // segments in flight — front-erasing a vector made each ACK O(window).
+  std::deque<InFlightSegment> in_flight_;
   std::map<uint64_t, FramedMessage> outgoing_messages_;  // end_seq -> message
 
   // RTO machinery.

@@ -1,8 +1,20 @@
 #include "src/net/wire.h"
 
 #include <algorithm>
+#include <cassert>
+
+#include "src/sim/partition.h"
 
 namespace tcsim {
+
+void Wire::BindCrossPartition(Partition* source, uint32_t dst_partition) {
+  assert(source->sim() == sim_ &&
+         "cross-partition wire must be driven from its source partition");
+  assert(delay_ > 0 && "cross-partition links need positive latency "
+                       "(it bounds the scheduler lookahead)");
+  source_partition_ = source;
+  dst_partition_ = dst_partition;
+}
 
 SimTime Wire::SerializationTime(uint32_t bytes) const {
   if (bandwidth_bps_ == 0) {
@@ -23,8 +35,19 @@ void Wire::Transmit(const Packet& pkt) {
     bytes_dropped_ += pkt.size_bytes;
     return;
   }
-  bytes_in_flight_ += pkt.size_bytes;
   Packet copy = pkt;
+  if (source_partition_ != nullptr) {
+    // Cross-partition delivery: the packet leaves this wire's accounting at
+    // the boundary post (in-flight bytes stay 0 so the conservation audit
+    // holds without the destination thread writing these counters), and the
+    // sink's HandlePacket runs inside the destination partition.
+    bytes_delivered_ += pkt.size_bytes;
+    PacketHandler* sink = sink_;
+    source_partition_->PostRemote(dst_partition_, tx_done + delay_,
+                                  [sink, copy] { sink->HandlePacket(copy); });
+    return;
+  }
+  bytes_in_flight_ += pkt.size_bytes;
   sim_->ScheduleAt(tx_done + delay_, [this, copy] {
     bytes_in_flight_ -= copy.size_bytes;
     bytes_delivered_ += copy.size_bytes;

@@ -14,6 +14,8 @@
 
 namespace tcsim {
 
+class Partition;
+
 // Anything that can accept a packet: a NIC, a switch fabric, a Dummynet pipe.
 class PacketHandler {
  public:
@@ -49,6 +51,17 @@ class Wire {
   // Re-targets the wire (used when rewiring topologies during swap-in).
   void set_sink(PacketHandler* sink) { sink_ = sink; }
 
+  // Marks this wire as a cross-partition link: the source end (serialization,
+  // loss, busy time) stays in `source`'s simulator, but delivery is posted
+  // through the partition outbox into `dst_partition`, where the sink lives.
+  // The wire's propagation delay becomes part of the scheduler's conservative
+  // lookahead — callers must register it via
+  // PartitionScheduler::RegisterCrossLatency. Delivered-byte accounting
+  // happens at the boundary post: once handed to the destination partition
+  // the packet is off this wire (the destination thread never writes the
+  // source-side counters).
+  void BindCrossPartition(Partition* source, uint32_t dst_partition);
+
   uint64_t bandwidth_bps() const { return bandwidth_bps_; }
   SimTime propagation_delay() const { return delay_; }
 
@@ -76,6 +89,8 @@ class Wire {
   SimTime delay_;
   double loss_rate_;
   PacketHandler* sink_;
+  Partition* source_partition_ = nullptr;  // non-null: cross-partition wire
+  uint32_t dst_partition_ = 0;
   SimTime busy_until_ = 0;
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;

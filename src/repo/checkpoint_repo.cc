@@ -35,22 +35,31 @@ std::string JournalPath(const std::string& dir, uint64_t epoch) {
 
 std::string CurrentPath(const std::string& dir) { return dir + "/CURRENT"; }
 
-// Atomically (via rename) points CURRENT at `epoch`.
-bool WriteCurrent(const std::string& dir, uint64_t epoch) {
+// Atomically (via rename) points CURRENT at `epoch`. With `durable` set, the
+// pointer's bytes are fsynced before the rename and the parent directory
+// after it — a rename whose directory entry never reaches disk can be undone
+// by a crash, resurrecting a CURRENT whose epoch files GC already retired.
+bool WriteCurrent(const std::string& dir, uint64_t epoch, bool durable) {
   const std::string tmp = CurrentPath(dir) + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return false;
   }
-  const bool wrote =
+  bool wrote =
       std::fprintf(f, "epoch %" PRIu64 "\n", epoch) > 0 && std::fflush(f) == 0;
+  if (wrote && durable) {
+    wrote = SyncStdioFile(f);
+  }
   std::fclose(f);
   if (!wrote) {
     return false;
   }
   std::error_code ec;
   std::filesystem::rename(tmp, CurrentPath(dir), ec);
-  return !ec;
+  if (ec) {
+    return false;
+  }
+  return !durable || FsyncDirectory(dir);
 }
 
 // Reads the epoch named by CURRENT; 0 on parse failure.
@@ -90,7 +99,13 @@ std::unique_ptr<CheckpointRepo> CheckpointRepo::Open(const std::string& dir,
     if (repo->journal_ == nullptr) {
       return nullptr;
     }
-    if (!WriteCurrent(dir, 1)) {
+    // The new pair's directory entries must be durable before CURRENT can
+    // name them.
+    if (options.fsync && !FsyncDirectory(dir)) {
+      *error = "cannot fsync repository directory " + dir;
+      return nullptr;
+    }
+    if (!WriteCurrent(dir, 1, options.fsync)) {
       *error = "cannot publish CURRENT in " + dir;
       return nullptr;
     }
@@ -612,9 +627,18 @@ CheckpointRepo::GcResult CheckpointRepo::CollectGarbage() {
     error_ = "GC flush failed";
     return result;
   }
+  // The new pair's directory entries must be durable before CURRENT names
+  // them: segment/journal bytes are on disk (flushed above), but their
+  // entries live in the directory.
+  if (options_.fsync && !FsyncDirectory(dir_)) {
+    error_ = "cannot fsync repository directory before CURRENT install";
+    return result;
+  }
   // The atomic install point: until this rename, the old epoch is the
-  // repository; after it, the new one is.
-  if (!WriteCurrent(dir_, new_epoch)) {
+  // repository; after it, the new one is. WriteCurrent fsyncs the directory
+  // after the rename, so a crash beyond this point cannot resurrect the old
+  // epoch once its files are removed below.
+  if (!WriteCurrent(dir_, new_epoch, options_.fsync)) {
     error_ = "cannot publish CURRENT for epoch " + std::to_string(new_epoch);
     return result;
   }

@@ -5,6 +5,7 @@
 #ifdef _WIN32
 #include <io.h>
 #else
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -33,7 +34,9 @@ bool WritePod64(std::FILE* f, uint64_t v) {
   return std::fwrite(&v, sizeof v, 1, f) == 1;
 }
 
-bool SyncFile(std::FILE* f) {
+}  // namespace
+
+bool SyncStdioFile(std::FILE* f) {
 #ifdef _WIN32
   return _commit(_fileno(f)) == 0;
 #else
@@ -41,7 +44,20 @@ bool SyncFile(std::FILE* f) {
 #endif
 }
 
-}  // namespace
+bool FsyncDirectory(const std::string& dir) {
+#ifdef _WIN32
+  (void)dir;
+  return true;  // no directory handles to sync; metadata rides with the files
+#else
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#endif
+}
 
 SegmentFile::SegmentFile(std::FILE* file, std::string path, uint64_t append_pos)
     : file_(file), path_(std::move(path)), append_pos_(append_pos) {}
@@ -154,7 +170,7 @@ bool SegmentFile::Flush(bool fsync) {
   if (std::fflush(file_) != 0) {
     return false;
   }
-  return !fsync || SyncFile(file_);
+  return !fsync || SyncStdioFile(file_);
 }
 
 }  // namespace tcsim

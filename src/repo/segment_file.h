@@ -19,6 +19,18 @@
 
 namespace tcsim {
 
+// Durability helpers shared by the repository's on-disk files.
+
+// Flushes a stdio stream's kernel buffers to stable storage (fsync).
+bool SyncStdioFile(std::FILE* f);
+
+// Makes a directory's own entries durable. After creating or renaming a file,
+// the *parent directory* must be fsynced too — otherwise a crash can lose the
+// directory entry even though the file's bytes reached the platter, silently
+// undoing an atomic rename-install. Returns true on platforms where
+// directories cannot be opened for sync.
+bool FsyncDirectory(const std::string& dir);
+
 class SegmentFile {
  public:
   // Creates a fresh segment (truncating any existing file) and writes the

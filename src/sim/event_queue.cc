@@ -2,9 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
+#include <thread>
 #include <utility>
 
 namespace tcsim {
+
+uint64_t CurrentThreadTag() {
+  // |1 keeps the tag distinct from the "unclaimed" owner value 0.
+  static thread_local const uint64_t tag =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1u;
+  return tag;
+}
+
+void EventQueue::CheckGuardSlow() const {
+  if (guard_->executing == nullptr ||
+      !guard_->executing->load(std::memory_order_relaxed)) {
+    return;  // between windows: the coordinator thread owns everything
+  }
+  if (guard_->owner.load(std::memory_order_relaxed) != CurrentThreadTag()) {
+    guard_violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
 
 void EventHandle::Cancel() {
   if (queue_ != nullptr) {
@@ -17,6 +36,7 @@ bool EventHandle::pending() const {
 }
 
 EventHandle EventQueue::Push(SimTime t, EventFn fn) {
+  CheckGuard();
   uint32_t index;
   if (free_head_ != kNoSlot) {
     index = free_head_;
@@ -52,6 +72,7 @@ void EventQueue::ReleaseSlot(uint32_t index) {
 }
 
 void EventQueue::CancelSlot(uint32_t index, uint32_t generation) {
+  CheckGuard();
   if (index >= slots_.size()) {
     return;
   }
@@ -99,6 +120,7 @@ SimTime EventQueue::NextTime() const {
 }
 
 EventFn EventQueue::Pop(SimTime* t) {
+  CheckGuard();
   DropStale();
   assert(!heap_.empty());
   const HeapEntry top = heap_.front();

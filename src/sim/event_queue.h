@@ -21,6 +21,7 @@
 #ifndef TCSIM_SRC_SIM_EVENT_QUEUE_H_
 #define TCSIM_SRC_SIM_EVENT_QUEUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,26 @@
 namespace tcsim {
 
 class EventQueue;
+
+// Cross-thread ownership guard for the partitioned kernel (see
+// src/sim/scheduler.h). The queue itself stays single-threaded; the guard
+// only *detects* violations of that contract. While `*executing` is true a
+// window of the parallel scheduler is in flight and only the thread whose tag
+// is stored in `owner` may touch the queue (owner == 0 means the partition is
+// not claimed by any worker this window, so any touch is foreign). Outside an
+// execution window the coordinator thread may do anything. Violations are
+// counted, not trapped: TimerHost::Cancel through a stale handle from another
+// partition must be *harmless* (the slot generation check already makes the
+// cancel a no-op), but it must also be *visible* so tests can assert the
+// partitioning never routes live handles across threads.
+struct QueueGuard {
+  std::atomic<bool>* executing = nullptr;
+  std::atomic<uint64_t> owner{0};
+};
+
+// Tag identifying the calling thread for QueueGuard ownership checks
+// (a hash of std::thread::id, never 0).
+uint64_t CurrentThreadTag();
 
 // A handle to a scheduled event that allows cancellation. Handles are cheap
 // to copy; a default-constructed handle refers to nothing. A handle must not
@@ -104,6 +125,19 @@ class EventQueue {
   // hot path free of any metric lookup.
   size_t live_high_water() const { return live_high_water_; }
 
+  // --- Partition ownership guard ---------------------------------------------
+
+  // Installs (or removes, with nullptr) the cross-thread ownership guard.
+  // Queues without a guard — every single-threaded simulation — pay one
+  // null-pointer compare per operation.
+  void set_guard(QueueGuard* guard) { guard_ = guard; }
+
+  // Operations performed during an execution window by a thread that did not
+  // own this queue's partition. Any nonzero value is a partitioning bug.
+  uint64_t guard_violations() const {
+    return guard_violations_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class EventHandle;
 
@@ -146,6 +180,18 @@ class EventQueue {
   void CancelSlot(uint32_t index, uint32_t generation);
   bool SlotPending(uint32_t index, uint32_t generation) const;
 
+  // Counts a violation if a window is executing and the caller is not the
+  // owning worker. The slow path is out of line so the common unguarded case
+  // inlines to a single branch.
+  void CheckGuard() const {
+    if (guard_ != nullptr) {
+      CheckGuardSlow();
+    }
+  }
+  void CheckGuardSlow() const;
+
+  QueueGuard* guard_ = nullptr;
+  mutable std::atomic<uint64_t> guard_violations_{0};
   std::vector<Slot> slots_;
   uint32_t free_head_ = kNoSlot;
   mutable std::vector<HeapEntry> heap_;

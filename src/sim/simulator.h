@@ -17,7 +17,14 @@
 
 namespace tcsim {
 
-// Single-threaded discrete-event simulator. Not thread-safe.
+// Returned by Simulator::NextEventTime when no events are pending. Larger
+// than every reachable simulation instant, so `min` folds over partitions
+// treat an empty partition as "never".
+inline constexpr SimTime kNoPendingEvent = INT64_MAX;
+
+// Single-threaded discrete-event simulator. Not thread-safe: a partitioned
+// run (src/sim/scheduler.h) gives each partition its own Simulator and only
+// ever drives one from one thread at a time.
 class Simulator {
  public:
   Simulator() = default;
@@ -45,6 +52,20 @@ class Simulator {
   // Runs a single event if one is pending. Returns false if the queue is
   // empty.
   bool Step();
+
+  // Time of the earliest pending event, or kNoPendingEvent when idle. The
+  // partition scheduler folds this across partitions to pick the next
+  // conservative window.
+  SimTime NextEventTime() const {
+    return queue_.Empty() ? kNoPendingEvent : queue_.NextTime();
+  }
+
+  // Installs the partition-ownership guard on the event queue (nullptr to
+  // remove). See QueueGuard in src/sim/event_queue.h.
+  void InstallQueueGuard(QueueGuard* guard) { queue_.set_guard(guard); }
+
+  // Guard violations observed on this simulator's queue (must stay 0).
+  uint64_t queue_guard_violations() const { return queue_.guard_violations(); }
 
   // Total number of events executed so far (diagnostics / micro-benchmarks).
   uint64_t events_processed() const { return events_processed_; }

@@ -313,5 +313,30 @@ INSTANTIATE_TEST_SUITE_P(
                                          20 * kMillisecond),
                        ::testing::Values(0.0, 0.01, 0.05)));
 
+TEST(TcpTest, CumulativeAckRetiresLargeWindowExactly) {
+  // Fat pipe: 1 Gbps at 20 ms one way is a ~5 MB bandwidth-delay product, so
+  // thousands of segments sit in flight and every cumulative ACK retires a
+  // batch from the front of the in-flight deque. Pins the bookkeeping the
+  // deque switch must preserve: exact byte accounting, no spurious
+  // retransmissions, clean completion.
+  TcpHarness h(1'000'000'000, 20 * kMillisecond, 0.0);
+  TcpConnection::Params params;
+  params.recv_buffer_bytes = 16 * 1024 * 1024;
+  uint64_t delivered = 0;
+  h.b->ListenTcp(80, [&](TcpConnection* conn) {
+    conn->SetDeliveryCallback([&](uint64_t n) { delivered += n; });
+  }, params);
+  TcpConnection* client = h.a->ConnectTcp(2, 80, params, nullptr);
+  const uint64_t kBytes = 32ull * 1024 * 1024;
+  client->Send(kBytes);
+  client->Close();
+  h.sim.Run();
+  EXPECT_EQ(delivered, kBytes);
+  // +1: the FIN consumes one sequence number and is cumulatively acked too.
+  EXPECT_EQ(client->stats().bytes_acked, kBytes + 1);
+  EXPECT_EQ(client->stats().retransmits, 0u);
+  EXPECT_EQ(client->stats().timeouts, 0u);
+}
+
 }  // namespace
 }  // namespace tcsim

@@ -1,0 +1,417 @@
+// The partitioned kernel's digest-oracle contract: a parallel run (worker
+// pool, conservative lookahead windows) must produce the same per-partition
+// digest set — and therefore the same deterministic merge — as the sequential
+// oracle, which is the workers == 0 execution of the identical partitioned
+// configuration. Also covers the queue ownership guard, stale-handle
+// confinement across partitions, and the epoch barrier's capture digests.
+//
+// This file carries the "parallel" ctest label and is the target of the TSan
+// preset (cmake --preset tsan): every assertion here must hold under
+// -fsanitize=thread as well.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/checkpoint/epoch_coordinator.h"
+#include "src/net/topology.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/partition.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+#include "src/timetravel/basic_run.h"
+
+namespace tcsim {
+namespace {
+
+// --- Scheduler window machinery ------------------------------------------------
+
+// Two partitions exchanging a one-packet "ping-pong" through PostRemote at a
+// fixed cross latency, with an unrelated local tick chain in each partition so
+// windows carry both local and remote work.
+struct PingPongFixture {
+  struct Bouncer {
+    Partition* self = nullptr;
+    uint32_t peer_id = 0;
+    Bouncer* peer = nullptr;
+    SimTime latency = 0;
+    SimTime stop = 0;
+    uint64_t hops = 0;
+
+    void Arrive() {
+      ++hops;
+      Simulator* sim = self->sim();
+      if (sim->Now() + latency > stop) {
+        return;
+      }
+      self->PostRemote(peer_id, sim->Now() + latency,
+                       [p = peer] { p->Arrive(); });
+    }
+  };
+
+  struct Result {
+    uint64_t merged_digest = 0;
+    uint64_t hops0 = 0;
+    uint64_t hops1 = 0;
+    uint64_t ticks = 0;
+    uint64_t windows = 0;
+    uint64_t cross_events = 0;
+    uint64_t guard_violations = 0;
+  };
+
+  static Result Run(uint32_t workers) {
+    constexpr SimTime kLatency = kMillisecond;
+    constexpr SimTime kStop = 20 * kMillisecond;
+    Simulator s0, s1;
+    PartitionScheduler sched(PartitionScheduler::Options{workers});
+    Partition* p0 = sched.AddPartition(&s0);
+    Partition* p1 = sched.AddPartition(&s1);
+    sched.RegisterCrossLatency(kLatency);
+
+    Bouncer b0{p0, 1, nullptr, kLatency, kStop};
+    Bouncer b1{p1, 0, &b0, kLatency, kStop};
+    b0.peer = &b1;
+    s0.ScheduleAt(0, [&b0] { b0.Arrive(); });
+
+    // Local-only tick chains, denser than the cross latency, so most windows
+    // mix purely local events with the bounce. One Ticker per partition — its
+    // state is only ever touched by the thread running that partition.
+    struct Ticker {
+      Simulator* sim;
+      SimTime stop;
+      uint64_t count = 0;
+      void Tick() {
+        ++count;
+        if (sim->Now() + 300 * kMicrosecond <= stop) {
+          sim->Schedule(300 * kMicrosecond, [this] { Tick(); });
+        }
+      }
+    };
+    Ticker t0{&s0, kStop};
+    Ticker t1{&s1, kStop};
+    s0.Schedule(100 * kMicrosecond, [&t0] { t0.Tick(); });
+    s1.Schedule(150 * kMicrosecond, [&t1] { t1.Tick(); });
+
+    sched.RunUntil(kStop + kMillisecond);
+    Result r;
+    r.merged_digest = sched.MergedDigest();
+    r.hops0 = b0.hops;
+    r.hops1 = b1.hops;
+    r.ticks = t0.count + t1.count;
+    r.windows = sched.stats().windows;
+    r.cross_events = sched.stats().cross_events;
+    r.guard_violations = sched.GuardViolations();
+    return r;
+  }
+};
+
+TEST(PartitionSchedulerTest, ParallelPingPongMatchesSequentialOracle) {
+  const auto oracle = PingPongFixture::Run(/*workers=*/0);
+  const auto parallel = PingPongFixture::Run(/*workers=*/1);
+
+  EXPECT_EQ(oracle.merged_digest, parallel.merged_digest);
+  EXPECT_EQ(oracle.hops0, parallel.hops0);
+  EXPECT_EQ(oracle.hops1, parallel.hops1);
+  EXPECT_EQ(oracle.ticks, parallel.ticks);
+  EXPECT_EQ(oracle.windows, parallel.windows);
+  EXPECT_EQ(oracle.cross_events, parallel.cross_events);
+  EXPECT_EQ(oracle.guard_violations, 0u);
+  EXPECT_EQ(parallel.guard_violations, 0u);
+
+  // The bounce actually crossed partitions, and lookahead actually bounded
+  // the windows (a free-run would do it in one).
+  EXPECT_GT(oracle.hops0 + oracle.hops1, 10u);
+  EXPECT_GT(oracle.windows, 5u);
+  EXPECT_EQ(oracle.cross_events + 1, oracle.hops0 + oracle.hops1);
+}
+
+TEST(PartitionSchedulerTest, RunUntilQuiescesEveryPartitionClock) {
+  const auto run_to = [](SimTime t) {
+    Simulator s0, s1;
+    PartitionScheduler sched;
+    sched.AddPartition(&s0);
+    sched.AddPartition(&s1);
+    sched.RegisterCrossLatency(kMillisecond);
+    s0.Schedule(3 * kMillisecond, [] {});
+    sched.RunUntil(t);
+    EXPECT_EQ(s0.Now(), t);
+    EXPECT_EQ(s1.Now(), t);
+    EXPECT_GT(s0.NextEventTime(), t);
+    EXPECT_GT(s1.NextEventTime(), t);
+  };
+  run_to(7 * kMillisecond);       // past the only event
+  run_to(kMillisecond);           // before it
+}
+
+// Independent experiment runs as partitions: with no cross links the
+// lookahead is unbounded and each partition free-runs, but the digest
+// contract is the same — parallel merge == sequential oracle merge.
+struct RunsResult {
+  uint64_t merged = 0;
+  uint64_t counter = 0;
+  uint64_t iterations = 0;
+};
+
+RunsResult RunExperimentPartitions(uint32_t workers) {
+  BasicExperimentRun basic{BasicExperimentRun::Params{}};
+  CpuExperimentRun cpu{CpuExperimentRun::Params{}};
+  PartitionScheduler sched(PartitionScheduler::Options{workers});
+  sched.AddPartition(&basic.sim());
+  sched.AddPartition(&cpu.sim());
+  sched.RunUntil(kSecond);
+  EXPECT_EQ(sched.GuardViolations(), 0u);
+  return {sched.MergedDigest(), basic.counter(), cpu.iterations()};
+}
+
+TEST(PartitionSchedulerTest, ExperimentRunDigestsMatchOracle) {
+  const RunsResult oracle = RunExperimentPartitions(0);
+  const RunsResult parallel = RunExperimentPartitions(2);
+  EXPECT_EQ(oracle.merged, parallel.merged);
+  EXPECT_EQ(oracle.counter, parallel.counter);
+  EXPECT_EQ(oracle.iterations, parallel.iterations);
+  EXPECT_GT(oracle.counter, 0u);
+  EXPECT_GT(oracle.iterations, 0u);
+}
+
+// --- Queue ownership guard ------------------------------------------------------
+
+TEST(QueueGuardTest, StaleHandleCannotCancelReusedSlot) {
+  Simulator sim;
+  uint64_t fired = 0;
+  EventHandle h = sim.Schedule(kMillisecond, [] {});
+  h.Cancel();
+  // The freed slot is reused by the next push; the stale handle's generation
+  // no longer matches, so cancelling it again must not touch the new event.
+  EventHandle h2 = sim.Schedule(2 * kMillisecond, [&] { ++fired; });
+  EXPECT_GE(sim.slot_reuses(), 1u);
+  h.Cancel();
+  EXPECT_TRUE(h2.pending());
+  sim.Run();
+  EXPECT_EQ(fired, 1u);
+}
+
+TEST(QueueGuardTest, ForeignThreadTouchDuringWindowIsCounted) {
+  Simulator sim;
+  std::atomic<bool> executing{false};
+  QueueGuard guard;
+  guard.executing = &executing;
+  sim.InstallQueueGuard(&guard);
+
+  EventHandle h = sim.Schedule(kMillisecond, [] {});
+  EXPECT_EQ(sim.queue_guard_violations(), 0u);  // no window in flight
+
+  executing.store(true);
+  guard.owner.store(CurrentThreadTag());
+  sim.Schedule(2 * kMillisecond, [] {});  // owning thread: fine
+  EXPECT_EQ(sim.queue_guard_violations(), 0u);
+
+  // A touch from any other thread while a window executes is a violation —
+  // counted, not trapped (the operation itself still behaves).
+  std::thread foreign([&] { h.Cancel(); });
+  foreign.join();
+  EXPECT_EQ(sim.queue_guard_violations(), 1u);
+  EXPECT_FALSE(h.pending());
+
+  executing.store(false);
+  sim.InstallQueueGuard(nullptr);
+}
+
+// A handle into partition B's queue, gone stale after its slot was reused,
+// cancelled from an event running in partition A: the cancel must be a no-op
+// on B's live event (generation check), must be flagged by B's guard (B was
+// not claimed in that window), and must leave the digest oracle intact. Holds
+// identically in sequential and parallel mode.
+void StaleHandleAcrossPartitions(uint32_t workers) {
+  Simulator s0, s1;
+  PartitionScheduler sched(PartitionScheduler::Options{workers});
+  sched.AddPartition(&s0);
+  sched.AddPartition(&s1);
+  sched.RegisterCrossLatency(kMillisecond);
+
+  uint64_t fired = 0;
+  // E1 fires at 1 ms and its freed slot is immediately reused by E2 (20 ms).
+  EventHandle h1 = s1.Schedule(kMillisecond, [&] {
+    s1.Schedule(19 * kMillisecond, [&] { ++fired; });
+  });
+  // At 5 ms — a window in which partition 1 has no work and is unclaimed —
+  // partition 0 cancels the stale handle.
+  s0.Schedule(5 * kMillisecond, [&] { h1.Cancel(); });
+
+  sched.RunUntil(30 * kMillisecond);
+  EXPECT_EQ(fired, 1u) << "stale cancel must never kill a reused slot";
+  EXPECT_EQ(s1.queue_guard_violations(), 1u);
+  EXPECT_EQ(s0.queue_guard_violations(), 0u);
+}
+
+TEST(QueueGuardTest, StaleHandleAcrossPartitionsSequential) {
+  StaleHandleAcrossPartitions(0);
+}
+
+TEST(QueueGuardTest, StaleHandleAcrossPartitionsParallel) {
+  StaleHandleAcrossPartitions(1);
+}
+
+// --- Generated topologies: parallel vs oracle ----------------------------------
+
+struct TopologyResult {
+  uint64_t event_digest = 0;
+  uint64_t behavior_digest = 0;
+  uint64_t total_events = 0;
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t cross_events = 0;
+  uint64_t guard_violations = 0;
+  size_t partitions = 0;
+};
+
+TopologyResult RunTopology(TopologyShape shape, uint32_t partitions,
+                           uint32_t workers, SimTime horizon) {
+  GeneratedTopologyParams params;
+  params.shape = shape;
+  auto topo = GeneratedTopology::Build(params, partitions, workers);
+  topo->RunUntil(horizon);
+  TopologyResult r;
+  r.event_digest = topo->EventDigest();
+  r.behavior_digest = topo->BehaviorDigest();
+  r.total_events = topo->TotalEvents();
+  r.sent = topo->PacketsSent();
+  r.delivered = topo->PacketsDelivered();
+  r.cross_events = topo->scheduler()->stats().cross_events;
+  r.guard_violations = topo->scheduler()->GuardViolations();
+  r.partitions = topo->partition_count();
+  return r;
+}
+
+TEST(GeneratedTopologyTest, FatTree100ParallelMatchesOracle) {
+  constexpr SimTime kHorizon = 40 * kMillisecond;
+  const auto oracle =
+      RunTopology(TopologyShape::kFatTree, 4, /*workers=*/0, kHorizon);
+  const auto parallel =
+      RunTopology(TopologyShape::kFatTree, 4, /*workers=*/3, kHorizon);
+
+  EXPECT_EQ(oracle.partitions, 4u);
+  EXPECT_EQ(parallel.partitions, 4u);
+  EXPECT_EQ(oracle.event_digest, parallel.event_digest);
+  EXPECT_EQ(oracle.behavior_digest, parallel.behavior_digest);
+  EXPECT_EQ(oracle.total_events, parallel.total_events);
+  EXPECT_EQ(oracle.sent, parallel.sent);
+  EXPECT_EQ(oracle.delivered, parallel.delivered);
+  EXPECT_EQ(oracle.cross_events, parallel.cross_events);
+  EXPECT_EQ(oracle.guard_violations, 0u);
+  EXPECT_EQ(parallel.guard_violations, 0u);
+  // The workload is real: traffic flowed, and some of it crossed partitions.
+  EXPECT_GT(oracle.sent, 1000u);
+  EXPECT_GT(oracle.delivered, 0u);
+  EXPECT_GT(oracle.cross_events, 0u);
+}
+
+TEST(GeneratedTopologyTest, MultiLanZonesParallelMatchesOracle) {
+  constexpr SimTime kHorizon = 40 * kMillisecond;
+  const auto oracle =
+      RunTopology(TopologyShape::kMultiLanZones, 4, /*workers=*/0, kHorizon);
+  const auto parallel =
+      RunTopology(TopologyShape::kMultiLanZones, 4, /*workers=*/3, kHorizon);
+
+  EXPECT_EQ(oracle.event_digest, parallel.event_digest);
+  EXPECT_EQ(oracle.behavior_digest, parallel.behavior_digest);
+  EXPECT_EQ(oracle.total_events, parallel.total_events);
+  EXPECT_EQ(oracle.sent, parallel.sent);
+  EXPECT_EQ(oracle.delivered, parallel.delivered);
+  EXPECT_EQ(parallel.guard_violations, 0u);
+  EXPECT_GT(oracle.cross_events, 0u);
+}
+
+TEST(GeneratedTopologyTest, BehaviorDigestInvariantAcrossPartitionCounts) {
+  // The event digest is a property of each partition's event stream and
+  // changes with the partitioning; the behaviour digest (what the workload
+  // did) must not. loss_rate == 0 is the documented precondition.
+  constexpr SimTime kHorizon = 40 * kMillisecond;
+  const auto p1 = RunTopology(TopologyShape::kFatTree, 1, 0, kHorizon);
+  const auto p4 = RunTopology(TopologyShape::kFatTree, 4, 0, kHorizon);
+  const auto p4w = RunTopology(TopologyShape::kFatTree, 4, 3, kHorizon);
+
+  EXPECT_EQ(p1.partitions, 1u);
+  EXPECT_EQ(p1.behavior_digest, p4.behavior_digest);
+  EXPECT_EQ(p1.behavior_digest, p4w.behavior_digest);
+  EXPECT_EQ(p1.sent, p4.sent);
+  EXPECT_EQ(p1.delivered, p4.delivered);
+}
+
+TEST(GeneratedTopologyTest, PartitionCountClampsToZones) {
+  GeneratedTopologyParams params;  // 100 hosts, 10/LAN, 2 LANs/zone: 5 zones
+  auto topo = GeneratedTopology::Build(params, 64, 0);
+  EXPECT_EQ(topo->partition_count(), 5u);
+  auto one = GeneratedTopology::Build(params, 0, 0);
+  EXPECT_EQ(one->partition_count(), 1u);
+}
+
+// --- Checkpoint epochs over the partitioned kernel ------------------------------
+
+struct EpochResult {
+  uint64_t captures_digest = 0;
+  uint64_t event_digest = 0;
+  std::vector<uint64_t> epoch_bytes;
+};
+
+EpochResult RunCheckpointedFatTree(uint32_t workers) {
+  GeneratedTopologyParams params;
+  auto topo = GeneratedTopology::Build(params, 4, workers);
+  PartitionEpochCoordinator epochs(
+      topo->scheduler(), 10 * kMillisecond,
+      [&topo](Partition* p) { return topo->CapturePartitionImage(p->id()); });
+  epochs.RunUntil(50 * kMillisecond);
+  EXPECT_EQ(topo->scheduler()->GuardViolations(), 0u);
+  EpochResult r;
+  r.captures_digest = epochs.CapturesDigest();
+  r.event_digest = topo->EventDigest();
+  for (const auto& rec : epochs.history()) {
+    r.epoch_bytes.push_back(rec.image_bytes);
+  }
+  return r;
+}
+
+TEST(EpochCoordinatorTest, CheckpointedFatTreeCapturesMatchOracle) {
+  const EpochResult oracle = RunCheckpointedFatTree(/*workers=*/0);
+  const EpochResult parallel = RunCheckpointedFatTree(/*workers=*/3);
+
+  ASSERT_EQ(oracle.epoch_bytes.size(), 5u);
+  ASSERT_EQ(parallel.epoch_bytes.size(), 5u);
+  EXPECT_EQ(oracle.epoch_bytes, parallel.epoch_bytes);
+  for (uint64_t bytes : oracle.epoch_bytes) {
+    EXPECT_GT(bytes, 0u);
+  }
+  // The captured images themselves — not just their sizes — are part of the
+  // oracle check: the fold over every byte must agree.
+  EXPECT_EQ(oracle.captures_digest, parallel.captures_digest);
+  EXPECT_EQ(oracle.event_digest, parallel.event_digest);
+}
+
+TEST(EpochCoordinatorTest, EpochBarrierDoesNotPerturbTheWorkload) {
+  // A run with epoch barriers every 10 ms and a run with none must agree on
+  // what the workload did: quiescing is transparent to the traffic. (The raw
+  // event digest is *not* compared here — a barrier splits execution windows,
+  // which reassigns queue sequence numbers without changing any event's time.)
+  GeneratedTopologyParams params;
+  auto with_epochs = GeneratedTopology::Build(params, 4, 0);
+  PartitionEpochCoordinator epochs(
+      with_epochs->scheduler(), 10 * kMillisecond,
+      [&with_epochs](Partition* p) {
+        return with_epochs->CapturePartitionImage(p->id());
+      });
+  epochs.RunUntil(50 * kMillisecond);
+
+  auto plain = GeneratedTopology::Build(params, 4, 0);
+  plain->RunUntil(50 * kMillisecond);
+
+  EXPECT_EQ(with_epochs->BehaviorDigest(), plain->BehaviorDigest());
+  EXPECT_EQ(with_epochs->PacketsSent(), plain->PacketsSent());
+  EXPECT_EQ(with_epochs->PacketsDelivered(), plain->PacketsDelivered());
+}
+
+}  // namespace
+}  // namespace tcsim

@@ -454,5 +454,47 @@ TEST_F(RepoTest, EngineSpillChainRestoresDigestIdenticalAcrossHousekeeping) {
   EXPECT_EQ(*digest, gens.back().digest);
 }
 
+// --- fsync durability path ------------------------------------------------------
+
+TEST_F(RepoTest, FsyncModeSurvivesFullLifecycleAndReopen) {
+  // With options.fsync the repository syncs file contents *and* the parent
+  // directory at every install point: fresh creation, journal commits, and
+  // the GC epoch's CURRENT switch. This exercises every one of those paths
+  // end to end; a failure in any fsync surfaces as an open/commit error.
+  RepoOptions opts;
+  opts.fsync = true;
+  uint64_t h2 = 0;
+  {
+    std::string error;
+    auto repo = CheckpointRepo::Open(dir_, opts, &error);
+    ASSERT_NE(repo, nullptr) << error;
+    const uint64_t h1 = repo->PutImage(FullImage(1, 10, 20));
+    ASSERT_NE(h1, 0u) << repo->error();
+    h2 = repo->PutImage(DeltaImage(2, 1, 11, 20), h1);
+    ASSERT_NE(h2, 0u) << repo->error();
+    ASSERT_TRUE(repo->RetireImage(h1)) << repo->error();
+    const auto gc = repo->CollectGarbage();
+    ASSERT_TRUE(gc.ok) << repo->error();
+  }
+  {
+    std::string error;
+    auto repo = CheckpointRepo::Open(dir_, opts, &error);
+    ASSERT_NE(repo, nullptr) << error;
+    EXPECT_TRUE(repo->IsLive(h2));
+    ImageStore oracle;
+    ASSERT_EQ(oracle.Put(FullImage(1, 10, 20)), 1u);
+    ASSERT_EQ(oracle.Put(DeltaImage(2, 1, 11, 20)), 2u);
+    EXPECT_EQ(repo->Materialize(h2), oracle.Materialize(2)) << repo->error();
+  }
+}
+
+TEST(FsyncHelpersTest, FsyncDirectoryRejectsMissingPath) {
+#ifndef _WIN32
+  EXPECT_FALSE(FsyncDirectory("/nonexistent/tcsim/nowhere"));
+#endif
+  const std::string dir = ::testing::TempDir();
+  EXPECT_TRUE(FsyncDirectory(dir));
+}
+
 }  // namespace
 }  // namespace tcsim
