@@ -1,6 +1,9 @@
 #include "src/checkpoint/epoch_coordinator.h"
 
+#include <cassert>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace tcsim {
@@ -10,7 +13,18 @@ PartitionEpochCoordinator::PartitionEpochCoordinator(
     : scheduler_(scheduler),
       period_(period),
       capture_(std::move(capture)),
-      next_epoch_(period) {}
+      next_epoch_(period) {
+  // A zero or negative period would leave next_epoch_ pinned at or below the
+  // RunUntil target forever — fail fast instead of hanging the run.
+  assert(period_ > 0 && "epoch period must be positive");
+  if (period_ <= 0) {
+    std::fprintf(stderr,
+                 "PartitionEpochCoordinator: epoch period must be positive "
+                 "(got %lld)\n",
+                 static_cast<long long>(period_));
+    std::abort();
+  }
+}
 
 void PartitionEpochCoordinator::RunUntil(SimTime t) {
   while (next_epoch_ <= t) {

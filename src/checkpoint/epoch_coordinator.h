@@ -36,8 +36,9 @@ class PartitionEpochCoordinator {
     double wall_ms = 0.0;       // wall-clock cost of the capture phase
   };
 
-  // Epochs fire at period, 2*period, ... `capture` may be empty, in which
-  // case epochs only quiesce (barrier-cost measurement without capture).
+  // Epochs fire at period, 2*period, ... `period` must be positive (the
+  // coordinator aborts otherwise). `capture` may be empty, in which case
+  // epochs only quiesce (barrier-cost measurement without capture).
   PartitionEpochCoordinator(PartitionScheduler* scheduler, SimTime period,
                             CaptureFn capture);
 

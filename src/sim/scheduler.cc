@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "src/sim/digest.h"
@@ -107,7 +109,16 @@ void PartitionScheduler::DrainOutboxes() {
       injections_.begin(), injections_.end(),
       [](const Injection& a, const Injection& b) { return a.at < b.at; });
   for (Injection& inj : injections_) {
-    assert(inj.dst < partitions_.size());
+    if (inj.dst >= partitions_.size()) {
+      // A PostRemote addressed to a partition id the scheduler never handed
+      // out is a wiring bug; indexing would be out-of-bounds UB, so fail
+      // loudly in release builds too instead of corrupting memory.
+      std::fprintf(stderr,
+                   "PartitionScheduler: cross-partition event addressed to "
+                   "unknown partition %u (have %zu partitions)\n",
+                   inj.dst, partitions_.size());
+      std::abort();
+    }
     partitions_[inj.dst]->sim_->ScheduleAt(inj.at, std::move(*inj.fn));
     ++stats_.cross_events;
   }
@@ -132,11 +143,21 @@ void PartitionScheduler::RunTask(size_t i) {
 size_t PartitionScheduler::PullTasks() {
   size_t done = 0;
   for (;;) {
-    const size_t i = next_task_.fetch_add(1);
-    if (i >= task_count_.load(std::memory_order_acquire)) {
+    // Self-validating claim: the count in the high bits of the word this
+    // fetch_add incremented is the count of the phase the claimed index
+    // belongs to (see task_word_ in the header). An exhausted claim — index
+    // >= count — is the only exit; a valid claim has acquire-synchronized
+    // with that phase's release publication, so its parameters (phase_kind_,
+    // window_bound_, active_, custom_fn_) are fully visible, and they cannot
+    // be overwritten while the task runs because the coordinator cannot
+    // leave ExecutePhase until this task's remaining_ decrement lands.
+    const uint64_t claim = task_word_.fetch_add(1, std::memory_order_acquire);
+    const uint64_t count = claim >> kTaskIndexBits;
+    const uint64_t index = claim & kTaskIndexMask;
+    if (index >= count) {
       break;
     }
-    RunTask(i);
+    RunTask(static_cast<size_t>(index));
     ++done;
   }
   return done;
@@ -155,14 +176,19 @@ void PartitionScheduler::ExecutePhase(size_t count) {
     executing_.store(false, std::memory_order_relaxed);
     return;
   }
+  assert(count <= kTaskIndexMask && "phase task count overflows claim word");
   {
     std::lock_guard<std::mutex> lk(mu_);
-    task_count_.store(count, std::memory_order_relaxed);
     remaining_ = count;
     executing_.store(true, std::memory_order_relaxed);
-    // The release store is the publication point: a worker whose fetch_add
-    // reads from it observes every phase parameter written above.
-    next_task_.store(0, std::memory_order_release);
+    // The release store is the publication point: it carries the task count
+    // and index-0 in one word, and a worker whose fetch_add reads from it
+    // observes every phase parameter written above. Stale increments from
+    // stragglers of the previous phase are wiped by this store — harmlessly,
+    // since those claims were exhausted (their phase had fully completed
+    // before this one could start).
+    task_word_.store(static_cast<uint64_t>(count) << kTaskIndexBits,
+                     std::memory_order_release);
     phase_epoch_.fetch_add(1, std::memory_order_release);
   }
   work_cv_.notify_all();
@@ -170,6 +196,7 @@ void PartitionScheduler::ExecutePhase(size_t count) {
   // then waits for workers still finishing theirs.
   const size_t done = PullTasks();
   std::unique_lock<std::mutex> lk(mu_);
+  assert(done <= remaining_);
   remaining_ -= done;
   if (remaining_ != 0) {
     done_cv_.wait(lk, [&] { return remaining_ == 0; });
@@ -204,6 +231,7 @@ void PartitionScheduler::WorkerMain() {
     const size_t done = PullTasks();
     {
       std::lock_guard<std::mutex> lk(mu_);
+      assert(done <= remaining_);
       remaining_ -= done;
       if (remaining_ == 0) {
         done_cv_.notify_all();

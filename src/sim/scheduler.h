@@ -127,12 +127,27 @@ class PartitionScheduler {
 
   // Pool state. All handoffs go through mu_ / the two condvars plus the two
   // atomics, so the pool is clean under TSan.
+  //
+  // task_word_ packs the phase's task count (high 32 bits) and the next
+  // unclaimed index (low 32 bits) into one atomic. The coordinator publishes
+  // a phase with a single release store of (count << 32 | 0); workers claim
+  // with fetch_add(1) and check the index against the count carried in the
+  // very same word. That makes every claim self-validating: a straggler from
+  // a finished phase whose fetch_add lands before the next publication reads
+  // that finished phase's (exhausted) count and bails, and one whose
+  // fetch_add lands after it has acquire-synchronized with the full set of
+  // new-phase parameters, so running the claimed task is safe. With the
+  // count and index split across two atomics a stale claim could be checked
+  // against the *new* count and then be handed out a second time by the
+  // index reset — double-running a partition and underflowing remaining_.
+  static constexpr int kTaskIndexBits = 32;
+  static constexpr uint64_t kTaskIndexMask =
+      (uint64_t{1} << kTaskIndexBits) - 1;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::atomic<uint64_t> phase_epoch_{0};
-  std::atomic<size_t> next_task_{0};
-  std::atomic<size_t> task_count_{0};
+  std::atomic<uint64_t> task_word_{0};
   size_t remaining_ = 0;    // guarded by mu_
   bool shutdown_ = false;   // guarded by mu_
   std::atomic<bool> executing_{false};  // guard phase flag (see QueueGuard)

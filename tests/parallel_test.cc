@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -176,6 +177,141 @@ TEST(PartitionSchedulerTest, ExperimentRunDigestsMatchOracle) {
   EXPECT_EQ(oracle.iterations, parallel.iterations);
   EXPECT_GT(oracle.counter, 0u);
   EXPECT_GT(oracle.iterations, 0u);
+}
+
+// --- Phase-pool turnover stress -------------------------------------------------
+
+// Regression for the phase-pool straggler race: a worker woken late for a
+// small phase could historically have its stale task claim land inside the
+// setup of the next, larger phase — the claim was checked against the new
+// task count and then handed out a second time by the index reset, so one
+// partition's task ran on two threads and the pool's remaining-task counter
+// underflowed (a permanent hang). The packed count|index claim word makes a
+// claim self-validating; this test hammers the exact alternation (a 1-task
+// window chased immediately by a full-width phase) that maximised the race
+// window, and checks the task accounting stayed exact.
+TEST(PartitionSchedulerTest, RapidPhaseTurnoverKeepsTaskAccountingExact) {
+  constexpr int kRounds = 2000;
+  constexpr int kPartitions = 4;
+  std::vector<std::unique_ptr<Simulator>> sims;
+  PartitionScheduler sched(PartitionScheduler::Options{3});
+  for (int i = 0; i < kPartitions; ++i) {
+    sims.push_back(std::make_unique<Simulator>());
+    sched.AddPartition(sims.back().get());
+  }
+  std::array<std::atomic<uint64_t>, kPartitions> touched{};
+  SimTime t = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    t += kMicrosecond;
+    // Only partition 0 has work: a 1-task window phase...
+    sims[0]->ScheduleAt(t, [] {});
+    sched.RunUntil(t);
+    // ...chased immediately by a kPartitions-task custom phase.
+    sched.ForEachPartition(
+        [&touched](Partition* p) { touched[p->id()].fetch_add(1); });
+  }
+  for (int i = 0; i < kPartitions; ++i) {
+    EXPECT_EQ(touched[i].load(), static_cast<uint64_t>(kRounds))
+        << "partition " << i << " ran a wrong number of phase tasks";
+  }
+  EXPECT_EQ(sched.GuardViolations(), 0u);
+}
+
+// Uneven window widths under real event load: partition 0 ticks densely while
+// the others tick sparsely and post cross-partition events back to it, so
+// consecutive conservative windows flip between one active partition and all
+// of them, hundreds of times per run — the shape under which a straggler from
+// a narrow window could leak into a wide one. The parallel digest must still
+// match the sequential oracle exactly (and the run must terminate; the
+// historical race hung it).
+struct UnevenWindowsResult {
+  uint64_t merged = 0;
+  uint64_t windows = 0;
+  uint64_t cross_events = 0;
+  uint64_t dense_ticks = 0;
+  uint64_t sparse_ticks = 0;
+  uint64_t remote_landed = 0;
+};
+
+UnevenWindowsResult RunUnevenWindows(uint32_t workers) {
+  constexpr int kPartitions = 4;
+  constexpr SimTime kLatency = 50 * kMicrosecond;
+  constexpr SimTime kStop = 30 * kMillisecond;
+  std::vector<std::unique_ptr<Simulator>> sims;
+  PartitionScheduler sched(PartitionScheduler::Options{workers});
+  std::vector<Partition*> parts;
+  for (int i = 0; i < kPartitions; ++i) {
+    sims.push_back(std::make_unique<Simulator>());
+    parts.push_back(sched.AddPartition(sims[i].get()));
+  }
+  sched.RegisterCrossLatency(kLatency);
+
+  // Incremented only by events running in partition 0, so a single thread at
+  // a time; the scheduler barrier publishes it back to this thread.
+  uint64_t remote_landed = 0;
+
+  struct Ticker {
+    Partition* part;
+    SimTime interval;
+    SimTime latency;
+    SimTime stop;
+    uint64_t* remote_landed;  // non-null => post to partition 0 each tick
+    uint64_t count = 0;
+    void Tick() {
+      ++count;
+      Simulator* sim = part->sim();
+      if (remote_landed != nullptr && sim->Now() + latency <= stop) {
+        part->PostRemote(0, sim->Now() + latency,
+                         [c = remote_landed] { ++*c; });
+      }
+      if (sim->Now() + interval <= stop) {
+        sim->Schedule(interval, [this] { Tick(); });
+      }
+    }
+  };
+  std::vector<std::unique_ptr<Ticker>> tickers;
+  tickers.push_back(std::make_unique<Ticker>(
+      Ticker{parts[0], 10 * kMicrosecond, kLatency, kStop, nullptr}));
+  for (int i = 1; i < kPartitions; ++i) {
+    tickers.push_back(std::make_unique<Ticker>(
+        Ticker{parts[i], kMillisecond, kLatency, kStop, &remote_landed}));
+  }
+  for (auto& t : tickers) {
+    t->part->sim()->Schedule(t->interval, [tk = t.get()] { tk->Tick(); });
+  }
+
+  sched.RunUntil(kStop + kMillisecond);
+  UnevenWindowsResult r;
+  r.merged = sched.MergedDigest();
+  r.windows = sched.stats().windows;
+  r.cross_events = sched.stats().cross_events;
+  r.dense_ticks = tickers[0]->count;
+  for (int i = 1; i < kPartitions; ++i) {
+    r.sparse_ticks += tickers[i]->count;
+  }
+  r.remote_landed = remote_landed;
+  EXPECT_EQ(sched.GuardViolations(), 0u);
+  return r;
+}
+
+TEST(PartitionSchedulerTest, UnevenWindowWidthsMatchOracleUnderWorkers) {
+  const UnevenWindowsResult oracle = RunUnevenWindows(/*workers=*/0);
+  // Two parallel runs: fresh pools, fresh wakeup timings, same answer.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const UnevenWindowsResult parallel = RunUnevenWindows(/*workers=*/3);
+    EXPECT_EQ(oracle.merged, parallel.merged);
+    EXPECT_EQ(oracle.windows, parallel.windows);
+    EXPECT_EQ(oracle.cross_events, parallel.cross_events);
+    EXPECT_EQ(oracle.dense_ticks, parallel.dense_ticks);
+    EXPECT_EQ(oracle.sparse_ticks, parallel.sparse_ticks);
+    EXPECT_EQ(oracle.remote_landed, parallel.remote_landed);
+  }
+  // The workload really alternated narrow and wide windows: far more windows
+  // than sparse ticks, and the sparse ticks actually crossed partitions.
+  EXPECT_GT(oracle.windows, 300u);
+  EXPECT_GT(oracle.sparse_ticks, 50u);
+  EXPECT_GT(oracle.cross_events, 50u);
+  EXPECT_EQ(oracle.remote_landed, oracle.cross_events);
 }
 
 // --- Queue ownership guard ------------------------------------------------------
