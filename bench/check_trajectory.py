@@ -38,6 +38,46 @@ def metric_labels(bench):
     return labels
 
 
+# Repository data-path throughput keys tracked across consecutive baselines.
+# Absent keys FAIL (the bench stopped measuring); lower numbers only WARN —
+# the values are machine-dependent, the coverage is not.
+REPO_THROUGHPUT_KEYS = (
+    "put_mb_per_s",
+    "materialize_mb_per_s",
+    "spill_100_per_put_mb_per_s",
+    "spill_100_batch_mb_per_s",
+    "spill_100_speedup",
+    "spill_1k_per_put_mb_per_s",
+    "spill_1k_batch_mb_per_s",
+    "spill_1k_speedup",
+)
+REGRESSION_WARN_RATIO = 0.7  # warn when a throughput falls below 70% of baseline
+
+
+def check_repo_throughput(base, got, errors, warnings):
+    base_rp = base.get("repo_persist") or {}
+    got_rp = got.get("repo_persist") or {}
+    if not base_rp:
+        return
+    if not got_rp:
+        errors.append("tab_repo_persist: repo_persist summary missing")
+        return
+    if got_rp.get("spill_verified") is not True and "spill_verified" in base_rp:
+        errors.append("tab_repo_persist: spill_verified is not true")
+    for key in REPO_THROUGHPUT_KEYS:
+        if key not in base_rp:
+            continue  # older baseline without the spill sweep
+        if key not in got_rp:
+            errors.append(f"tab_repo_persist: throughput key dropped: {key}")
+            continue
+        old, new = base_rp[key], got_rp[key]
+        if (isinstance(old, (int, float)) and isinstance(new, (int, float))
+                and old > 0 and new < old * REGRESSION_WARN_RATIO):
+            warnings.append(
+                f"tab_repo_persist: {key} regressed {old:.3g} -> {new:.3g} "
+                f"({100.0 * new / old:.0f}% of baseline)")
+
+
 def main():
     if len(sys.argv) != 3:
         sys.stderr.write(__doc__)
@@ -50,6 +90,7 @@ def main():
     base_benches = bench_index(baseline)
     new_benches = bench_index(fresh)
     errors = []
+    warnings = []
 
     for name, base in sorted(base_benches.items()):
         got = new_benches.get(name)
@@ -74,10 +115,24 @@ def main():
                 if row.get("digest_ok") is not True:
                     errors.append(f"{name}: partitions={row.get('partitions')}"
                                   " digest mismatch vs oracle")
+            base_spill = base.get("epoch_spill", [])
+            spill = got.get("epoch_spill", [])
+            if len(spill) < len(base_spill):
+                errors.append(f"{name}: epoch spill rows shrank "
+                              f"({len(base_spill)} -> {len(spill)})")
+            for row in spill:
+                if row.get("spill_ok") is not True or \
+                        row.get("reopen_ok") is not True:
+                    errors.append(f"{name}: hosts={row.get('hosts')} epoch "
+                                  "spill failed or diverged on reopen")
+        if name == "tab_repo_persist":
+            check_repo_throughput(base, got, errors, warnings)
 
     if baseline.get("micro_benchmarks") and not fresh.get("micro_benchmarks"):
         errors.append("micro_benchmarks section missing from new run")
 
+    for w in warnings:
+        print(f"check_trajectory: WARN: {w}")
     if errors:
         for e in errors:
             print(f"check_trajectory: {e}")

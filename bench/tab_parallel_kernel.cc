@@ -21,12 +21,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <chrono>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/checkpoint/epoch_coordinator.h"
 #include "src/net/topology.h"
+#include "src/repo/checkpoint_repo.h"
+#include "src/sim/digest.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/time.h"
 
@@ -89,6 +93,72 @@ uint64_t FlagU64(int argc, char** argv, const char* flag, uint64_t fallback) {
   const char* v = FlagValue(argc, argv, flag);
   return (v != nullptr && *v != '\0') ? std::strtoull(v, nullptr, 10)
                                       : fallback;
+}
+
+// Epoch spill cost: the same checkpointed run with a durable repository
+// attached to the coordinator — every epoch's captures group-commit through
+// the shared write batch while the workers stage concurrently.
+struct SpillRunResult {
+  size_t epochs = 0;
+  uint64_t epoch_image_bytes = 0;  // mean per epoch
+  double capture_ms = 0;           // mean per epoch
+  double spill_ms = 0;             // mean per epoch (the group commit)
+  bool spill_ok = true;            // every epoch committed
+  bool reopen_ok = false;          // a fresh process saw identical bytes
+};
+
+SpillRunResult RunSpill(GeneratedTopologyParams params, uint32_t hosts,
+                        SimTime horizon, SimTime epoch_period) {
+  namespace fs = std::filesystem;
+  params.hosts = hosts;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("tcsim_bench_parallel_spill_" + std::to_string(hosts));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  std::string err;
+  SpillRunResult r;
+  std::unique_ptr<CheckpointRepo> repo =
+      CheckpointRepo::Open(dir.string(), RepoOptions{}, &err);
+  if (repo == nullptr) {
+    r.spill_ok = false;
+    return r;
+  }
+  auto topo = GeneratedTopology::Build(params, /*partitions=*/4, /*workers=*/3);
+  PartitionEpochCoordinator epochs(
+      topo->scheduler(), epoch_period,
+      [&topo](Partition* p) { return topo->CapturePartitionImage(p->id()); });
+  epochs.AttachRepository(repo.get());
+  epochs.RunUntil(horizon);
+
+  r.epochs = epochs.history().size();
+  for (const auto& rec : epochs.history()) {
+    r.epoch_image_bytes += rec.image_bytes;
+    r.capture_ms += rec.wall_ms;
+    r.spill_ms += rec.spill_wall_ms;
+    r.spill_ok = r.spill_ok && rec.spill_ok;
+  }
+  if (r.epochs > 0) {
+    r.epoch_image_bytes /= r.epochs;
+    r.capture_ms /= static_cast<double>(r.epochs);
+    r.spill_ms /= static_cast<double>(r.epochs);
+  }
+
+  auto fold = [](CheckpointRepo* c) {
+    Fnv1aDigest folded;
+    for (const uint64_t handle : c->LiveHandles()) {
+      const std::vector<uint8_t> out = c->Materialize(handle);
+      folded.MixBytes(out.data(), out.size());
+    }
+    return folded.value();
+  };
+  const uint64_t before = fold(repo.get());
+  repo.reset();
+  std::unique_ptr<CheckpointRepo> reopened =
+      CheckpointRepo::Open(dir.string(), RepoOptions{}, &err);
+  r.reopen_ok = reopened != nullptr && fold(reopened.get()) == before;
+  reopened.reset();
+  fs::remove_all(dir, ec);
+  return r;
 }
 
 }  // namespace
@@ -187,6 +257,43 @@ int main(int argc, char** argv) {
   rows += "  ]";
   BenchReport::Instance().AddExtra("partition_sweep", rows);
   BenchReport::Instance().AddExtra("digest_oracle_ok", ok ? "true" : "false");
+
+  // Epoch spill cost at 100 and 1000 hosts: 4 partitions, 3 workers, one
+  // group commit per epoch, gated by a byte-identical cross-process reopen.
+  std::string spill_rows = "[\n";
+  const uint32_t spill_hosts[] = {100, 1000};
+  for (size_t i = 0; i < 2; ++i) {
+    const SpillRunResult spill =
+        RunSpill(params, spill_hosts[i], horizon, epoch_period);
+    ok = ok && spill.spill_ok && spill.reopen_ok;
+
+    char section[64];
+    std::snprintf(section, sizeof section, "epoch spill, %u hosts",
+                  spill_hosts[i]);
+    PrintSection(section);
+    PrintValue("epochs spilled", static_cast<double>(spill.epochs), "");
+    PrintValue("epoch image bytes",
+               static_cast<double>(spill.epoch_image_bytes), "B");
+    PrintValue("epoch capture cost", spill.capture_ms, "ms");
+    PrintValue("epoch spill cost (group commit)", spill.spill_ms, "ms");
+    PrintNote(spill.spill_ok && spill.reopen_ok
+                  ? "all epochs committed; reopen byte-identical"
+                  : "EPOCH SPILL FAILED OR DIVERGED ON REOPEN");
+
+    char buf[256];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"hosts\": %u, \"epochs\": %zu, \"epoch_image_bytes\": %llu, "
+        "\"capture_ms\": %.3f, \"spill_ms\": %.3f, \"spill_ok\": %s, "
+        "\"reopen_ok\": %s}%s\n",
+        spill_hosts[i], spill.epochs,
+        static_cast<unsigned long long>(spill.epoch_image_bytes),
+        spill.capture_ms, spill.spill_ms, spill.spill_ok ? "true" : "false",
+        spill.reopen_ok ? "true" : "false", i == 0 ? "," : "");
+    spill_rows += buf;
+  }
+  spill_rows += "  ]";
+  BenchReport::Instance().AddExtra("epoch_spill", spill_rows);
 
   if (!ok && !JsonQuiet()) {
     std::printf("\nFAIL: parallel run diverged from the sequential oracle\n");

@@ -1,9 +1,11 @@
 #include "src/checkpoint/epoch_coordinator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <utility>
 
 namespace tcsim {
@@ -41,20 +43,56 @@ void PartitionEpochCoordinator::CaptureEpoch() {
                ? scheduler_->partition(0)->sim()->Now()
                : next_epoch_;
   if (capture_) {
-    images_.assign(scheduler_->partition_count(), {});
+    images_.assign(scheduler_->partition_count(), nullptr);
+    std::unique_ptr<RepoWriteBatch> batch =
+        repo_ != nullptr ? repo_->BeginBatch() : nullptr;
     const auto start = std::chrono::steady_clock::now();
     // Each capture runs as one pool task and writes only its own slot; the
     // phase barrier inside ForEachPartition publishes the slots back to this
-    // thread.
-    scheduler_->ForEachPartition(
-        [this](Partition* p) { images_[p->id()] = capture_(p); });
+    // thread. With a repository attached the worker also stages its image
+    // into the shared batch right away (RepoWriteBatch::Stage is
+    // thread-safe), so content hashing overlaps the remaining captures;
+    // sequence = partition id keeps the commit order — and therefore the
+    // repository's bytes — independent of worker interleaving.
+    scheduler_->ForEachPartition([this, &batch](Partition* p) {
+      auto image = std::make_shared<const std::vector<uint8_t>>(capture_(p));
+      if (batch != nullptr) {
+        batch->Stage(image, /*parent_handle=*/0, /*parent_ticket=*/0,
+                     /*sequence=*/p->id() + 1);
+      }
+      images_[p->id()] = std::move(image);
+    });
     const auto end = std::chrono::steady_clock::now();
     rec.wall_ms =
         std::chrono::duration<double, std::milli>(end - start).count();
-    for (const std::vector<uint8_t>& image : images_) {
-      rec.image_bytes += image.size();
-      captures_digest_.MixBytes(image.data(), image.size());
+    for (const auto& image : images_) {
+      rec.image_bytes += image->size();
+      captures_digest_.MixBytes(image->data(), image->size());
     }
+    if (batch != nullptr) {
+      const auto spill_start = std::chrono::steady_clock::now();
+      const CheckpointRepo::BatchCommitResult result =
+          repo_->CommitBatch(std::move(batch));
+      const auto spill_end = std::chrono::steady_clock::now();
+      rec.spill_wall_ms =
+          std::chrono::duration<double, std::milli>(spill_end - spill_start)
+              .count();
+      rec.spill_ok = result.ok;
+      rec.spill_images = result.images;
+      rec.spill_bytes = result.appended_payload_bytes;
+      spill_handles_.clear();
+      if (result.ok) {
+        // Tickets were issued in stage (worker) order; sequence = partition
+        // id is what fixed the handle order. Re-index by partition.
+        spill_handles_.assign(scheduler_->partition_count(), 0);
+        std::vector<uint64_t> sorted = result.handles;
+        std::sort(sorted.begin(), sorted.end());
+        for (size_t p = 0; p < sorted.size(); ++p) {
+          spill_handles_[p] = sorted[p];
+        }
+      }
+    }
+    images_.assign(scheduler_->partition_count(), nullptr);
   }
   history_.push_back(rec);
 }

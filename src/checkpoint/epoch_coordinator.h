@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "src/repo/checkpoint_repo.h"
 #include "src/sim/digest.h"
 #include "src/sim/partition.h"
 #include "src/sim/scheduler.h"
@@ -34,6 +36,11 @@ class PartitionEpochCoordinator {
     SimTime at = 0;             // simulated instant of the barrier
     uint64_t image_bytes = 0;   // total bytes across partitions
     double wall_ms = 0.0;       // wall-clock cost of the capture phase
+    // Spill-to-repository stats (zero unless a repository is attached).
+    bool spill_ok = false;        // the epoch's batch committed
+    size_t spill_images = 0;      // images published by the batch
+    uint64_t spill_bytes = 0;     // payload bytes appended (post-dedup)
+    double spill_wall_ms = 0.0;   // wall-clock cost of the group commit
   };
 
   // Epochs fire at period, 2*period, ... `period` must be positive (the
@@ -46,7 +53,20 @@ class PartitionEpochCoordinator {
   // way. Resumable: successive calls continue the same epoch cadence.
   void RunUntil(SimTime t);
 
+  // Spill every epoch's captures into `repo` as one group-committed batch:
+  // capture workers stage their partition's image into the shared batch as
+  // soon as it is serialized (hashing overlaps the remaining captures), and
+  // the barrier thread commits once — one segment flush, one journal record,
+  // recovery all-or-nothing. Staging uses sequence = partition id, so the
+  // repository's files are byte-identical to a sequential spill no matter how
+  // captures interleave. Null detaches.
+  void AttachRepository(CheckpointRepo* repo) { repo_ = repo; }
+
   const std::vector<EpochRecord>& history() const { return history_; }
+
+  // Repository handles published by the most recent epoch's batch, indexed by
+  // partition id. Empty before the first spilled epoch or after a failure.
+  const std::vector<uint64_t>& spill_handles() const { return spill_handles_; }
 
   // FNV-1a digest over every captured image's bytes, folded in (epoch,
   // partition id) order. Bit-identical between sequential and parallel runs
@@ -60,8 +80,12 @@ class PartitionEpochCoordinator {
   SimTime period_;
   CaptureFn capture_;
   SimTime next_epoch_;
+  CheckpointRepo* repo_ = nullptr;
   std::vector<EpochRecord> history_;
-  std::vector<std::vector<uint8_t>> images_;  // scratch, indexed by partition
+  // Scratch, indexed by partition. Shared ownership: the same buffer feeds
+  // the digest fold here and, zero-copy, the repository batch.
+  std::vector<std::shared_ptr<const std::vector<uint8_t>>> images_;
+  std::vector<uint64_t> spill_handles_;
   Fnv1aDigest captures_digest_;
 };
 

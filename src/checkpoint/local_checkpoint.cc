@@ -219,22 +219,46 @@ void LocalCheckpointEngine::BuildCompositeImage() {
        {"serialized_bytes", static_cast<double>(stats.serialized_bytes)}});
 
   // Publish a self-contained image: holders (the time-travel tree, swap-out)
-  // restore it without consulting this engine's store.
-  last_image_ = std::make_shared<const std::vector<uint8_t>>(
-      self_contained ? store_.RawBytes(image_id) : store_.Materialize(image_id));
+  // restore it without consulting this engine's store. Self-contained
+  // captures share the store's buffer outright — no copy.
+  last_image_ =
+      self_contained
+          ? store_.RawShared(image_id)
+          : std::make_shared<const std::vector<uint8_t>>(
+                store_.Materialize(image_id));
 
   // Spill-to-repository: persist the capture as emitted (delta against the
   // previously spilled generation when possible), falling back to a
   // self-contained materialization when the repository has no usable parent.
+  // The batch API shares the store's buffer with the repository — the only
+  // bytes copied on this path are the ones the segment file writes to disk.
   if (repo_ != nullptr) {
     uint64_t handle = 0;
-    if (self_contained) {
-      handle = repo_->PutImage(store_.RawBytes(image_id));
-    } else if (repo_parent_handle_ != 0) {
-      handle = repo_->PutImage(store_.RawBytes(image_id), repo_parent_handle_);
+    {
+      std::unique_ptr<RepoWriteBatch> batch = repo_->BeginBatch();
+      if (self_contained) {
+        batch->Stage(store_.RawShared(image_id));
+      } else if (repo_parent_handle_ != 0) {
+        batch->Stage(store_.RawShared(image_id), repo_parent_handle_);
+      } else {
+        batch->Stage(store_.Materialize(image_id));
+      }
+      const CheckpointRepo::BatchCommitResult result =
+          repo_->CommitBatch(std::move(batch));
+      if (result.ok) {
+        handle = result.handles[0];
+      }
     }
     if (handle == 0) {
-      handle = repo_->PutImage(store_.Materialize(image_id));
+      // Legacy fallback: a rejected spill (e.g. the spilled parent was
+      // retired and collected under us) degrades to self-contained.
+      std::unique_ptr<RepoWriteBatch> retry = repo_->BeginBatch();
+      retry->Stage(store_.Materialize(image_id));
+      const CheckpointRepo::BatchCommitResult result =
+          repo_->CommitBatch(std::move(retry));
+      if (result.ok) {
+        handle = result.handles[0];
+      }
     }
     repo_parent_handle_ = handle;
     obs::TraceSession::Global().Instant(

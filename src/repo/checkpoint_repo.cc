@@ -23,8 +23,6 @@ obs::Counter* RepoCounter(const char* name) {
   return obs::MetricsRegistry::Global().FindCounter(name);
 }
 
-constexpr uint8_t kJournalNextHandle = 4;
-
 std::string SegmentPath(const std::string& dir, uint64_t epoch) {
   return dir + "/segment." + std::to_string(epoch);
 }
@@ -77,7 +75,9 @@ uint64_t ReadCurrent(const std::string& dir) {
 }  // namespace
 
 CheckpointRepo::CheckpointRepo(std::string dir, RepoOptions options)
-    : dir_(std::move(dir)), options_(options) {}
+    : dir_(std::move(dir)),
+      options_(options),
+      hash_pool_(std::make_unique<HashPool>(options.hash_threads)) {}
 
 CheckpointRepo::~CheckpointRepo() = default;
 
@@ -95,6 +95,8 @@ std::unique_ptr<CheckpointRepo> CheckpointRepo::Open(const std::string& dir,
     if (repo->segment_ == nullptr) {
       return nullptr;
     }
+    repo->segment_->set_testing_append_limit(
+        options.testing_segment_append_limit);
     repo->journal_ = JournalWriter::Create(JournalPath(dir, 1), error);
     if (repo->journal_ == nullptr) {
       return nullptr;
@@ -129,6 +131,8 @@ std::unique_ptr<CheckpointRepo> CheckpointRepo::Open(const std::string& dir,
   if (repo->segment_ == nullptr) {
     return nullptr;
   }
+  repo->segment_->set_testing_append_limit(
+      options.testing_segment_append_limit);
   // Replay. Every payload referenced by a visible record is read back and
   // CRC-verified before the repository declares itself open.
   for (const JournalRecord& rec : journal_records) {
@@ -156,11 +160,6 @@ std::unique_ptr<CheckpointRepo> CheckpointRepo::Open(const std::string& dir,
     }
   }
   return repo;
-}
-
-uint64_t CheckpointRepo::Reject(const std::string& why) {
-  error_ = why;
-  return 0;
 }
 
 std::vector<uint8_t> CheckpointRepo::EncodeImageRecord(uint64_t handle,
@@ -291,6 +290,37 @@ bool CheckpointRepo::ApplyJournalRecord(const JournalRecord& jrec) {
       it->second.live = false;
       return true;
     }
+    case kJournalBatchPut: {
+      // A group-committed epoch: count, then length-prefixed put sub-records,
+      // applied in order (delta parents precede children by construction).
+      // The batch shares one CRC frame, so a torn tail dropped the whole
+      // record and we never see a partial epoch here; a sub-record that fails
+      // to apply is genuine corruption and refuses the open.
+      ArchiveReader r(jrec.payload);
+      const uint64_t count = r.Read<uint64_t>();
+      if (!r.ok()) {
+        error_ = "corrupt batch record in journal";
+        return false;
+      }
+      for (uint64_t i = 0; i < count; ++i) {
+        const uint64_t len = r.Read<uint64_t>();
+        if (!r.ok() || len > r.remaining()) {
+          error_ = "corrupt batch record in journal";
+          return false;
+        }
+        JournalRecord sub;
+        sub.type = kJournalPutImage;
+        sub.payload = r.ReadBytes(len);
+        if (!ApplyJournalRecord(sub)) {
+          return false;  // error_ already set by the sub-record
+        }
+      }
+      if (!r.AtEnd()) {
+        error_ = "corrupt batch record in journal";
+        return false;
+      }
+      return true;
+    }
     case kJournalNextHandle: {
       ArchiveReader r(jrec.payload);
       const uint64_t watermark = r.Read<uint64_t>();
@@ -310,10 +340,20 @@ bool CheckpointRepo::ApplyJournalRecord(const JournalRecord& jrec) {
 const CheckpointRepo::ChunkRef* CheckpointRepo::ResolveChunk(
     const ImageRecord& rec, const std::string& id, uint32_t expected_crc,
     bool check_crc) const {
+  static const std::map<uint64_t, ImageRecord> kNoStaged;
+  return ResolveChunkStaged(rec, id, expected_crc, check_crc, kNoStaged);
+}
+
+const CheckpointRepo::ChunkRef* CheckpointRepo::ResolveChunkStaged(
+    const ImageRecord& rec, const std::string& id, uint32_t expected_crc,
+    bool check_crc, const std::map<uint64_t, ImageRecord>& staged) const {
   const ImageRecord* r = &rec;
   // Walk the parent chain. The hop bound is a cycle guard; real chains are
-  // as deep as the capture history that built them.
-  for (size_t hops = 0; hops <= records_.size(); ++hops) {
+  // as deep as the capture history that built them. Handles staged in the
+  // batch being committed shadow nothing — they are brand new — so checking
+  // them first is just the overlay order.
+  const size_t bound = records_.size() + staged.size();
+  for (size_t hops = 0; hops <= bound; ++hops) {
     const ChunkRef* found = nullptr;
     for (const ChunkRef& cr : r->chunks) {
       if (cr.id == id) {
@@ -335,6 +375,11 @@ const CheckpointRepo::ChunkRef* CheckpointRepo::ResolveChunk(
     if (check_crc && found->expected_crc != expected_crc) {
       return nullptr;
     }
+    auto s = staged.find(r->parent_handle);
+    if (s != staged.end()) {
+      r = &s->second;
+      continue;
+    }
     auto it = records_.find(r->parent_handle);
     if (it == records_.end()) {
       return nullptr;
@@ -346,100 +391,271 @@ const CheckpointRepo::ChunkRef* CheckpointRepo::ResolveChunk(
 
 uint64_t CheckpointRepo::PutImage(const std::vector<uint8_t>& image_bytes,
                                   uint64_t parent_handle) {
-  CheckpointImageView view(image_bytes);
-  if (!view.ok()) {
-    return Reject("malformed image: " + view.error());
-  }
-  const uint64_t handle = next_handle_;
+  // A put is a batch of one: same validation, same rejection strings, one
+  // (all-or-nothing) journal record.
+  std::unique_ptr<RepoWriteBatch> batch = BeginBatch();
+  const uint64_t ticket =
+      batch->Stage(std::vector<uint8_t>(image_bytes), parent_handle);
+  const BatchCommitResult result = CommitBatch(std::move(batch));
+  return result.ok ? result.handles[ticket - 1] : 0;
+}
 
-  ImageRecord rec;
-  if (view.format_version() == kImageFormatVersion) {
-    rec.embedded_id = handle;  // v1 images carry no identity; assign one
-  } else {
-    rec.embedded_id = view.image_id();
-    if (rec.embedded_id == 0) {
-      return Reject("v2 image without an id");
-    }
-  }
-  rec.embedded_parent = view.parent_id();
+std::unique_ptr<RepoWriteBatch> CheckpointRepo::BeginBatch() {
+  return std::unique_ptr<RepoWriteBatch>(new RepoWriteBatch(this));
+}
 
-  const ImageRecord* parent = nullptr;
-  if (view.delta_ref_count() != 0) {
-    if (parent_handle == 0) {
-      return Reject("delta image requires its parent's handle");
-    }
-    auto it = records_.find(parent_handle);
-    if (it == records_.end() || retained_.count(parent_handle) == 0) {
-      return Reject("unknown or unretained parent handle " +
-                    std::to_string(parent_handle));
-    }
-    if (it->second.embedded_id != view.parent_id()) {
-      return Reject("parent handle names image " +
-                    std::to_string(it->second.embedded_id) +
-                    " but the delta links image " +
-                    std::to_string(view.parent_id()));
-    }
-    parent = &it->second;
-    rec.parent_handle = parent_handle;
+CheckpointRepo::BatchCommitResult CheckpointRepo::CommitBatch(
+    std::unique_ptr<RepoWriteBatch> batch) {
+  BatchCommitResult result;
+  if (batch == nullptr || batch->repo_ != this) {
+    result.error = "batch does not belong to this repository";
+    error_ = result.error;
+    return result;
+  }
+  // From here the batch is quiescent: staging has stopped (the caller handed
+  // over ownership) and WaitHashed() synchronizes with the last hash task,
+  // so every entry is plain data owned by this thread.
+  batch->WaitHashed();
+  std::vector<std::unique_ptr<RepoWriteBatch::Entry>>& entries =
+      batch->entries_;
+  result.handles.assign(entries.size(), 0);
+  result.staged_bytes = batch->staged_bytes_;
+  if (entries.empty()) {
+    result.ok = true;
+    error_.clear();
+    return result;
   }
 
-  // Validate the whole chunk table before touching the segment.
-  for (const std::string& id : view.ChunkIds()) {
-    ChunkRef cr;
-    cr.id = id;
-    if (view.HasChunk(id)) {
-      cr.kind = kRepoChunkPayloadRef;
-      cr.key = ContentKeyOf(view.Chunk(id));
+  obs::TraceSession& trace = obs::TraceSession::Global();
+  const obs::SpanId span =
+      trace.BeginSpan("repo", "repo.commit", trace.LastTime());
+
+  // Deterministic publication order: (sequence, ticket). Handles, segment
+  // offsets, and the journal record depend only on this order, so a run
+  // staging from N threads produces byte-identical repository files to the
+  // sequential oracle staging the same images with the same sequence keys.
+  std::vector<RepoWriteBatch::Entry*> order;
+  order.reserve(entries.size());
+  for (const auto& e : entries) {
+    order.push_back(e.get());
+  }
+  std::sort(order.begin(), order.end(),
+            [](const RepoWriteBatch::Entry* a, const RepoWriteBatch::Entry* b) {
+              return a->sequence != b->sequence ? a->sequence < b->sequence
+                                                : a->ticket < b->ticket;
+            });
+
+  std::string err;
+  std::map<uint64_t, ImageRecord> staged;      // handle -> record, this commit
+  std::map<uint64_t, uint64_t> ticket_handle;  // ticket -> assigned handle
+  std::map<ContentKey, uint64_t> staged_offsets;  // appended this commit
+  uint64_t dedup_hits = 0;
+
+  for (RepoWriteBatch::Entry* e : order) {
+    if (!e->parsed_ok) {
+      err = e->parse_error;
+      break;
+    }
+    const uint64_t handle = next_handle_ + staged.size();
+    ImageRecord rec;
+    if (e->format_version == kImageFormatVersion) {
+      rec.embedded_id = handle;  // v1 images carry no identity; assign one
     } else {
-      cr.kind = kRepoChunkParentRef;
-      cr.expected_crc = view.DeltaRefCrc(id);
-      if (ResolveChunk(*parent, id, cr.expected_crc, /*check_crc=*/true) ==
-          nullptr) {
-        return Reject("stale or unresolvable delta ref for chunk '" + id +
-                      "'");
+      rec.embedded_id = e->embedded_id;
+      if (rec.embedded_id == 0) {
+        err = "v2 image without an id";
+        break;
       }
     }
-    rec.chunks.push_back(std::move(cr));
+    rec.embedded_parent = e->embedded_parent;
+
+    const ImageRecord* parent = nullptr;
+    if (e->delta_ref_count != 0) {
+      uint64_t parent_handle = e->parent_handle;
+      if (e->parent_ticket != 0) {
+        // Staged-but-uncommitted parent, named by its ticket. The sequence
+        // order must already place it before this child.
+        auto t = ticket_handle.find(e->parent_ticket);
+        if (t == ticket_handle.end()) {
+          err = "delta parent ticket " + std::to_string(e->parent_ticket) +
+                " was not staged before its child in this batch";
+          break;
+        }
+        parent_handle = t->second;
+      }
+      if (parent_handle == 0) {
+        err = "delta image requires its parent's handle";
+        break;
+      }
+      auto s = staged.find(parent_handle);
+      if (s != staged.end()) {
+        parent = &s->second;
+      } else {
+        auto it = records_.find(parent_handle);
+        if (it == records_.end() || retained_.count(parent_handle) == 0) {
+          err = "unknown or unretained parent handle " +
+                std::to_string(parent_handle);
+          break;
+        }
+        parent = &it->second;
+      }
+      if (parent->embedded_id != e->embedded_parent) {
+        err = "parent handle names image " +
+              std::to_string(parent->embedded_id) +
+              " but the delta links image " +
+              std::to_string(e->embedded_parent);
+        break;
+      }
+      rec.parent_handle = parent_handle;
+    }
+
+    // Validate this entry's whole chunk table before touching the segment:
+    // payload CRCs were proven by the hashing pool, delta refs must resolve
+    // through the (staged ∪ committed) chain. Earlier entries of a failing
+    // batch may already have appended — those bytes become orphans the next
+    // GC reclaims, never a visible image.
+    for (const RepoWriteBatch::StagedChunk& sc : e->chunks) {
+      if (sc.kind == kChunkKindPayload) {
+        if (!sc.crc_ok) {
+          err = "malformed image: CRC mismatch in chunk '" + sc.id + "'";
+          break;
+        }
+      } else if (ResolveChunkStaged(*parent, sc.id, sc.declared_crc,
+                                    /*check_crc=*/true, staged) == nullptr) {
+        err = "stale or unresolvable delta ref for chunk '" + sc.id + "'";
+        break;
+      }
+    }
+    if (!err.empty()) {
+      break;
+    }
+
+    rec.chunks.reserve(e->chunks.size());
+    for (const RepoWriteBatch::StagedChunk& sc : e->chunks) {
+      ChunkRef cr;
+      cr.id = sc.id;
+      if (sc.kind == kChunkKindPayload) {
+        cr.kind = kRepoChunkPayloadRef;
+        cr.key = sc.key;
+        result.logical_payload_bytes += sc.key.size;
+        auto known = payloads_.find(sc.key);
+        auto in_batch = known != payloads_.end() ? staged_offsets.end()
+                                                 : staged_offsets.find(sc.key);
+        if (known != payloads_.end()) {
+          cr.offset = known->second.offset;
+          ++dedup_hits;
+        } else if (in_batch != staged_offsets.end()) {
+          cr.offset = in_batch->second;
+          ++dedup_hits;
+        } else {
+          cr.offset =
+              segment_->AppendSpan(sc.span.data, sc.span.size, sc.key.crc);
+          if (cr.offset == 0) {
+            err = "segment append failed";
+            break;
+          }
+          staged_offsets.emplace(sc.key, cr.offset);
+          result.appended_payload_bytes += sc.key.size;
+        }
+      } else {
+        cr.kind = kRepoChunkParentRef;
+        cr.expected_crc = sc.declared_crc;
+      }
+      rec.chunks.push_back(std::move(cr));
+    }
+    if (!err.empty()) {
+      break;
+    }
+    ticket_handle.emplace(e->ticket, handle);
+    staged.emplace(handle, std::move(rec));
   }
 
-  // Append payloads the segment does not already hold (content dedup), then
-  // commit the journal record behind the durability barrier. A failure after
-  // some appends leaves orphan payload bytes — garbage for the next GC,
-  // never a visible image.
-  for (ChunkRef& cr : rec.chunks) {
-    if (cr.kind != kRepoChunkPayloadRef) {
-      continue;
-    }
-    logical_put_bytes_ += cr.key.size;
-    static obs::Counter* const logical_bytes = RepoCounter("repo.put.logical_bytes");
-    logical_bytes->Add(cr.key.size);
-    auto it = payloads_.find(cr.key);
-    if (it != payloads_.end()) {
-      static obs::Counter* const dedup_hits = RepoCounter("repo.dedup.hits");
-      dedup_hits->Increment();
-      cr.offset = it->second.offset;
-      continue;
-    }
-    cr.offset = segment_->Append(view.Chunk(cr.id));
-    if (cr.offset == 0) {
-      return Reject("segment append failed");
-    }
-    physical_put_bytes_ += cr.key.size;
-    static obs::Counter* const physical_bytes = RepoCounter("repo.put.physical_bytes");
-    physical_bytes->Add(cr.key.size);
-    payloads_[cr.key].offset = cr.offset;
+  // Group commit: one segment flush covers every payload appended above,
+  // then one CRC-framed journal record publishes the epoch atomically —
+  // recovery either replays all of it or (torn tail) none of it.
+  if (err.empty() && !segment_->Flush(options_.fsync)) {
+    err = "segment flush failed";
   }
-  if (!Commit(kJournalPutImage, EncodeImageRecord(handle, rec))) {
-    return 0;
+  if (err.empty()) {
+    ArchiveWriter w;
+    w.Write<uint64_t>(staged.size());
+    for (const auto& [handle, rec] : staged) {
+      const std::vector<uint8_t> sub = EncodeImageRecord(handle, rec);
+      w.Write<uint64_t>(sub.size());
+      w.WriteBytes(sub.data(), sub.size());
+    }
+    const std::vector<uint8_t> payload = w.Take();
+    if (!journal_->Append(kJournalBatchPut, payload) ||
+        !journal_->Flush(options_.fsync)) {
+      err = "journal append failed";
+    } else {
+      static obs::Counter* const appends = RepoCounter("repo.journal.appends");
+      static obs::Counter* const append_bytes = RepoCounter("repo.journal.bytes");
+      appends->Increment();
+      append_bytes->Add(payload.size());
+    }
   }
 
-  records_.emplace(handle, std::move(rec));
-  next_handle_ = handle + 1;
+  if (!err.empty()) {
+    error_ = err;
+    result.error = err;
+    static obs::Counter* const failed = RepoCounter("repo.batch.failed_commits");
+    failed->Increment();
+    trace.AddSpanArg(span, "failed", 1.0);
+    trace.EndSpan(span, trace.LastTime());
+    return result;
+  }
+
+  // Publish in memory: register payload offsets, install the records, and
+  // rebuild retention once per epoch instead of once per image.
+  result.images = staged.size();
+  for (const auto& [handle, rec] : staged) {
+    for (const ChunkRef& cr : rec.chunks) {
+      if (cr.kind == kRepoChunkPayloadRef) {
+        payloads_[cr.key].offset = cr.offset;
+      }
+    }
+  }
+  next_handle_ += staged.size();
+  for (auto& [handle, rec] : staged) {
+    records_.emplace(handle, std::move(rec));
+  }
   RebuildRetention();
-  error_.clear();
+  for (const auto& [ticket, handle] : ticket_handle) {
+    result.handles[ticket - 1] = handle;
+  }
+  logical_put_bytes_ += result.logical_payload_bytes;
+  physical_put_bytes_ += result.appended_payload_bytes;
+
   static obs::Counter* const put_images = RepoCounter("repo.put.images");
-  put_images->Increment();
-  return handle;
+  static obs::Counter* const logical_bytes = RepoCounter("repo.put.logical_bytes");
+  static obs::Counter* const physical_bytes = RepoCounter("repo.put.physical_bytes");
+  static obs::Counter* const dedup = RepoCounter("repo.dedup.hits");
+  static obs::Counter* const commits = RepoCounter("repo.batch.commits");
+  static obs::Counter* const batch_images = RepoCounter("repo.batch.images");
+  static obs::Counter* const batch_staged = RepoCounter("repo.batch.staged_bytes");
+  static obs::Counter* const flushes = RepoCounter("repo.commit.flushes");
+  put_images->Add(result.images);
+  logical_bytes->Add(result.logical_payload_bytes);
+  physical_bytes->Add(result.appended_payload_bytes);
+  dedup->Add(dedup_hits);
+  commits->Increment();
+  batch_images->Add(result.images);
+  batch_staged->Add(result.staged_bytes);
+  flushes->Add(2);  // one segment + one journal flush per group commit
+  static obs::Gauge* const queue_depth =
+      obs::MetricsRegistry::Global().FindGauge("repo.hashpool.max_queue_depth");
+  queue_depth->SetMax(static_cast<double>(hash_pool_->max_queue_depth()));
+
+  result.ok = true;
+  error_.clear();
+  trace.AddSpanArg(span, "images", static_cast<double>(result.images));
+  trace.AddSpanArg(span, "staged_bytes",
+                   static_cast<double>(result.staged_bytes));
+  trace.AddSpanArg(span, "appended_bytes",
+                   static_cast<double>(result.appended_payload_bytes));
+  trace.EndSpan(span, trace.LastTime());
+  return result;
 }
 
 bool CheckpointRepo::RetireImage(uint64_t handle) {
@@ -564,6 +780,7 @@ CheckpointRepo::GcResult CheckpointRepo::CollectGarbage() {
     error_ = err;
     return result;
   }
+  new_segment->set_testing_append_limit(options_.testing_segment_append_limit);
 
   // The handle watermark must survive even if the highest-handled records
   // are dropped: a reused handle would silently re-bind a caller's stale

@@ -40,9 +40,11 @@
 #include <string>
 #include <vector>
 
+#include "src/repo/hash_pool.h"
 #include "src/repo/journal.h"
 #include "src/repo/repo_format.h"
 #include "src/repo/segment_file.h"
+#include "src/repo/write_batch.h"
 
 namespace tcsim {
 
@@ -51,6 +53,16 @@ struct RepoOptions {
   // default: tests and benches rely on the ordering guarantees of buffered
   // writes within one process; production swap-out turns it on.
   bool fsync = false;
+
+  // Background hashing threads for the batched put path (content keys + CRC
+  // verification of staged payloads). 0 hashes inline on the staging thread
+  // — the sequential oracle for the concurrent path.
+  uint32_t hash_threads = 2;
+
+  // Testing hook, forwarded to the live segment file: appends that would
+  // grow it past this byte count fail with a sticky error, as if the disk
+  // filled. 0 = unlimited. Drives the failed-commit tests deterministically.
+  uint64_t testing_segment_append_limit = 0;
 };
 
 class CheckpointRepo {
@@ -76,6 +88,40 @@ class CheckpointRepo {
   // every parent-ref CRC must pin actual parent content.
   uint64_t PutImage(const std::vector<uint8_t>& image_bytes,
                     uint64_t parent_handle = 0);
+
+  // --- Batched group commit ----------------------------------------------------
+  //
+  // The epoch-scale put path (see write_batch.h): stage many images — from
+  // any thread, zero-copy — then publish them with one segment flush and one
+  // atomic journal record. PutImage itself is a batch of one.
+
+  // Starts an empty batch bound to this repository. Batches are independent:
+  // several may stage concurrently, but commits happen one at a time on the
+  // repository's owning thread.
+  std::unique_ptr<RepoWriteBatch> BeginBatch();
+
+  struct BatchCommitResult {
+    bool ok = false;
+    std::string error;                   // set when !ok
+    std::vector<uint64_t> handles;       // indexed by ticket - 1; 0 on failure
+    size_t images = 0;                   // images published
+    uint64_t staged_bytes = 0;           // serialized image bytes staged
+    uint64_t logical_payload_bytes = 0;  // payload bytes offered
+    uint64_t appended_payload_bytes = 0; // payload bytes appended (post-dedup)
+  };
+
+  // Validates and publishes the whole batch, all-or-nothing: handles are
+  // assigned in (sequence, ticket) order, delta parents resolve against
+  // committed records *or* earlier entries of this same batch, every new
+  // payload is appended behind one flush, and a single kJournalBatchPut
+  // record publishes the epoch. On any rejection or I/O error nothing is
+  // published — the repository stays at its previous state (orphan segment
+  // bytes, if any, are garbage for the next GC) and `error` says why. An
+  // empty batch commits trivially. error() mirrors the result's error.
+  BatchCommitResult CommitBatch(std::unique_ptr<RepoWriteBatch> batch);
+
+  // The background hashing pool shared by this repository's batches.
+  HashPool& hash_pool() { return *hash_pool_; }
 
   // Marks an image retired (no longer materializable). Its payloads stay on
   // disk while still referenced — by other images through dedup, or by live
@@ -164,8 +210,6 @@ class CheckpointRepo {
 
   CheckpointRepo(std::string dir, RepoOptions options);
 
-  uint64_t Reject(const std::string& why);
-
   // Serializes / parses the journal payload of a put or compact record.
   static std::vector<uint8_t> EncodeImageRecord(uint64_t handle,
                                                 const ImageRecord& rec);
@@ -182,6 +226,13 @@ class CheckpointRepo {
   const ChunkRef* ResolveChunk(const ImageRecord& rec, const std::string& id,
                                uint32_t expected_crc, bool check_crc) const;
 
+  // Same walk, but parent handles also resolve through `staged` — records of
+  // a batch being committed, visible to later entries of that batch before
+  // publication.
+  const ChunkRef* ResolveChunkStaged(
+      const ImageRecord& rec, const std::string& id, uint32_t expected_crc,
+      bool check_crc, const std::map<uint64_t, ImageRecord>& staged) const;
+
   // Recomputes the retained set, payload refcounts and live byte count
   // after any mutation. O(images * chunks) — repository populations are
   // small; correctness over cleverness.
@@ -191,11 +242,14 @@ class CheckpointRepo {
   // first). False on I/O failure.
   bool Commit(uint8_t type, const std::vector<uint8_t>& payload);
 
+  friend class RepoWriteBatch;
+
   std::string dir_;
   RepoOptions options_;
   uint64_t epoch_ = 1;
   std::unique_ptr<SegmentFile> segment_;
   std::unique_ptr<JournalWriter> journal_;
+  std::unique_ptr<HashPool> hash_pool_;
 
   std::map<uint64_t, ImageRecord> records_;
   uint64_t next_handle_ = 1;

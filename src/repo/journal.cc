@@ -132,6 +132,9 @@ std::unique_ptr<JournalWriter> JournalWriter::OpenExisting(
 }
 
 bool JournalWriter::Append(uint8_t type, const std::vector<uint8_t>& payload) {
+  if (io_error_) {
+    return false;
+  }
   const uint32_t magic = kJournalRecordMagic;
   const uint64_t len = payload.size();
   const uint32_t crc = Crc32(payload);
@@ -140,6 +143,7 @@ bool JournalWriter::Append(uint8_t type, const std::vector<uint8_t>& payload) {
       std::fwrite(&len, sizeof len, 1, file_) != 1 ||
       (len != 0 && std::fwrite(payload.data(), 1, len, file_) != len) ||
       std::fwrite(&crc, sizeof crc, 1, file_) != 1) {
+    io_error_ = true;
     return false;
   }
   size_ += kJournalRecordOverhead + len;
@@ -148,10 +152,18 @@ bool JournalWriter::Append(uint8_t type, const std::vector<uint8_t>& payload) {
 }
 
 bool JournalWriter::Flush(bool fsync) {
-  if (std::fflush(file_) != 0) {
+  if (io_error_) {
     return false;
   }
-  return !fsync || SyncFile(file_);
+  if (std::fflush(file_) != 0) {
+    io_error_ = true;
+    return false;
+  }
+  if (fsync && !SyncFile(file_)) {
+    io_error_ = true;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace tcsim

@@ -50,11 +50,17 @@ class JournalWriter {
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
 
-  // Appends one record. Not durable until Flush().
+  // Appends one record. Not durable until Flush(). A failed append is
+  // sticky (see ok()): a partially written record would corrupt everything
+  // appended after it, so the writer refuses further appends instead of
+  // aborting — the owner surfaces the error through its commit result.
   bool Append(uint8_t type, const std::vector<uint8_t>& payload);
 
   // Flushes buffered appends to the OS (and to stable storage with `fsync`).
   bool Flush(bool fsync);
+
+  // False once any append or flush has failed.
+  bool ok() const { return !io_error_; }
 
   uint64_t size() const { return size_; }
   uint64_t bytes_written() const { return bytes_written_; }
@@ -65,6 +71,7 @@ class JournalWriter {
   std::FILE* file_;
   uint64_t size_;
   uint64_t bytes_written_ = 0;
+  bool io_error_ = false;
 };
 
 }  // namespace tcsim

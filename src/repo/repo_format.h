@@ -41,6 +41,12 @@ inline constexpr uint32_t kRepoFormatVersion = 1;
 inline constexpr uint8_t kJournalPutImage = 1;
 inline constexpr uint8_t kJournalRetireImage = 2;
 inline constexpr uint8_t kJournalCompactImage = 3;
+inline constexpr uint8_t kJournalNextHandle = 4;
+// A group-committed epoch of puts: the payload is a count followed by
+// length-prefixed put-image sub-records. The whole batch shares one CRC
+// frame, so recovery sees the epoch all-or-nothing — a tear anywhere inside
+// the record makes every image of the batch invisible, never a prefix.
+inline constexpr uint8_t kJournalBatchPut = 5;
 
 // Within a put/compact record's chunk table.
 inline constexpr uint8_t kRepoChunkPayloadRef = 1;
@@ -66,6 +72,7 @@ struct ContentKey {
 };
 
 // Computes the content key of a payload (FNV-1a 64 + CRC32 + length).
+ContentKey ContentKeyOf(const uint8_t* data, uint64_t size);
 ContentKey ContentKeyOf(const std::vector<uint8_t>& payload);
 
 }  // namespace tcsim

@@ -14,14 +14,18 @@
 
 namespace tcsim {
 
-ContentKey ContentKeyOf(const std::vector<uint8_t>& payload) {
+ContentKey ContentKeyOf(const uint8_t* data, uint64_t size) {
   Fnv1aDigest digest;
-  digest.MixBytes(payload.data(), payload.size());
+  digest.MixBytes(data, size);
   ContentKey key;
   key.hash = digest.value();
-  key.crc = Crc32(payload);
-  key.size = payload.size();
+  key.crc = Crc32(data, size);
+  key.size = size;
   return key;
+}
+
+ContentKey ContentKeyOf(const std::vector<uint8_t>& payload) {
+  return ContentKeyOf(payload.data(), payload.size());
 }
 
 namespace {
@@ -75,6 +79,10 @@ std::unique_ptr<SegmentFile> SegmentFile::Create(const std::string& path,
     *error = "cannot create segment " + path;
     return nullptr;
   }
+  // A batched epoch appends many records back to back; a wide stream buffer
+  // coalesces their framing and payloads into large kernel writes (best
+  // effort — the default buffer is only a throughput loss, not an error).
+  std::setvbuf(f, nullptr, _IOFBF, 1 << 20);
   if (!WritePod32(f, kSegmentMagic) || !WritePod32(f, kRepoFormatVersion) ||
       std::fflush(f) != 0) {
     *error = "cannot write segment header of " + path;
@@ -94,6 +102,7 @@ std::unique_ptr<SegmentFile> SegmentFile::OpenExisting(const std::string& path,
     *error = "cannot open segment " + path;
     return nullptr;
   }
+  std::setvbuf(f, nullptr, _IOFBF, 1 << 20);
   uint32_t magic = 0, version = 0;
   if (std::fread(&magic, sizeof magic, 1, f) != 1 ||
       std::fread(&version, sizeof version, 1, f) != 1 ||
@@ -113,20 +122,32 @@ std::unique_ptr<SegmentFile> SegmentFile::OpenExisting(const std::string& path,
 }
 
 uint64_t SegmentFile::Append(const std::vector<uint8_t>& payload) {
+  return AppendSpan(payload.data(), payload.size(), Crc32(payload));
+}
+
+uint64_t SegmentFile::AppendSpan(const uint8_t* payload, uint64_t size,
+                                 uint32_t crc) {
+  if (io_error_) {
+    return 0;
+  }
+  if (testing_append_limit_ != 0 &&
+      append_pos_ + kSegmentRecordOverhead + size > testing_append_limit_) {
+    io_error_ = true;
+    return 0;
+  }
   if (std::fseek(file_, static_cast<long>(append_pos_), SEEK_SET) != 0) {
+    io_error_ = true;
     return 0;
   }
   const uint64_t offset = append_pos_;
-  const uint32_t crc = Crc32(payload);
-  if (!WritePod32(file_, kSegmentRecordMagic) ||
-      !WritePod64(file_, payload.size()) || !WritePod32(file_, crc) ||
-      (payload.size() != 0 &&
-       std::fwrite(payload.data(), 1, payload.size(), file_) !=
-           payload.size())) {
+  if (!WritePod32(file_, kSegmentRecordMagic) || !WritePod64(file_, size) ||
+      !WritePod32(file_, crc) ||
+      (size != 0 && std::fwrite(payload, 1, size, file_) != size)) {
+    io_error_ = true;
     return 0;
   }
-  append_pos_ += kSegmentRecordOverhead + payload.size();
-  bytes_written_ += kSegmentRecordOverhead + payload.size();
+  append_pos_ += kSegmentRecordOverhead + size;
+  bytes_written_ += kSegmentRecordOverhead + size;
   return offset;
 }
 
@@ -167,10 +188,18 @@ bool SegmentFile::ReadPayload(uint64_t offset, const ContentKey& expected,
 }
 
 bool SegmentFile::Flush(bool fsync) {
-  if (std::fflush(file_) != 0) {
+  if (io_error_) {
     return false;
   }
-  return !fsync || SyncStdioFile(file_);
+  if (std::fflush(file_) != 0) {
+    io_error_ = true;
+    return false;
+  }
+  if (fsync && !SyncStdioFile(file_)) {
+    io_error_ = true;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace tcsim

@@ -50,8 +50,15 @@ class SegmentFile {
 
   // Appends one payload record; returns the record's byte offset, or 0 on
   // I/O failure (0 is never a valid record offset — the header precedes all
-  // records). Not flushed until Flush().
+  // records). Not flushed until Flush(). A failed append is sticky (see
+  // ok()): the file position is no longer trustworthy, so every later append
+  // and flush fails too until the segment is reopened.
   uint64_t Append(const std::vector<uint8_t>& payload);
+
+  // Same, but writes the record framing and payload straight from the
+  // caller's buffer with a CRC the caller already computed (the batch path's
+  // hashing pool) — no intermediate copy and no second CRC pass.
+  uint64_t AppendSpan(const uint8_t* payload, uint64_t size, uint32_t crc);
 
   // Reads the payload at `offset`, verifying the record magic, the length
   // and CRC against `expected`, and bounds against the file size. False on
@@ -61,6 +68,17 @@ class SegmentFile {
 
   // Flushes buffered appends to the OS (and to stable storage with `fsync`).
   bool Flush(bool fsync);
+
+  // False once any append or flush has failed. Sticky: the writer refuses
+  // further appends instead of aborting, and the owner propagates the error
+  // up to its commit result (the repository stays openable at the epoch the
+  // last successful commit published).
+  bool ok() const { return !io_error_; }
+
+  // Testing hook: any append that would grow the file past `limit` bytes
+  // fails (and trips the sticky error) as if the disk were full. 0 = no
+  // limit. Lets tests drive the failed-commit path deterministically.
+  void set_testing_append_limit(uint64_t limit) { testing_append_limit_ = limit; }
 
   // Current end-of-file append position (header + all records).
   uint64_t size() const { return append_pos_; }
@@ -77,6 +95,8 @@ class SegmentFile {
   uint64_t append_pos_;
   uint64_t bytes_written_ = 0;
   uint64_t bytes_read_ = 0;
+  uint64_t testing_append_limit_ = 0;
+  bool io_error_ = false;
 };
 
 }  // namespace tcsim

@@ -1,6 +1,8 @@
 #include "src/sim/image.h"
 
 #include <cassert>
+#include <cstring>
+#include <set>
 #include <utility>
 
 #include "src/sim/archive.h"
@@ -223,6 +225,136 @@ bool CheckpointImageView::HasDeltaRef(const std::string& id) const {
 
 uint32_t CheckpointImageView::DeltaRefCrc(const std::string& id) const {
   return chunks_.at(id).crc;
+}
+
+namespace {
+
+// Bounds-checked forward cursor over the raw image bytes; every read either
+// advances or trips the sticky fail flag (mirrors ArchiveReader, but hands
+// out spans instead of copies).
+struct SpanCursor {
+  const uint8_t* base;
+  uint64_t size;
+  uint64_t pos = 0;
+  bool ok = true;
+
+  template <typename T>
+  T Read() {
+    T v{};
+    if (!ok || size - pos < sizeof(T)) {
+      ok = false;
+      return v;
+    }
+    std::memcpy(&v, base + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+
+  std::string ReadString() {
+    const uint64_t n = Read<uint64_t>();
+    if (!ok || n > size - pos) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(base + pos), n);
+    pos += n;
+    return s;
+  }
+
+  ByteSpan ReadSpan(uint64_t n) {
+    if (!ok || n > size - pos) {
+      ok = false;
+      return {};
+    }
+    ByteSpan span{base + pos, n};
+    pos += n;
+    return span;
+  }
+};
+
+}  // namespace
+
+CheckpointImageLiteView::CheckpointImageLiteView(
+    const std::vector<uint8_t>& image) {
+  SpanCursor c{image.data(), image.size()};
+  const uint32_t magic = c.Read<uint32_t>();
+  if (!c.ok || magic != kImageMagic) {
+    Fail("bad magic");
+    return;
+  }
+  version_ = c.Read<uint32_t>();
+  if (!c.ok || (version_ != kImageFormatVersion &&
+                version_ != kImageFormatVersionDelta)) {
+    Fail("unsupported format version " + std::to_string(version_));
+    return;
+  }
+  const bool v2 = version_ == kImageFormatVersionDelta;
+  if (v2) {
+    image_id_ = c.Read<uint64_t>();
+    parent_id_ = c.Read<uint64_t>();
+  }
+  const uint64_t count = c.Read<uint64_t>();
+  if (!c.ok) {
+    Fail("truncated header");
+    return;
+  }
+  std::set<std::string> seen;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string id = c.ReadString();
+    uint8_t kind = kChunkKindPayload;
+    if (v2) {
+      kind = c.Read<uint8_t>();
+      if (c.ok && kind != kChunkKindPayload && kind != kChunkKindDeltaRef) {
+        Fail("unknown chunk kind in chunk '" + id + "'");
+        return;
+      }
+    }
+    if (kind == kChunkKindPayload) {
+      const uint64_t len = c.Read<uint64_t>();
+      const uint32_t crc = c.Read<uint32_t>();
+      if (!c.ok) {
+        Fail("truncated chunk table");
+        return;
+      }
+      ByteSpan payload = c.ReadSpan(len);
+      if (!c.ok) {
+        Fail("truncated chunk payload");
+        return;
+      }
+      if (!seen.insert(id).second) {
+        if (v2) {
+          Fail("duplicate chunk id '" + id + "'");
+          return;
+        }
+        continue;  // v1: later duplicates lose
+      }
+      chunks_.push_back(Chunk{std::move(id), kind, payload, crc});
+    } else {
+      const uint32_t expected_crc = c.Read<uint32_t>();
+      if (!c.ok) {
+        Fail("truncated delta ref");
+        return;
+      }
+      if (parent_id_ == 0) {
+        Fail("delta ref in chunk '" + id + "' of a parentless image");
+        return;
+      }
+      if (!seen.insert(id).second) {
+        Fail("duplicate chunk id '" + id + "'");
+        return;
+      }
+      chunks_.push_back(Chunk{std::move(id), kind, {}, expected_crc});
+      ++delta_ref_count_;
+    }
+  }
+  ok_ = true;
+}
+
+void CheckpointImageLiteView::Fail(const std::string& why) {
+  ok_ = false;
+  error_ = why;
+  chunks_.clear();
+  delta_ref_count_ = 0;
 }
 
 bool CheckpointImageView::RestoreInto(Checkpointable& c) const {

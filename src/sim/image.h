@@ -61,6 +61,13 @@ inline constexpr uint32_t kImageFormatVersionDelta = 2;
 inline constexpr uint8_t kChunkKindPayload = 1;
 inline constexpr uint8_t kChunkKindDeltaRef = 2;
 
+// A non-owning view of contiguous payload bytes (parsed in place inside a
+// serialized image; the image buffer must outlive the span).
+struct ByteSpan {
+  const uint8_t* data = nullptr;
+  uint64_t size = 0;
+};
+
 // Builds a composite image from component chunks. Emits format v1 unless
 // delta features (an image identity or delta-ref chunks) are used, in which
 // case it emits v2.
@@ -164,6 +171,49 @@ class CheckpointImageView {
   size_t delta_ref_count_ = 0;
   std::map<std::string, ParsedChunk> chunks_;
   std::vector<std::string> order_;
+};
+
+// Zero-copy structural parse of a composite image (v1 or v2): the chunk
+// table in file order, with payload *spans* into the caller's buffer instead
+// of copies, and no eager CRC pass — the batched repository path verifies
+// payload CRCs on its hashing pool, off the staging thread, so parsing here
+// must cost O(chunk count), not O(bytes). Rejects the same structural
+// malformations as CheckpointImageView: bad magic, unsupported version,
+// truncation, unknown chunk kinds, duplicate ids (v2), and delta refs in a
+// parentless image. The image bytes must outlive the view and its spans.
+class CheckpointImageLiteView {
+ public:
+  struct Chunk {
+    std::string id;
+    uint8_t kind = kChunkKindPayload;
+    ByteSpan payload;   // payload kind: bytes inside the image buffer
+    uint32_t crc = 0;   // payload: declared CRC; delta ref: parent CRC pin
+  };
+
+  explicit CheckpointImageLiteView(const std::vector<uint8_t>& image);
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  uint32_t format_version() const { return version_; }
+  uint64_t image_id() const { return image_id_; }
+  uint64_t parent_id() const { return parent_id_; }
+  size_t delta_ref_count() const { return delta_ref_count_; }
+
+  // Chunks in file order. For v1 images a repeated id keeps the first
+  // occurrence only, matching CheckpointImageView's "later duplicates lose".
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+
+ private:
+  void Fail(const std::string& why);
+
+  bool ok_ = false;
+  std::string error_;
+  uint32_t version_ = 0;
+  uint64_t image_id_ = 0;
+  uint64_t parent_id_ = 0;
+  size_t delta_ref_count_ = 0;
+  std::vector<Chunk> chunks_;
 };
 
 }  // namespace tcsim

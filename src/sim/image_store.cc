@@ -63,7 +63,7 @@ uint64_t ImageStore::Put(std::vector<uint8_t> bytes) {
   }
 
   stored_bytes_ += bytes.size();
-  img.raw = std::move(bytes);
+  img.raw = std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
   images_.emplace(id, std::move(img));
   if (id >= next_id_) {
     next_id_ = id + 1;
@@ -81,6 +81,11 @@ size_t ImageStore::DeltaRefCount(uint64_t id) const {
 }
 
 const std::vector<uint8_t>& ImageStore::RawBytes(uint64_t id) const {
+  return *images_.at(id).raw;
+}
+
+std::shared_ptr<const std::vector<uint8_t>> ImageStore::RawShared(
+    uint64_t id) const {
   return images_.at(id).raw;
 }
 
@@ -101,7 +106,7 @@ std::vector<uint8_t> ImageStore::Materialize(uint64_t id) const {
 void ImageStore::PruneExcept(uint64_t keep) {
   for (auto it = images_.begin(); it != images_.end();) {
     if (it->first != keep) {
-      stored_bytes_ -= it->second.raw.size();
+      stored_bytes_ -= it->second.raw->size();
       it = images_.erase(it);
     } else {
       ++it;

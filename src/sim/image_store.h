@@ -48,6 +48,11 @@ class ImageStore {
   // Serialized bytes exactly as Put received them. Id must be stored.
   const std::vector<uint8_t>& RawBytes(uint64_t id) const;
 
+  // Shared ownership of the same bytes, so spill paths can stage them into a
+  // repository batch (and engines publish them as last_image()) without a
+  // copy — the buffer outlives a PruneExcept that drops the image.
+  std::shared_ptr<const std::vector<uint8_t>> RawShared(uint64_t id) const;
+
   // Rebuilds a self-contained format-v2 image (parent 0, all payload chunks,
   // original chunk order) with the fully resolved content of image `id`.
   // Returns empty bytes if `id` is not stored.
@@ -77,7 +82,7 @@ class ImageStore {
   struct StoredImage {
     uint64_t parent = 0;
     size_t delta_refs = 0;
-    std::vector<uint8_t> raw;
+    std::shared_ptr<const std::vector<uint8_t>> raw;
     std::vector<std::string> order;
     std::map<std::string, std::shared_ptr<const ResolvedChunk>> resolved;
   };

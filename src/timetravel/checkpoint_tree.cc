@@ -129,16 +129,28 @@ bool TimeTravelTree::VerifyImageRestore(int checkpoint_id) {
 uint64_t TimeTravelTree::PersistTo(CheckpointRepo* repo) {
   // Node images first: a manifest only becomes visible once every image it
   // names is durably in the repository (the same publication discipline the
-  // repository applies to chunks within one image).
-  for (TreeNode& node : nodes_) {
-    if (node.image == nullptr || node.repo_handle != 0) {
-      continue;
+  // repository applies to chunks within one image). All unpersisted images go
+  // in one group-committed batch — the tree's shared_ptr buffers are staged
+  // without a copy, and a crash mid-persist leaves either none or all of this
+  // call's images (the manifest that names them commits strictly after).
+  {
+    std::unique_ptr<RepoWriteBatch> batch = repo->BeginBatch();
+    std::vector<TreeNode*> pending;
+    for (TreeNode& node : nodes_) {
+      if (node.image == nullptr || node.repo_handle != 0) {
+        continue;
+      }
+      batch->Stage(node.image);
+      pending.push_back(&node);
     }
-    const uint64_t handle = repo->PutImage(*node.image);
-    if (handle == 0) {
+    const CheckpointRepo::BatchCommitResult result =
+        repo->CommitBatch(std::move(batch));
+    if (!result.ok) {
       return 0;
     }
-    node.repo_handle = handle;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      pending[i]->repo_handle = result.handles[i];
+    }
   }
 
   ArchiveWriter manifest;

@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace_session.h"
+#include "src/repo/checkpoint_repo.h"
 #include "src/sim/invariants.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
@@ -258,6 +260,58 @@ TEST_F(ObsTest, TracingIsPerturbationFreeOnBasicExperimentRun) {
 
   EXPECT_EQ(digest_off, digest_full);
   EXPECT_EQ(digest_off, digest_ring);
+}
+
+TEST_F(ObsTest, TracingIsPerturbationFreeOnRepoAttachedRun) {
+  // The same scenario with a durable repository attached to the engine: the
+  // spill path (lite parse, hashing pool, group commit, repo.commit spans)
+  // must not perturb the simulation either — with or without tracing.
+  namespace fs = std::filesystem;
+  const std::string base =
+      (fs::path(::testing::TempDir()) / "tcsim_obs_repo").string();
+  auto run_with_repo = [&base](const char* tag) {
+    const std::string dir = base + "_" + tag;
+    fs::remove_all(dir);
+    std::string error;
+    auto repo = CheckpointRepo::Open(dir, RepoOptions{}, &error);
+    EXPECT_NE(repo, nullptr) << error;
+    BasicExperimentRun::Params params;
+    params.seed = 11;
+    BasicExperimentRun run(params);
+    run.engine().AttachRepository(repo.get());
+    run.AdvanceTo(200 * kMillisecond);
+    run.CaptureCheckpoint();
+    run.AdvanceTo(500 * kMillisecond);
+    run.CaptureCheckpoint();
+    run.AdvanceTo(800 * kMillisecond);
+    EXPECT_NE(run.engine().last_repo_handle(), 0u) << repo->error();
+    const uint64_t digest = run.sim().Digest();
+    fs::remove_all(dir);
+    return digest;
+  };
+
+  TraceSession::Global().Stop();
+  const uint64_t digest_off = run_with_repo("off");
+  EXPECT_EQ(digest_off, RunCheckpointedScenario<BasicExperimentRun>())
+      << "attaching a repository must not perturb the run";
+
+  MetricsRegistry::Global().ResetAll();
+  TraceSession::Global().StartFull();
+  const uint64_t digest_full = run_with_repo("on");
+  EXPECT_EQ(digest_off, digest_full);
+
+  // The spill telemetry landed: group commits, batched images, staged bytes,
+  // the two publication flushes per commit, and the hash-pool depth gauge.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  EXPECT_GT(reg.FindCounter("repo.batch.commits")->value(), 0u);
+  EXPECT_GT(reg.FindCounter("repo.batch.images")->value(), 0u);
+  EXPECT_GT(reg.FindCounter("repo.batch.staged_bytes")->value(), 0u);
+  EXPECT_GT(reg.FindCounter("repo.commit.flushes")->value(), 0u);
+  EXPECT_EQ(reg.FindCounter("repo.batch.failed_commits")->value(), 0u);
+  ASSERT_NE(reg.FindGauge("repo.hashpool.max_queue_depth"), nullptr);
+  // And the group commit is visible as a span on the repo track.
+  const std::string json = TraceSession::Global().ExportChromeJson();
+  EXPECT_NE(json.find("\"name\": \"repo.commit\""), std::string::npos);
 }
 
 TEST_F(ObsTest, TracingIsPerturbationFreeOnCpuExperimentRun) {

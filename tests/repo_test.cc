@@ -8,8 +8,11 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/repo/checkpoint_repo.h"
@@ -452,6 +455,274 @@ TEST_F(RepoTest, EngineSpillChainRestoresDigestIdenticalAcrossHousekeeping) {
   const std::optional<uint64_t> digest = fresh.RestoreFromImage(image);
   ASSERT_TRUE(digest.has_value());
   EXPECT_EQ(*digest, gens.back().digest);
+}
+
+// --- Batched group commit -------------------------------------------------------
+
+TEST_F(RepoTest, BatchCommitsEpochAllAtOnceAndMatchesOracle) {
+  ImageStore store;
+  ASSERT_EQ(store.Put(FullImage(1, 10, 20)), 1u);
+  ASSERT_EQ(store.Put(FullImage(2, 30, 40)), 2u);
+  ASSERT_EQ(store.Put(DeltaImage(3, 2, 31, 40)), 3u);
+
+  auto repo = OpenRepo();
+  const uint64_t committed = repo->PutImage(FullImage(1, 10, 20));
+  ASSERT_NE(committed, 0u) << repo->error();
+
+  // One epoch: a full image plus a delta whose parent is staged in the same
+  // batch, named by ticket rather than by a (not yet existing) handle.
+  auto batch = repo->BeginBatch();
+  const uint64_t t_full = batch->Stage(FullImage(2, 30, 40));
+  const uint64_t t_delta = batch->Stage(DeltaImage(3, 2, 31, 40),
+                                        /*parent_handle=*/0,
+                                        /*parent_ticket=*/t_full);
+  EXPECT_EQ(batch->staged_count(), 2u);
+  const auto result = repo->CommitBatch(std::move(batch));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.images, 2u);
+  ASSERT_EQ(result.handles.size(), 2u);
+  const uint64_t h_full = result.handles[t_full - 1];
+  const uint64_t h_delta = result.handles[t_delta - 1];
+  ASSERT_NE(h_full, 0u);
+  ASSERT_NE(h_delta, 0u);
+
+  EXPECT_EQ(repo->live_image_count(), 3u);
+  EXPECT_EQ(repo->ParentHandleOf(h_delta), h_full);
+  EXPECT_EQ(repo->ChainDepth(h_delta), 1u);
+  EXPECT_EQ(repo->Materialize(h_full), store.Materialize(2));
+  EXPECT_EQ(repo->Materialize(h_delta), store.Materialize(3));
+
+  // The epoch survives a restart exactly as committed.
+  repo.reset();
+  repo = OpenRepo();
+  EXPECT_EQ(repo->live_image_count(), 3u);
+  EXPECT_EQ(repo->Materialize(h_delta), store.Materialize(3));
+
+  // An empty batch is a no-op commit.
+  const auto empty = repo->CommitBatch(repo->BeginBatch());
+  EXPECT_TRUE(empty.ok) << empty.error;
+  EXPECT_EQ(empty.images, 0u);
+}
+
+TEST_F(RepoTest, BatchRejectionIsAllOrNothing) {
+  auto repo = OpenRepo();
+  const uint64_t h1 = repo->PutImage(FullImage(1, 10, 20));
+  ASSERT_NE(h1, 0u) << repo->error();
+
+  // Three good images and one bad delta (its CRC pin names content the
+  // parent does not hold): the whole epoch must be refused.
+  auto batch = repo->BeginBatch();
+  batch->Stage(FullImage(2, 30, 40));
+  batch->Stage(DeltaImage(3, 1, 11, /*parent_b=*/999), h1);
+  batch->Stage(FullImage(4, 50, 60));
+  const auto result = repo->CommitBatch(std::move(batch));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("delta ref"), std::string::npos) << result.error;
+  EXPECT_EQ(result.handles, (std::vector<uint64_t>{0, 0, 0}));
+  EXPECT_EQ(repo->live_image_count(), 1u);
+
+  // A staged-parent ordering violation (the child would commit before its
+  // parent) is caught, not silently reordered.
+  auto bad_order = repo->BeginBatch();
+  bad_order->Stage(DeltaImage(3, 2, 31, 40), /*parent_handle=*/0,
+                   /*parent_ticket=*/2, /*sequence=*/1);
+  bad_order->Stage(FullImage(2, 30, 40), 0, 0, /*sequence=*/2);
+  const auto reordered = repo->CommitBatch(std::move(bad_order));
+  EXPECT_FALSE(reordered.ok);
+  EXPECT_NE(reordered.error.find("staged before"), std::string::npos)
+      << reordered.error;
+  EXPECT_EQ(repo->live_image_count(), 1u);
+
+  // The repository is still fully usable after rejections.
+  EXPECT_NE(repo->PutImage(FullImage(5, 70, 80)), 0u) << repo->error();
+  EXPECT_EQ(repo->live_image_count(), 2u);
+}
+
+std::vector<uint8_t> FileBytes(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+TEST_F(RepoTest, ConcurrentStagersProduceByteIdenticalRepository) {
+  // The same 16 images (with cross-image shared payloads, so dedup order
+  // matters) through two repositories: one staged sequentially with inline
+  // hashing — the oracle — and one staged from four threads with a hashing
+  // pool. Explicit sequence keys pin the commit order; the resulting
+  // repository files must be byte-identical.
+  std::vector<std::vector<uint8_t>> images;
+  for (uint64_t i = 0; i < 16; ++i) {
+    images.push_back(FullImage(i + 1, i % 4, i * 7));
+  }
+
+  const std::string seq_dir = dir_ + "_seq";
+  const std::string par_dir = dir_ + "_par";
+  fs::remove_all(seq_dir);
+  fs::remove_all(par_dir);
+
+  std::string error;
+  RepoOptions seq_opts;
+  seq_opts.hash_threads = 0;  // inline hashing: the sequential oracle
+  auto seq_repo = CheckpointRepo::Open(seq_dir, seq_opts, &error);
+  ASSERT_NE(seq_repo, nullptr) << error;
+  {
+    auto batch = seq_repo->BeginBatch();
+    for (uint64_t i = 0; i < images.size(); ++i) {
+      batch->Stage(std::vector<uint8_t>(images[i]), 0, 0, /*sequence=*/i + 1);
+    }
+    ASSERT_TRUE(seq_repo->CommitBatch(std::move(batch)).ok);
+  }
+
+  RepoOptions par_opts;
+  par_opts.hash_threads = 4;
+  auto par_repo = CheckpointRepo::Open(par_dir, par_opts, &error);
+  ASSERT_NE(par_repo, nullptr) << error;
+  {
+    auto batch = par_repo->BeginBatch();
+    std::vector<std::thread> stagers;
+    for (int t = 0; t < 4; ++t) {
+      stagers.emplace_back([&batch, &images, t] {
+        for (uint64_t i = t; i < images.size(); i += 4) {
+          batch->Stage(std::vector<uint8_t>(images[i]), 0, 0,
+                       /*sequence=*/i + 1);
+        }
+      });
+    }
+    for (std::thread& s : stagers) {
+      s.join();
+    }
+    ASSERT_EQ(batch->staged_count(), images.size());
+    ASSERT_TRUE(par_repo->CommitBatch(std::move(batch)).ok);
+  }
+
+  // Handles were assigned by sequence, not by staging interleaving: image
+  // i + 1 (its embedded id) got handle i + 1 in both repositories.
+  for (uint64_t i = 0; i < images.size(); ++i) {
+    EXPECT_EQ(seq_repo->ImageIdOf(i + 1), i + 1);
+    EXPECT_EQ(par_repo->ImageIdOf(i + 1), i + 1);
+    EXPECT_EQ(par_repo->Materialize(i + 1), seq_repo->Materialize(i + 1));
+  }
+  seq_repo.reset();
+  par_repo.reset();
+
+  // The strongest form of the determinism claim: identical bytes on disk.
+  EXPECT_EQ(FileBytes(fs::path(seq_dir) / "segment.1"),
+            FileBytes(fs::path(par_dir) / "segment.1"));
+  EXPECT_EQ(FileBytes(fs::path(seq_dir) / "journal.1"),
+            FileBytes(fs::path(par_dir) / "journal.1"));
+  fs::remove_all(seq_dir);
+  fs::remove_all(par_dir);
+}
+
+TEST_F(RepoTest, FailedCommitLeavesRepositoryOpenableAtPreviousEpoch) {
+  ImageStore oracle;
+  ASSERT_EQ(oracle.Put(FullImage(1, 10, 20)), 1u);
+  uint64_t h1 = 0;
+  {
+    auto repo = OpenRepo();
+    h1 = repo->PutImage(FullImage(1, 10, 20));
+    ASSERT_NE(h1, 0u) << repo->error();
+  }
+  // Reopen with the disk "full" at exactly the current segment size: any new
+  // payload append fails, as a filled disk would.
+  RepoOptions opts;
+  opts.testing_segment_append_limit = fs::file_size(dir_ + "/segment.1");
+  std::string error;
+  auto repo = CheckpointRepo::Open(dir_, opts, &error);
+  ASSERT_NE(repo, nullptr) << error;
+
+  auto batch = repo->BeginBatch();
+  batch->Stage(FullImage(2, 30, 40));
+  const auto result = repo->CommitBatch(std::move(batch));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("append failed"), std::string::npos)
+      << result.error;
+  // Nothing published; the error is sticky, so retries keep failing instead
+  // of tearing the segment, and reads of committed state still work.
+  EXPECT_EQ(repo->live_image_count(), 1u);
+  auto retry = repo->BeginBatch();
+  retry->Stage(FullImage(3, 50, 60));
+  EXPECT_FALSE(repo->CommitBatch(std::move(retry)).ok);
+  EXPECT_EQ(repo->Materialize(h1), oracle.Materialize(1));
+  repo.reset();
+
+  // A fresh process opens the previous epoch, whole and writable.
+  auto reopened = OpenRepo();
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->live_image_count(), 1u);
+  EXPECT_EQ(reopened->Materialize(h1), oracle.Materialize(1));
+  EXPECT_NE(reopened->PutImage(FullImage(2, 30, 40)), 0u)
+      << reopened->error();
+}
+
+// Crash injection over a batched epoch: truncates the journal (then the
+// segment) at every byte and opens the wreck. Every successful open must
+// observe either the state before the epoch or the entire epoch — a batch is
+// never half-visible.
+class RepoBatchDurabilityTest : public RepoTest {
+ protected:
+  // One committed image, then one batched epoch of three (a full, a second
+  // full, and a delta on the staged full) — closed so all bytes are on disk.
+  void BuildBatchedFixture() {
+    auto repo = OpenRepo();
+    ASSERT_NE(repo->PutImage(FullImage(1, 10, 20)), 0u) << repo->error();
+    auto batch = repo->BeginBatch();
+    batch->Stage(FullImage(2, 30, 40));
+    const uint64_t parent = batch->Stage(FullImage(3, 50, 60));
+    batch->Stage(DeltaImage(4, 3, 51, 60), /*parent_handle=*/0,
+                 /*parent_ticket=*/parent);
+    const auto result = repo->CommitBatch(std::move(batch));
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_EQ(repo->live_image_count(), 4u);
+  }
+
+  // Truncation sweep asserting all-or-nothing epoch visibility: a surviving
+  // open holds 0 or 1 images (pre-epoch prefixes) or all 4 — never a torn 2
+  // or 3 — and everything live materializes.
+  void AllOrNothingSweep(const std::string& file, bool expect_rollback) {
+    const std::string scratch = dir_ + "_truncated";
+    const uint64_t full_size = fs::file_size(fs::path(dir_) / file);
+    std::set<size_t> seen_counts;
+    for (uint64_t len = 0; len < full_size; ++len) {
+      fs::remove_all(scratch);
+      fs::copy(dir_, scratch);
+      fs::resize_file(fs::path(scratch) / file, len);
+      std::string error;
+      auto repo = CheckpointRepo::Open(scratch, RepoOptions{}, &error);
+      if (repo == nullptr) {
+        EXPECT_FALSE(error.empty()) << file << " truncated to " << len;
+        continue;
+      }
+      const size_t live = repo->live_image_count();
+      EXPECT_TRUE(live <= 1 || live == 4)
+          << file << " truncated to " << len << " exposed a torn epoch of "
+          << live << " images";
+      seen_counts.insert(live);
+      for (const uint64_t handle : repo->LiveHandles()) {
+        EXPECT_FALSE(repo->Materialize(handle).empty())
+            << file << " truncated to " << len << ", handle " << handle;
+      }
+    }
+    fs::remove_all(scratch);
+    if (expect_rollback) {
+      // The sweep actually exercised the pre-epoch state (tearing the batch
+      // record rolled the repository back to image 1 alone).
+      EXPECT_TRUE(seen_counts.count(1)) << file;
+    }
+  }
+};
+
+TEST_F(RepoBatchDurabilityTest, JournalTearNeverSplitsAnEpoch) {
+  BuildBatchedFixture();
+  AllOrNothingSweep("journal.1", /*expect_rollback=*/true);
+}
+
+TEST_F(RepoBatchDurabilityTest, SegmentTearNeverSplitsAnEpoch) {
+  BuildBatchedFixture();
+  // Segment truncations corrupt journal-referenced payloads: opens must
+  // reject them cleanly (never crash, never show a partial epoch) — the
+  // journal still names the whole epoch, so no rollback state is reachable.
+  AllOrNothingSweep("segment.1", /*expect_rollback=*/false);
 }
 
 // --- fsync durability path ------------------------------------------------------
