@@ -17,7 +17,10 @@
 // summary table after the run. Under --audit without --trace the harness arms
 // the bounded ring-buffer flight recorder instead, so the first invariant
 // violation dumps the timeline that led up to it. With --json the metric
-// registry is always folded into the emitted object under "metrics".
+// registry is always folded into the emitted object under "telemetry" —
+// "metrics" is taken by the paper-vs-measured rows EmitJson writes, and
+// emitting both under one key produced a duplicate-key object whose parse
+// depended on the reader's last-wins/first-wins policy.
 
 #ifndef TCSIM_BENCH_BENCH_UTIL_H_
 #define TCSIM_BENCH_BENCH_UTIL_H_
@@ -268,7 +271,7 @@ class BenchMain {
       }
     }
     if (BenchReport::Instance().json_mode()) {
-      BenchReport::Instance().AddExtra("metrics",
+      BenchReport::Instance().AddExtra("telemetry",
                                        obs::MetricsRegistry::Global().ExportJson());
       BenchReport::Instance().EmitJson(rc);
     }

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Structural diff of a fresh consolidated bench JSON against the committed
-baseline (BENCH_PR6.json).
+baseline (BENCH_PR8.json).
 
 The committed baseline locks in the bench *trajectory* — which benches run,
 which metrics each reports, and that every one passed — not the measured
@@ -25,12 +25,17 @@ def bench_index(doc):
 def metric_labels(bench):
     """Set of (kind, name) for every metric the bench reported.
 
-    metrics is {"counters": {name: value}, "gauges": {...}, "histograms":
-    {...}}; the names are derived from the workload topology and are
-    machine-independent even though the values are not.
+    The registry export is {"counters": {name: value}, "gauges": {...},
+    "histograms": {...}}; the names are derived from the workload topology
+    and are machine-independent even though the values are not. It lives
+    under "telemetry"; pre-PR8 baselines emitted it as a duplicate
+    "metrics" key (where json.load's last-wins rule made it the visible
+    value), so fall back to that for old baselines.
     """
     labels = set()
-    metrics = bench.get("metrics") or {}
+    metrics = bench.get("telemetry") or bench.get("metrics") or {}
+    if not isinstance(metrics, dict):
+        return labels
     for kind, entries in metrics.items():
         if isinstance(entries, dict):
             for name in entries:
@@ -76,6 +81,42 @@ def check_repo_throughput(base, got, errors, warnings):
             warnings.append(
                 f"tab_repo_persist: {key} regressed {old:.3g} -> {new:.3g} "
                 f"({100.0 * new / old:.0f}% of baseline)")
+
+
+def check_frozen_window(base, got, errors, warnings):
+    """tab_frozen_window: digest identity and row coverage are structural
+    (errors); the measured reduction is machine-dependent (warn only when it
+    falls well below the baseline's)."""
+    if got.get("digest_oracle_ok") is not True:
+        errors.append("tab_frozen_window: digest_oracle_ok is not true")
+    base_rows = base.get("frozen_window", [])
+    rows = got.get("frozen_window", [])
+    if len(rows) < len(base_rows):
+        errors.append(f"tab_frozen_window: sweep shrank "
+                      f"({len(base_rows)} -> {len(rows)})")
+    for row in rows:
+        hosts = row.get("hosts")
+        if row.get("digest_ok") is not True:
+            errors.append(f"tab_frozen_window: hosts={hosts} async capture "
+                          "diverged from synchronous")
+        if row.get("spill_ok") is not True:
+            errors.append(f"tab_frozen_window: hosts={hosts} epoch spill "
+                          "failed")
+        if "reduction" not in row:
+            errors.append(f"tab_frozen_window: hosts={hosts} reduction "
+                          "key dropped")
+    old = base.get("frozen_reduction_1k")
+    new = got.get("frozen_reduction_1k")
+    if old is not None and new is None:
+        errors.append("tab_frozen_window: frozen_reduction_1k key dropped")
+    if (isinstance(old, (int, float)) and isinstance(new, (int, float))
+            and old > 0 and new < old * REGRESSION_WARN_RATIO):
+        warnings.append(
+            f"tab_frozen_window: frozen_reduction_1k regressed "
+            f"{old:.3g} -> {new:.3g} ({100.0 * new / old:.0f}% of baseline)")
+    if got.get("frozen_reduction_ok") is not True:
+        errors.append("tab_frozen_window: frozen_reduction_ok is not true "
+                      "(below the 3x floor)")
 
 
 def main():
@@ -125,6 +166,11 @@ def main():
                         row.get("reopen_ok") is not True:
                     errors.append(f"{name}: hosts={row.get('hosts')} epoch "
                                   "spill failed or diverged on reopen")
+            if "async_capture_ok" in base and \
+                    got.get("async_capture_ok") is not True:
+                errors.append(f"{name}: async_capture_ok is not true")
+        if name == "tab_frozen_window":
+            check_frozen_window(base, got, errors, warnings)
         if name == "tab_repo_persist":
             check_repo_throughput(base, got, errors, warnings)
 

@@ -4,7 +4,7 @@
 #
 #   bench/run_all.sh [build_dir] [out_file]
 #
-# Defaults: build/ and $BENCH_OUT (BENCH_PR7.json if unset). The bench list
+# Defaults: build/ and $BENCH_OUT (BENCH_PR8.json if unset). The bench list
 # can be overridden with $BENCH_LIST (space-separated binary names). Plain
 # POSIX shell, no jq/python — each bench emits exactly one JSON object and
 # this script concatenates them. bench/check_trajectory.py structurally
@@ -12,11 +12,12 @@
 set -u
 
 BUILD="${1:-build}"
-OUT="${2:-${BENCH_OUT:-BENCH_PR7.json}}"
+OUT="${2:-${BENCH_OUT:-BENCH_PR8.json}}"
 BENCHES="${BENCH_LIST:-fig4_sleep_loop fig5_cpu_loop fig6_iperf \
 fig7_bittorrent fig8_cow_storage fig9_background_transfer tab_clock_sync \
 tab_free_block_elim tab_stateful_swap tab_restore_path tab_delta_capture \
-tab_repo_persist tab_parallel_kernel ablation_coordination ablation_storage}"
+tab_repo_persist tab_parallel_kernel tab_frozen_window ablation_coordination \
+ablation_storage}"
 
 rc=0
 tmp="$(mktemp)"

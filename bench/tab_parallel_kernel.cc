@@ -97,22 +97,28 @@ uint64_t FlagU64(int argc, char** argv, const char* flag, uint64_t fallback) {
 
 // Epoch spill cost: the same checkpointed run with a durable repository
 // attached to the coordinator — every epoch's captures group-commit through
-// the shared write batch while the workers stage concurrently.
+// the shared write batch while the workers stage concurrently. Run in both
+// capture modes: synchronous (serialize + commit inside the barrier) and
+// two-phase (freeze only; serialize/commit on the background thread). The
+// captures digest must match between them.
 struct SpillRunResult {
   size_t epochs = 0;
   uint64_t epoch_image_bytes = 0;  // mean per epoch
   double capture_ms = 0;           // mean per epoch
   double spill_ms = 0;             // mean per epoch (the group commit)
+  double frozen_ms = 0;            // mean barrier occupancy per epoch
+  uint64_t captures_digest = 0;
   bool spill_ok = true;            // every epoch committed
   bool reopen_ok = false;          // a fresh process saw identical bytes
 };
 
 SpillRunResult RunSpill(GeneratedTopologyParams params, uint32_t hosts,
-                        SimTime horizon, SimTime epoch_period) {
+                        bool async, SimTime horizon, SimTime epoch_period) {
   namespace fs = std::filesystem;
   params.hosts = hosts;
   const fs::path dir = fs::temp_directory_path() /
-                       ("tcsim_bench_parallel_spill_" + std::to_string(hosts));
+                       ("tcsim_bench_parallel_spill_" + std::to_string(hosts) +
+                        (async ? "_async" : "_sync"));
   std::error_code ec;
   fs::remove_all(dir, ec);
   std::string err;
@@ -127,6 +133,11 @@ SpillRunResult RunSpill(GeneratedTopologyParams params, uint32_t hosts,
   PartitionEpochCoordinator epochs(
       topo->scheduler(), epoch_period,
       [&topo](Partition* p) { return topo->CapturePartitionImage(p->id()); });
+  if (async) {
+    epochs.EnableAsyncCapture([&topo](Partition* p, StagedCapture* out) {
+      topo->SnapshotPartition(p->id(), out);
+    });
+  }
   epochs.AttachRepository(repo.get());
   epochs.RunUntil(horizon);
 
@@ -135,13 +146,17 @@ SpillRunResult RunSpill(GeneratedTopologyParams params, uint32_t hosts,
     r.epoch_image_bytes += rec.image_bytes;
     r.capture_ms += rec.wall_ms;
     r.spill_ms += rec.spill_wall_ms;
+    r.frozen_ms += async ? rec.frozen_wall_ms + rec.commit_wait_ms
+                         : rec.wall_ms + rec.spill_wall_ms;
     r.spill_ok = r.spill_ok && rec.spill_ok;
   }
   if (r.epochs > 0) {
     r.epoch_image_bytes /= r.epochs;
     r.capture_ms /= static_cast<double>(r.epochs);
     r.spill_ms /= static_cast<double>(r.epochs);
+    r.frozen_ms /= static_cast<double>(r.epochs);
   }
+  r.captures_digest = epochs.CapturesDigest();
 
   auto fold = [](CheckpointRepo* c) {
     Fnv1aDigest folded;
@@ -260,12 +275,22 @@ int main(int argc, char** argv) {
 
   // Epoch spill cost at 100 and 1000 hosts: 4 partitions, 3 workers, one
   // group commit per epoch, gated by a byte-identical cross-process reopen.
+  // Both capture modes run; the two-phase run's captures digest must match
+  // the synchronous one's (async_capture_ok).
+  bool async_ok = true;
   std::string spill_rows = "[\n";
   const uint32_t spill_hosts[] = {100, 1000};
   for (size_t i = 0; i < 2; ++i) {
-    const SpillRunResult spill =
-        RunSpill(params, spill_hosts[i], horizon, epoch_period);
-    ok = ok && spill.spill_ok && spill.reopen_ok;
+    const SpillRunResult spill = RunSpill(params, spill_hosts[i],
+                                          /*async=*/false, horizon,
+                                          epoch_period);
+    const SpillRunResult aspill = RunSpill(params, spill_hosts[i],
+                                           /*async=*/true, horizon,
+                                           epoch_period);
+    const bool mode_ok = spill.captures_digest == aspill.captures_digest &&
+                         spill.epochs == aspill.epochs;
+    async_ok = async_ok && mode_ok && aspill.spill_ok && aspill.reopen_ok;
+    ok = ok && spill.spill_ok && spill.reopen_ok && mode_ok;
 
     char section[64];
     std::snprintf(section, sizeof section, "epoch spill, %u hosts",
@@ -276,24 +301,33 @@ int main(int argc, char** argv) {
                static_cast<double>(spill.epoch_image_bytes), "B");
     PrintValue("epoch capture cost", spill.capture_ms, "ms");
     PrintValue("epoch spill cost (group commit)", spill.spill_ms, "ms");
+    PrintValue("frozen window, sync", spill.frozen_ms, "ms");
+    PrintValue("frozen window, two-phase", aspill.frozen_ms, "ms");
     PrintNote(spill.spill_ok && spill.reopen_ok
                   ? "all epochs committed; reopen byte-identical"
                   : "EPOCH SPILL FAILED OR DIVERGED ON REOPEN");
+    PrintNote(mode_ok ? "two-phase captures digest matches synchronous"
+                      : "ASYNC CAPTURE DIVERGED from synchronous");
 
-    char buf[256];
+    char buf[384];
     std::snprintf(
         buf, sizeof buf,
         "    {\"hosts\": %u, \"epochs\": %zu, \"epoch_image_bytes\": %llu, "
-        "\"capture_ms\": %.3f, \"spill_ms\": %.3f, \"spill_ok\": %s, "
-        "\"reopen_ok\": %s}%s\n",
+        "\"capture_ms\": %.3f, \"spill_ms\": %.3f, \"sync_frozen_ms\": %.3f, "
+        "\"async_frozen_ms\": %.3f, \"spill_ok\": %s, \"reopen_ok\": %s, "
+        "\"async_capture_ok\": %s}%s\n",
         spill_hosts[i], spill.epochs,
         static_cast<unsigned long long>(spill.epoch_image_bytes),
-        spill.capture_ms, spill.spill_ms, spill.spill_ok ? "true" : "false",
-        spill.reopen_ok ? "true" : "false", i == 0 ? "," : "");
+        spill.capture_ms, spill.spill_ms, spill.frozen_ms, aspill.frozen_ms,
+        spill.spill_ok ? "true" : "false",
+        spill.reopen_ok ? "true" : "false", mode_ok ? "true" : "false",
+        i == 0 ? "," : "");
     spill_rows += buf;
   }
   spill_rows += "  ]";
   BenchReport::Instance().AddExtra("epoch_spill", spill_rows);
+  BenchReport::Instance().AddExtra("async_capture_ok",
+                                   async_ok ? "true" : "false");
 
   if (!ok && !JsonQuiet()) {
     std::printf("\nFAIL: parallel run diverged from the sequential oracle\n");

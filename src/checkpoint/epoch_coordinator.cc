@@ -28,6 +28,25 @@ PartitionEpochCoordinator::PartitionEpochCoordinator(
   }
 }
 
+PartitionEpochCoordinator::~PartitionEpochCoordinator() { JoinBackground(); }
+
+void PartitionEpochCoordinator::EnableAsyncCapture(SnapshotFn snapshot) {
+  assert(snapshot);
+  JoinBackground();
+  snapshot_ = std::move(snapshot);
+  async_ = true;
+}
+
+double PartitionEpochCoordinator::JoinBackground() {
+  if (!background_.joinable()) {
+    return 0.0;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  background_.join();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
 void PartitionEpochCoordinator::RunUntil(SimTime t) {
   while (next_epoch_ <= t) {
     scheduler_->RunUntil(next_epoch_);
@@ -35,9 +54,95 @@ void PartitionEpochCoordinator::RunUntil(SimTime t) {
     next_epoch_ += period_;
   }
   scheduler_->RunUntil(t);
+  // Callers read history()/CapturesDigest()/spill_handles() after RunUntil;
+  // the join edge makes those reads race-free and means a returned RunUntil
+  // always describes fully committed epochs.
+  JoinBackground();
+}
+
+void PartitionEpochCoordinator::CaptureEpochAsync() {
+  EpochRecord rec;
+  rec.async = true;
+  rec.at = scheduler_->partition_count() > 0
+               ? scheduler_->partition(0)->sim()->Now()
+               : next_epoch_;
+  // Only a *subsequent* epoch blocks on the previous epoch's commit: by the
+  // time the system has simulated one more period, the commit has usually
+  // long finished and this join is free.
+  rec.commit_wait_ms = JoinBackground();
+
+  staged_.resize(scheduler_->partition_count());
+  const auto start = std::chrono::steady_clock::now();
+  // Freeze phase, inside the barrier: each partition clones its component
+  // state into its pinned staging buffer — no archive framing, no CRC, no
+  // repo I/O. Cost scales with dirty state, not image bytes.
+  scheduler_->ForEachPartition([this](Partition* p) {
+    StagedCapture* staged = &staged_[p->id()];
+    pool_.Acquire(staged);
+    snapshot_(p, staged);
+  });
+  const auto end = std::chrono::steady_clock::now();
+  rec.frozen_wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  rec.wall_ms = rec.frozen_wall_ms;
+
+  history_.push_back(rec);
+  const size_t index = history_.size() - 1;
+  // Background phase: partitions run the next window while this thread
+  // serializes, digests, and spills. The previous thread was joined above,
+  // so all repository work stays serialized on one owner at a time and the
+  // members BackgroundCommit touches are handed off race-free.
+  background_ = std::thread([this, index] { BackgroundCommit(index); });
+}
+
+void PartitionEpochCoordinator::BackgroundCommit(size_t index) {
+  const auto start = std::chrono::steady_clock::now();
+  EpochRecord& rec = history_[index];
+  std::unique_ptr<RepoWriteBatch> batch =
+      repo_ != nullptr ? repo_->BeginBatch() : nullptr;
+  for (size_t p = 0; p < staged_.size(); ++p) {
+    std::vector<uint8_t> bytes = SerializeStagedImage(staged_[p]);
+    rec.image_bytes += bytes.size();
+    captures_digest_.MixBytes(bytes.data(), bytes.size());
+    if (batch != nullptr) {
+      batch->Stage(std::make_shared<const std::vector<uint8_t>>(
+                       std::move(bytes)),
+                   /*parent_handle=*/0, /*parent_ticket=*/0,
+                   /*sequence=*/p + 1);
+    }
+    pool_.Release(&staged_[p]);
+  }
+  if (batch != nullptr) {
+    const auto spill_start = std::chrono::steady_clock::now();
+    const CheckpointRepo::BatchCommitResult result =
+        repo_->CommitBatch(std::move(batch));
+    const auto spill_end = std::chrono::steady_clock::now();
+    rec.spill_wall_ms =
+        std::chrono::duration<double, std::milli>(spill_end - spill_start)
+            .count();
+    rec.spill_ok = result.ok;
+    rec.spill_images = result.images;
+    rec.spill_bytes = result.appended_payload_bytes;
+    spill_handles_.clear();
+    if (result.ok) {
+      spill_handles_.assign(staged_.size(), 0);
+      std::vector<uint64_t> sorted = result.handles;
+      std::sort(sorted.begin(), sorted.end());
+      for (size_t p = 0; p < sorted.size(); ++p) {
+        spill_handles_[p] = sorted[p];
+      }
+    }
+  }
+  rec.background_wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
 }
 
 void PartitionEpochCoordinator::CaptureEpoch() {
+  if (async_) {
+    CaptureEpochAsync();
+    return;
+  }
   EpochRecord rec;
   rec.at = scheduler_->partition_count() > 0
                ? scheduler_->partition(0)->sim()->Now()

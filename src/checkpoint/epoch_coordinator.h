@@ -16,12 +16,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "src/repo/checkpoint_repo.h"
 #include "src/sim/digest.h"
 #include "src/sim/partition.h"
 #include "src/sim/scheduler.h"
+#include "src/sim/staging.h"
 #include "src/sim/time.h"
 
 namespace tcsim {
@@ -32,15 +34,29 @@ class PartitionEpochCoordinator {
   // barrier, possibly on a worker thread, and must touch only that partition.
   using CaptureFn = std::function<std::vector<uint8_t>(Partition*)>;
 
+  // Freeze-phase snapshot for asynchronous epochs: clone the partition's
+  // component state into the staged capture (no framing, CRC, or I/O). Runs
+  // at the epoch barrier, possibly on a worker thread, and must touch only
+  // that partition. The staged bytes are serialized on the background thread
+  // and must be byte-identical to what CaptureFn would have returned.
+  using SnapshotFn = std::function<void(Partition*, StagedCapture*)>;
+
   struct EpochRecord {
     SimTime at = 0;             // simulated instant of the barrier
     uint64_t image_bytes = 0;   // total bytes across partitions
-    double wall_ms = 0.0;       // wall-clock cost of the capture phase
+    double wall_ms = 0.0;       // wall-clock cost of the frozen capture phase
+                                // (async epochs: the freeze phase only)
     // Spill-to-repository stats (zero unless a repository is attached).
     bool spill_ok = false;        // the epoch's batch committed
     size_t spill_images = 0;      // images published by the batch
     uint64_t spill_bytes = 0;     // payload bytes appended (post-dedup)
     double spill_wall_ms = 0.0;   // wall-clock cost of the group commit
+    // Two-phase (async) epoch stats, zero on synchronous epochs.
+    bool async = false;
+    double frozen_wall_ms = 0.0;      // barrier time: snapshot staging only
+    double background_wall_ms = 0.0;  // overlapped serialize+hash+commit
+    double commit_wait_ms = 0.0;      // barrier time this epoch spent blocked
+                                      // on the previous epoch's commit
   };
 
   // Epochs fire at period, 2*period, ... `period` must be positive (the
@@ -49,8 +65,24 @@ class PartitionEpochCoordinator {
   PartitionEpochCoordinator(PartitionScheduler* scheduler, SimTime period,
                             CaptureFn capture);
 
+  // Joins any in-flight background commit.
+  ~PartitionEpochCoordinator();
+
+  // Switches epochs to two-phase capture: at the barrier each partition only
+  // stages its snapshot (freeze phase, cheap), then partitions resume while a
+  // background thread serializes the staged bytes, folds the digest, and
+  // group-commits the repository batch. Only a *subsequent* epoch blocks on
+  // the previous epoch's commit (recorded as commit_wait_ms). Digest and
+  // repository bytes stay identical to synchronous capture; the repository's
+  // single-owner thread contract holds because the previous background thread
+  // is always joined before the next one starts, and RunUntil joins before
+  // returning.
+  void EnableAsyncCapture(SnapshotFn snapshot);
+
   // Advances the whole system to `t`, pausing at every epoch barrier on the
-  // way. Resumable: successive calls continue the same epoch cadence.
+  // way. Resumable: successive calls continue the same epoch cadence. Any
+  // background commit is joined before this returns, so history() and
+  // CapturesDigest() always describe completed epochs.
   void RunUntil(SimTime t);
 
   // Spill every epoch's captures into `repo` as one group-committed batch:
@@ -75,16 +107,32 @@ class PartitionEpochCoordinator {
 
  private:
   void CaptureEpoch();
+  void CaptureEpochAsync();
+  // Serializes, digests, and spills the staged epoch at history_[index].
+  // Runs on background_; every coordinator member it touches is protected by
+  // the join edges (the thread is joined before the next epoch mutates them).
+  void BackgroundCommit(size_t index);
+  // Joins the in-flight background commit, returning the wall ms spent
+  // blocked (0 when none was running or it had already finished).
+  double JoinBackground();
 
   PartitionScheduler* scheduler_;
   SimTime period_;
   CaptureFn capture_;
+  SnapshotFn snapshot_;  // non-empty once EnableAsyncCapture was called
+  bool async_ = false;
   SimTime next_epoch_;
   CheckpointRepo* repo_ = nullptr;
   std::vector<EpochRecord> history_;
   // Scratch, indexed by partition. Shared ownership: the same buffer feeds
   // the digest fold here and, zero-copy, the repository batch.
   std::vector<std::shared_ptr<const std::vector<uint8_t>>> images_;
+  // Async scratch, indexed by partition: pinned staging buffers reused across
+  // epochs. Written by the freeze phase, read by the background commit — the
+  // join edge between them is the synchronization.
+  StagingBufferPool pool_;
+  std::vector<StagedCapture> staged_;
+  std::thread background_;
   std::vector<uint64_t> spill_handles_;
   Fnv1aDigest captures_digest_;
 };

@@ -1,9 +1,23 @@
 #include "src/checkpoint/local_checkpoint.h"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace tcsim {
+
+namespace {
+
+// Wall-clock microseconds between two steady_clock samples. The frozen/
+// background histograms measure real work done at one simulated instant, so
+// sim-time is useless here — this is the one place the engine reads the host
+// clock.
+double WallMicros(std::chrono::steady_clock::time_point t0,
+                  std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+}  // namespace
 
 LocalCheckpointEngine::LocalCheckpointEngine(Simulator* sim, ExperimentNode* node,
                                              CheckpointPolicy policy)
@@ -23,7 +37,11 @@ LocalCheckpointEngine::LocalCheckpointEngine(Simulator* sim, ExperimentNode* nod
       payload_chunks_counter_(obs::MetricsRegistry::Global().FindCounter(
           "checkpoint.engine.payload_chunks")),
       delta_chunks_counter_(
-          obs::MetricsRegistry::Global().FindCounter("checkpoint.engine.delta_chunks")) {
+          obs::MetricsRegistry::Global().FindCounter("checkpoint.engine.delta_chunks")),
+      frozen_wall_us_hist_(obs::MetricsRegistry::Global().FindHistogram(
+          "checkpoint.engine.frozen_us")),
+      background_wall_us_hist_(obs::MetricsRegistry::Global().FindHistogram(
+          "checkpoint.engine.background_us")) {
   node_->kernel().SetResumeTimerLatency(policy_.resume_timer_latency,
                                         0xC0FFEEull ^ node->id());
 }
@@ -185,6 +203,7 @@ void LocalCheckpointEngine::BuildCompositeImage() {
       // identical anyway: still a delta ref, just proven the expensive way.
       builder.AddDeltaChunk(component->checkpoint_id(), crc);
       ++stats.delta_chunks;
+      ++stats.crc_fallbacks;
     } else {
       builder.AddChunk(component->checkpoint_id(), std::move(payload));
       ++stats.payload_chunks;
@@ -194,8 +213,137 @@ void LocalCheckpointEngine::BuildCompositeImage() {
     track.valid = true;
   }
 
-  stats.total_chunks = builder.chunk_count();
-  std::vector<uint8_t> bytes = builder.Serialize();
+  FinishCapture(&builder, stats);
+}
+
+void LocalCheckpointEngine::SnapshotComponents() {
+  const std::vector<Checkpointable*>& components = Components();
+  if (tracks_.size() != components.size()) {
+    tracks_.assign(components.size(), ComponentTrack{});
+  }
+  assert(!pending_capture_);
+  pool_.Acquire(&staged_);
+  pending_parent_ = policy_.delta_images ? parent_image_id_ : 0;
+
+  // All component bytes land back to back in one pinned buffer; after the
+  // first few captures its capacity covers the steady state and the frozen
+  // window performs no allocation for payload bytes.
+  ArchiveWriter w(std::move(staged_.buffer));
+
+  // Engine metadata, staged exactly as BuildCompositeImage writes it. Always
+  // entry 0 and never a version skip.
+  {
+    StagedEntry meta;
+    meta.id = "sim.time";
+    meta.offset = w.size();
+    w.Write<SimTime>(current_.saved_at);
+    w.Write<SimTime>(current_.request_time);
+    w.Write<SimTime>(current_.suspended_at);
+    w.Write<uint64_t>(current_.image_bytes);
+    w.Write<uint64_t>(residual_dirty_);
+    w.Write<uint64_t>(saver_.last_image_bytes());
+    rng_.Save(&w);
+    meta.size = w.size() - meta.offset;
+    staged_.entries.push_back(std::move(meta));
+  }
+
+  for (size_t i = 0; i < components.size(); ++i) {
+    const Checkpointable* component = components[i];
+    const ComponentTrack& track = tracks_[i];
+    StagedEntry entry;
+    entry.id = component->checkpoint_id();
+    entry.version = component->state_version();
+    if (pending_parent_ != 0 && track.valid && entry.version != 0 &&
+        entry.version == track.version) {
+      // Dirty tracking says the bytes are unchanged: stage nothing at all —
+      // the background phase emits the delta ref from the tracked CRC.
+      entry.version_skip = true;
+      entry.parent_crc = track.crc;
+    } else {
+      entry.offset = w.size();
+      component->SnapshotState(&w);
+      entry.size = w.size() - entry.offset;
+    }
+    staged_.entries.push_back(std::move(entry));
+  }
+
+  staged_.buffer = w.Take();
+  pending_capture_ = true;
+}
+
+void LocalCheckpointEngine::EnsureCaptureCommitted() {
+  if (pending_capture_) {
+    CommitPendingCapture();
+  }
+}
+
+void LocalCheckpointEngine::CommitPendingCapture() {
+  assert(pending_capture_);
+  pending_capture_ = false;
+  // A restore between freeze and commit would leave the staged bytes
+  // describing pre-restore state; the pool generation catches that misuse.
+  assert(staged_.generation == pool_.generation());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t parent = pending_parent_;
+  CaptureStats stats;
+  stats.image_id = store_.NextId();
+  stats.parent_id = parent;
+
+  CheckpointImageBuilder builder;
+  builder.SetDeltaHeader(stats.image_id, parent);
+
+  for (size_t i = 0; i < staged_.entries.size(); ++i) {
+    const StagedEntry& entry = staged_.entries[i];
+    if (i == 0) {
+      // Engine metadata: always a payload chunk.
+      const uint8_t* p = staged_.entry_data(entry);
+      builder.AddChunk(entry.id, std::vector<uint8_t>(p, p + entry.size));
+      ++stats.payload_chunks;
+      continue;
+    }
+    ComponentTrack& track = tracks_[i - 1];
+    if (entry.version_skip) {
+      builder.AddDeltaChunk(entry.id, entry.parent_crc);
+      ++stats.delta_chunks;
+      ++stats.version_skips;
+      continue;
+    }
+    const uint8_t* p = staged_.entry_data(entry);
+    std::vector<uint8_t> payload(p, p + entry.size);
+    const uint32_t crc = Crc32(payload);
+    if (parent != 0 && track.valid && crc == track.crc) {
+      builder.AddDeltaChunk(entry.id, crc);
+      ++stats.delta_chunks;
+      ++stats.crc_fallbacks;
+    } else {
+      builder.AddChunk(entry.id, std::move(payload));
+      ++stats.payload_chunks;
+    }
+    track.version = entry.version;
+    track.crc = crc;
+    track.valid = true;
+  }
+
+  FinishCapture(&builder, stats);
+  pool_.Release(&staged_);
+
+  const double wall_us = WallMicros(t0, std::chrono::steady_clock::now());
+  background_wall_us_hist_->Observe(wall_us);
+  obs::TraceSession& trace = obs::TraceSession::Global();
+  const obs::SpanId span =
+      trace.BeginSpan(node_->name(), "ckpt.background", sim_->Now());
+  trace.AddSpanArg(span, "wall_us", wall_us);
+  trace.AddSpanArg(span, "serialized_bytes",
+                   static_cast<double>(last_capture_stats_.serialized_bytes));
+  trace.EndSpan(span, sim_->Now());
+}
+
+void LocalCheckpointEngine::FinishCapture(CheckpointImageBuilder* builder,
+                                          CaptureStats stats) {
+  const uint64_t image_id = stats.image_id;
+  stats.total_chunks = builder->chunk_count();
+  std::vector<uint8_t> bytes = builder->Serialize();
   stats.serialized_bytes = bytes.size();
 
   const bool self_contained = stats.delta_chunks == 0;
@@ -322,10 +470,13 @@ bool LocalCheckpointEngine::RestoreImage(const std::vector<uint8_t>& image_bytes
 
   // Delta tracking is void after a restore: component state now reflects the
   // installed image, not the engine's last capture. The next checkpoint is
-  // self-contained and restarts the chain.
+  // self-contained and restarts the chain. Any staging buffer acquired
+  // before this point is poisoned too — staged bytes describe pre-restore
+  // state and must never be committed (CommitPendingCapture asserts).
   parent_image_id_ = 0;
   tracks_.clear();
   repo_parent_handle_ = 0;  // the spill chain restarts with the image chain
+  pool_.InvalidateAll();
 
   in_progress_ = true;
   hold_after_save_ = true;  // a restored run has no saved-callback to fire
@@ -351,9 +502,20 @@ void LocalCheckpointEngine::OnStateSaved() {
   trace.AddSpanArg(save_span_, "residual_dirty", static_cast<double>(residual_dirty_));
   trace.EndSpan(save_span_, sim_->Now());
   save_span_ = 0;
-  // Capture point: the composite image is serialized inside the suspended
-  // window, after the memory image is saved and before any resume.
-  BuildCompositeImage();
+  // Capture point: inside the suspended window, after the memory image is
+  // saved and before any resume. Two-phase capture only clones state into
+  // staging buffers here and defers the serialize/diff/spill work to the
+  // commit at resume; the synchronous baseline does everything now.
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (policy_.async_capture) {
+      SnapshotComponents();
+    } else {
+      BuildCompositeImage();
+    }
+    frozen_wall_us_hist_->Observe(
+        WallMicros(t0, std::chrono::steady_clock::now()));
+  }
   if (hold_after_save_) {
     held_ = true;
     if (saved_cb_) {
@@ -391,6 +553,12 @@ void LocalCheckpointEngine::AtomicResume() {
   in_progress_ = false;
   obs::TraceSession::Global().EndSpan(frozen_span_, sim_->Now());
   frozen_span_ = 0;
+
+  // Background half of a two-phase capture: the frozen window is over, so
+  // serialize/diff/spill now (unless an accessor already forced it while the
+  // engine was held). Runs before the saved callback fires so consumers of
+  // last_image() in the callback observe the committed capture.
+  EnsureCaptureCommitted();
 
   // Flush the captured image to the snapshot disk in the background; the
   // Dom0 CPU and disk activity is the post-checkpoint perturbation the

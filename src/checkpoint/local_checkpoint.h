@@ -32,6 +32,7 @@
 #include "src/sim/checkpointable.h"
 #include "src/sim/image.h"
 #include "src/sim/image_store.h"
+#include "src/sim/staging.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/xen/hypervisor.h"
@@ -73,6 +74,14 @@ struct CheckpointPolicy {
   // chain members later.
   bool retain_image_chain = false;
 
+  // Two-phase capture: during the frozen window only clone component state
+  // into reusable staging buffers (SnapshotState, no framing/CRC/repo I/O);
+  // defer serialization, delta diffing, and the repository spill to a commit
+  // step that runs after the atomic resume. The emitted image is byte-
+  // identical to the synchronous path (test-enforced); only the frozen
+  // window shrinks. Disabling reverts to serialize-inside-the-freeze.
+  bool async_capture = true;
+
   LiveMemorySaver::Params saver;
 };
 
@@ -86,6 +95,10 @@ struct CaptureStats {
   size_t delta_chunks = 0;      // unchanged, emitted as parent CRC refs
   size_t version_skips = 0;     // delta chunks proven by version counter alone
                                 // (component was never re-serialized)
+  size_t crc_fallbacks = 0;     // delta chunks proven the expensive way: the
+                                // component was re-serialized and its CRC
+                                // matched the parent (uninstrumented or
+                                // over-bumped state_version)
   size_t serialized_bytes = 0;  // size of the emitted (possibly delta) image
 };
 
@@ -136,19 +149,40 @@ class LocalCheckpointEngine : public CheckpointParticipant {
   // thousands of images cheaply. Always self-contained (materialized from
   // the delta chain when delta capture is on), so holders can restore it
   // without consulting the engine's image store.
-  std::shared_ptr<const std::vector<uint8_t>> last_image() const { return last_image_; }
+  //
+  // These accessors force any pending two-phase capture to commit first
+  // (EnsureCaptureCommitted), so a held engine — saved but not yet resumed —
+  // still observes the image its freeze phase staged.
+  std::shared_ptr<const std::vector<uint8_t>> last_image() {
+    EnsureCaptureCommitted();
+    return last_image_;
+  }
 
   // Store id of the last captured image (0 before the first checkpoint).
   // With policy().retain_image_chain, image_store() holds the whole chain
   // and can materialize any earlier capture by id.
-  uint64_t last_image_id() const { return parent_image_id_; }
+  uint64_t last_image_id() {
+    EnsureCaptureCommitted();
+    return parent_image_id_;
+  }
 
   // Emission breakdown of the last capture (delta vs payload chunks, bytes).
-  const CaptureStats& last_capture_stats() const { return last_capture_stats_; }
+  const CaptureStats& last_capture_stats() {
+    EnsureCaptureCommitted();
+    return last_capture_stats_;
+  }
 
   // The engine's image store: owns the capture chain, materializes full
   // images by id, and hard-rejects broken chains on ingest.
-  ImageStore& image_store() { return store_; }
+  ImageStore& image_store() {
+    EnsureCaptureCommitted();
+    return store_;
+  }
+
+  // Commits a pending two-phase capture (serialize + delta diff + store +
+  // repo spill) if one is staged; no-op otherwise. Called automatically at
+  // atomic resume and from the accessors above.
+  void EnsureCaptureCommitted();
 
   // --- Spill-to-repository mode ------------------------------------------------
   //
@@ -162,7 +196,10 @@ class LocalCheckpointEngine : public CheckpointParticipant {
 
   // Repository handle of the last spilled capture (0 before the first
   // capture after attach, or if the last spill failed — see repo errors).
-  uint64_t last_repo_handle() const { return repo_parent_handle_; }
+  uint64_t last_repo_handle() {
+    EnsureCaptureCommitted();
+    return repo_parent_handle_;
+  }
 
   // Applies a composite image to this engine's (freshly built, running)
   // experiment and leaves it suspended-held at the saved instant. Returns
@@ -187,9 +224,23 @@ class LocalCheckpointEngine : public CheckpointParticipant {
   // The node's components plus registered extras, built on first use.
   const std::vector<Checkpointable*>& Components();
 
-  // Serializes all components into the composite container and publishes it
-  // as last_image(). Called at the capture point of every checkpoint.
+  // Synchronous capture: serializes all components into the composite
+  // container inside the frozen window and publishes it as last_image().
   void BuildCompositeImage();
+
+  // Two-phase capture, freeze half: clones component state into the staging
+  // buffer (version-skip entries carry no bytes at all). Runs inside the
+  // frozen window; does no framing, CRC, or repo I/O.
+  void SnapshotComponents();
+
+  // Two-phase capture, background half: turns the staged snapshot into the
+  // composite image — byte-identical to what BuildCompositeImage would have
+  // emitted at the freeze point — and publishes/spills it.
+  void CommitPendingCapture();
+
+  // Shared capture tail: serialize the builder, ingest into the store,
+  // publish last_image(), spill to the repository, prune, emit telemetry.
+  void FinishCapture(CheckpointImageBuilder* builder, CaptureStats stats);
 
   Simulator* sim_;
   ExperimentNode* node_;
@@ -224,6 +275,14 @@ class LocalCheckpointEngine : public CheckpointParticipant {
   uint64_t parent_image_id_ = 0;  // 0 = next capture is self-contained
   CaptureStats last_capture_stats_;
 
+  // Two-phase capture state. The staged capture is pinned between the freeze
+  // phase (SnapshotComponents, inside the frozen window) and the background
+  // commit (CommitPendingCapture, after resume or on first accessor touch).
+  StagingBufferPool pool_;
+  StagedCapture staged_;
+  bool pending_capture_ = false;
+  uint64_t pending_parent_ = 0;  // parent id latched at freeze time
+
   CheckpointRepo* repo_ = nullptr;       // not owned
   uint64_t repo_parent_handle_ = 0;      // last spilled generation
 
@@ -238,6 +297,9 @@ class LocalCheckpointEngine : public CheckpointParticipant {
   obs::Counter* serialized_bytes_counter_;
   obs::Counter* payload_chunks_counter_;
   obs::Counter* delta_chunks_counter_;
+  obs::Histogram* frozen_wall_us_hist_;      // wall µs of the capture point
+                                             // inside the frozen window
+  obs::Histogram* background_wall_us_hist_;  // wall µs of the deferred commit
   obs::SpanId precopy_span_ = 0;
   obs::SpanId frozen_span_ = 0;
   obs::SpanId save_span_ = 0;

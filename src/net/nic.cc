@@ -45,12 +45,16 @@ void Nic::RegisterInvariants(InvariantRegistry* reg, const std::string& name) {
 }
 
 void Nic::Suspend() {
-  version_.Bump();
+  // No bump: versioned captures only happen inside the suspend window, so
+  // the flag reads `true` in every image — the flip itself is invisible to
+  // them. Packets logged while suspended bump via HandlePacket.
   suspended_ = true;
 }
 
 void Nic::Resume() {
-  version_.Bump();  // suspend flag, log and replay-delay samples mutate
+  if (!suspend_log_.empty()) {
+    version_.Bump();  // replay moves packets into packets_received_
+  }
   suspended_ = false;
   // Replay in arrival order. Replayed packets are delivered at the resume
   // instant; receivers time-stamp them with their (frozen-then-resumed)
@@ -96,6 +100,7 @@ void Nic::SaveState(ArchiveWriter* w) const {
 }
 
 void Nic::RestoreState(ArchiveReader& r) {
+  version_.Bump();
   suspended_ = r.Read<uint8_t>() != 0;
   packets_arrived_ = r.Read<uint64_t>();
   packets_received_ = r.Read<uint64_t>();

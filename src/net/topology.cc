@@ -80,6 +80,7 @@ void TrafficNode::ScheduleNext() {
                           static_cast<double>(traffic_.mean_gap))) +
                       kMicrosecond;
   next_send_at_ = sim_->Now() + gap;
+  version_.Bump();  // rng draw + next_send_at_
   sim_->ScheduleAt(next_send_at_, [this] { SendOne(); });
 }
 
@@ -125,6 +126,7 @@ void TrafficNode::SendOne() {
   pkt.size_bytes = kPacketHeaderBytes + traffic_.payload_bytes;
   pkt.first_sent = sim_->Now();
   ++sent_;
+  version_.Bump();  // next_data_seq_, sent_, and PickDestination's rng draws
   nic_->Send(pkt);
   ScheduleNext();
 }
@@ -132,6 +134,7 @@ void TrafficNode::SendOne() {
 void TrafficNode::OnReceive(const Packet& pkt) {
   ++rx_packets_;
   rx_bytes_ += pkt.size_bytes;
+  version_.Bump();
   // Commutative accumulators: sum and xor are invariant under delivery
   // reordering, so nanosecond ties interleaving differently across partition
   // counts cannot change the behaviour digest.
@@ -191,6 +194,7 @@ void TrafficNode::RestoreState(ArchiveReader& r) {
   digest_sum_ = r.Read<uint64_t>();
   digest_xor_ = r.Read<uint64_t>();
   rng_.Restore(r);
+  version_.Bump();
   if (!r.ok()) {
     return;
   }
@@ -383,6 +387,29 @@ std::vector<uint8_t> GeneratedTopology::CapturePartitionImage(
     }
   }
   return builder.Serialize();
+}
+
+void GeneratedTopology::SnapshotPartition(uint32_t partition,
+                                          StagedCapture* out) const {
+  // Same component walk as CapturePartitionImage, but the frozen window only
+  // pays for the state clone: all bytes land back to back in the reused
+  // staging buffer, framing happens later on the background thread.
+  ArchiveWriter w(std::move(out->buffer));
+  auto stage = [&](const Checkpointable& c) {
+    StagedEntry entry;
+    entry.id = c.checkpoint_id();
+    entry.offset = w.size();
+    c.SnapshotState(&w);
+    entry.size = w.size() - entry.offset;
+    out->entries.push_back(std::move(entry));
+  };
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (node_partition_[i] == partition) {
+      stage(*nodes_[i]);
+      stage(*nodes_[i]->nic());
+    }
+  }
+  out->buffer = w.Take();
 }
 
 }  // namespace tcsim

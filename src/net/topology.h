@@ -44,6 +44,7 @@
 #include "src/sim/random.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/simulator.h"
+#include "src/sim/staging.h"
 #include "src/sim/time.h"
 
 namespace tcsim {
@@ -153,6 +154,9 @@ class TrafficNode : public Checkpointable {
   std::string checkpoint_id() const override;
   void SaveState(ArchiveWriter* w) const override;
   void RestoreState(ArchiveReader& r) override;
+  // Serialized state mutates only on the send chain (ScheduleNext/SendOne)
+  // and the receive path (OnReceive); each bumps once.
+  uint64_t state_version() const override { return version_.value(); }
 
  private:
   void ScheduleNext();
@@ -174,6 +178,7 @@ class TrafficNode : public Checkpointable {
   uint64_t pongs_sent_ = 0;
   uint64_t digest_sum_ = 0;  // commutative accumulators over packet-id hashes
   uint64_t digest_xor_ = 0;
+  StateVersion version_;
 };
 
 // A generated topology plus the partitioned kernel driving it. Always runs
@@ -216,6 +221,12 @@ class GeneratedTopology {
   // node-id order. Safe to call concurrently for different partitions from
   // the scheduler's capture phase.
   std::vector<uint8_t> CapturePartitionImage(uint32_t partition) const;
+
+  // Freeze-phase half of the same capture: clones the partition's node and
+  // NIC state into `out`'s staging buffer without building the image.
+  // SerializeStagedImage(*out) yields bytes identical to
+  // CapturePartitionImage(partition). Same concurrency contract.
+  void SnapshotPartition(uint32_t partition, StagedCapture* out) const;
 
  private:
   GeneratedTopology() = default;

@@ -26,6 +26,15 @@ namespace tcsim {
 // Append-only binary writer.
 class ArchiveWriter {
  public:
+  ArchiveWriter() = default;
+
+  // Adopts an existing backing vector, reusing its capacity. The vector is
+  // cleared but not shrunk, so a staging buffer that has grown to its
+  // steady-state size is never reallocated on later captures.
+  explicit ArchiveWriter(std::vector<uint8_t> adopt) : data_(std::move(adopt)) {
+    data_.clear();
+  }
+
   // Writes a trivially-copyable value.
   template <typename T>
   void Write(const T& value) {

@@ -24,12 +24,14 @@ BasicExperimentRun::BasicExperimentRun(Params params)
   policy.resume_timer_latency = 0;  // digests must be reproducible
   policy.delta_images = params_.delta_images;
   policy.retain_image_chain = params_.retain_image_chain;
+  policy.async_capture = params_.async_capture;
   engine_ = std::make_unique<LocalCheckpointEngine>(&sim_, node_.get(), policy);
   engine_->AddCheckpointable(this);  // workload progress rides in the image
   Tick();
 }
 
 void BasicExperimentRun::Tick() {
+  version_.Bump();  // rng draw + next_tick_vdeadline_
   const SimTime delay = static_cast<SimTime>(
       workload_rng_.Exponential(static_cast<double>(params_.mean_tick))) + kMicrosecond;
   next_tick_vdeadline_ = node_->kernel().GetTimeOfDay() + delay;
@@ -37,11 +39,15 @@ void BasicExperimentRun::Tick() {
 }
 
 void BasicExperimentRun::TickBody() {
+  version_.Bump();  // counter_, writes_issued_, next_block_
   ++counter_;
   node_->kernel().TouchMemory(64 * 1024);
   std::vector<uint64_t> contents(params_.blocks_per_tick, counter_);
   ++writes_issued_;
-  node_->kernel().block().Write(next_block_, contents, [this] { ++io_completions_; });
+  node_->kernel().block().Write(next_block_, contents, [this] {
+    ++io_completions_;
+    version_.Bump();
+  });
   next_block_ += params_.blocks_per_tick;
   Tick();
 }
@@ -67,6 +73,7 @@ void BasicExperimentRun::SaveState(ArchiveWriter* w) const {
 }
 
 void BasicExperimentRun::RestoreState(ArchiveReader& r) {
+  version_.Bump();
   counter_ = r.Read<uint64_t>();
   next_block_ = r.Read<uint64_t>();
   writes_issued_ = r.Read<uint64_t>();
@@ -122,6 +129,7 @@ void BasicExperimentRun::Perturb(uint64_t seed) {
   // Relaxed-determinism replay: reseed the workload's randomness from the
   // branch point on (the "non-determinism knob" of Section 6).
   workload_rng_ = Rng(seed);
+  version_.Bump();
 }
 
 // --- CpuExperimentRun ---------------------------------------------------------
@@ -137,12 +145,14 @@ CpuExperimentRun::CpuExperimentRun(Params params)
   policy.resume_timer_latency = 0;
   policy.delta_images = params_.delta_images;
   policy.retain_image_chain = params_.retain_image_chain;
+  policy.async_capture = params_.async_capture;
   engine_ = std::make_unique<LocalCheckpointEngine>(&sim_, node_.get(), policy);
   engine_->AddCheckpointable(this);
   StartBurst();
 }
 
 void CpuExperimentRun::StartBurst() {
+  version_.Bump();  // rng draw
   const SimTime work = static_cast<SimTime>(workload_rng_.Exponential(
                            static_cast<double>(params_.mean_burst))) +
                        kMicrosecond;
@@ -151,11 +161,13 @@ void CpuExperimentRun::StartBurst() {
 }
 
 void CpuExperimentRun::SubmitBurst(SimTime work) {
+  version_.Bump();  // burst_active_
   burst_active_ = true;
   node_->kernel().RunCpu(work, [this] { OnBurstDone(); });
 }
 
 void CpuExperimentRun::OnBurstDone() {
+  version_.Bump();  // burst_active_, iterations_, rng draw, deadline
   burst_active_ = false;
   ++iterations_;
   const SimTime gap = static_cast<SimTime>(workload_rng_.Exponential(
@@ -198,6 +210,7 @@ void CpuExperimentRun::SaveState(ArchiveWriter* w) const {
 }
 
 void CpuExperimentRun::RestoreState(ArchiveReader& r) {
+  version_.Bump();
   iterations_ = r.Read<uint64_t>();
   const bool burst_active = r.Read<uint8_t>() != 0;
   next_burst_vdeadline_ = r.Read<SimTime>();
@@ -247,6 +260,7 @@ void CpuExperimentRun::Perturb(uint64_t seed) {
     return;
   }
   workload_rng_ = Rng(seed);
+  version_.Bump();
 }
 
 }  // namespace tcsim

@@ -602,6 +602,107 @@ TEST(EpochCoordinatorTest, RepositorySpillIsDeterministicAndReopensIntact) {
   fs::remove_all(par_dir);
 }
 
+// Same checkpointed fat tree, captured through the two-phase path: freeze
+// clones partition state into staging buffers, a background thread builds
+// and spills the images while the next window runs.
+EpochResult RunCheckpointedFatTreeAsync(uint32_t workers) {
+  GeneratedTopologyParams params;
+  auto topo = GeneratedTopology::Build(params, 4, workers);
+  PartitionEpochCoordinator epochs(
+      topo->scheduler(), 10 * kMillisecond,
+      [&topo](Partition* p) { return topo->CapturePartitionImage(p->id()); });
+  epochs.EnableAsyncCapture([&topo](Partition* p, StagedCapture* out) {
+    topo->SnapshotPartition(p->id(), out);
+  });
+  epochs.RunUntil(50 * kMillisecond);
+  EXPECT_EQ(topo->scheduler()->GuardViolations(), 0u);
+  EpochResult r;
+  r.captures_digest = epochs.CapturesDigest();
+  r.event_digest = topo->EventDigest();
+  for (const auto& rec : epochs.history()) {
+    EXPECT_TRUE(rec.async);
+    r.epoch_bytes.push_back(rec.image_bytes);
+  }
+  return r;
+}
+
+TEST(EpochCoordinatorTest, AsyncCaptureMatchesSyncByteForByte) {
+  // The async pipeline must be invisible in the data: same image bytes (the
+  // captures digest folds every byte in epoch/partition order), same event
+  // digest, same per-epoch totals — whether the freeze phase runs on the
+  // sequential oracle or on a worker pool.
+  const EpochResult sync_oracle = RunCheckpointedFatTree(/*workers=*/0);
+  const EpochResult async_seq = RunCheckpointedFatTreeAsync(/*workers=*/0);
+  const EpochResult async_par = RunCheckpointedFatTreeAsync(/*workers=*/3);
+
+  ASSERT_EQ(async_seq.epoch_bytes.size(), sync_oracle.epoch_bytes.size());
+  EXPECT_EQ(sync_oracle.epoch_bytes, async_seq.epoch_bytes);
+  EXPECT_EQ(sync_oracle.epoch_bytes, async_par.epoch_bytes);
+  EXPECT_EQ(sync_oracle.captures_digest, async_seq.captures_digest);
+  EXPECT_EQ(sync_oracle.captures_digest, async_par.captures_digest);
+  EXPECT_EQ(sync_oracle.event_digest, async_seq.event_digest);
+  EXPECT_EQ(sync_oracle.event_digest, async_par.event_digest);
+}
+
+TEST(EpochCoordinatorTest, AsyncSpillRepositoryMatchesSyncOnDisk) {
+  namespace fs = std::filesystem;
+  // Group commit from the background thread must leave the repository
+  // byte-identical to the synchronous spill: same journal, same segment,
+  // same materializations after a fresh reopen.
+  auto file_bytes = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+  };
+  auto run = [](bool async, uint32_t workers, const std::string& dir) {
+    fs::remove_all(dir);
+    std::string error;
+    auto repo = CheckpointRepo::Open(dir, RepoOptions{}, &error);
+    ASSERT_NE(repo, nullptr) << error;
+    GeneratedTopologyParams params;
+    auto topo = GeneratedTopology::Build(params, 4, workers);
+    PartitionEpochCoordinator epochs(
+        topo->scheduler(), 10 * kMillisecond,
+        [&topo](Partition* p) { return topo->CapturePartitionImage(p->id()); });
+    if (async) {
+      epochs.EnableAsyncCapture([&topo](Partition* p, StagedCapture* out) {
+        topo->SnapshotPartition(p->id(), out);
+      });
+    }
+    epochs.AttachRepository(repo.get());
+    epochs.RunUntil(50 * kMillisecond);
+    for (const auto& rec : epochs.history()) {
+      EXPECT_TRUE(rec.spill_ok);
+      EXPECT_EQ(rec.spill_images, topo->partition_count());
+    }
+    EXPECT_EQ(epochs.spill_handles().size(), topo->partition_count());
+  };
+  const std::string sync_dir =
+      (fs::path(::testing::TempDir()) / "tcsim_async_spill_sync").string();
+  const std::string async_dir =
+      (fs::path(::testing::TempDir()) / "tcsim_async_spill_async").string();
+  run(/*async=*/false, /*workers=*/0, sync_dir);
+  run(/*async=*/true, /*workers=*/3, async_dir);
+
+  EXPECT_EQ(file_bytes(fs::path(sync_dir) / "segment.1"),
+            file_bytes(fs::path(async_dir) / "segment.1"));
+  EXPECT_EQ(file_bytes(fs::path(sync_dir) / "journal.1"),
+            file_bytes(fs::path(async_dir) / "journal.1"));
+
+  std::string error;
+  auto reopened = CheckpointRepo::Open(async_dir, RepoOptions{}, &error);
+  ASSERT_NE(reopened, nullptr) << error;
+  Fnv1aDigest folded;
+  for (const uint64_t handle : reopened->LiveHandles()) {
+    const std::vector<uint8_t> image = reopened->Materialize(handle);
+    EXPECT_FALSE(image.empty()) << reopened->error();
+    folded.MixBytes(image.data(), image.size());
+  }
+  EXPECT_NE(folded.value(), Fnv1aDigest{}.value());
+  fs::remove_all(sync_dir);
+  fs::remove_all(async_dir);
+}
+
 TEST(EpochCoordinatorTest, EpochBarrierDoesNotPerturbTheWorkload) {
   // A run with epoch barriers every 10 ms and a run with none must agree on
   // what the workload did: quiescing is transparent to the traffic. (The raw

@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/checkpoint/epoch_coordinator.h"
+#include "src/net/topology.h"
 #include "src/repo/checkpoint_repo.h"
 #include "src/repo/repo_format.h"
 #include "src/sim/archive.h"
@@ -723,6 +725,97 @@ TEST_F(RepoBatchDurabilityTest, SegmentTearNeverSplitsAnEpoch) {
   // reject them cleanly (never crash, never show a partial epoch) — the
   // journal still names the whole epoch, so no rollback state is reachable.
   AllOrNothingSweep("segment.1", /*expect_rollback=*/false);
+}
+
+// Crash injection against the two-phase capture pipeline: the repository is
+// produced by an async epoch coordinator whose background thread serializes
+// staged snapshots and group-commits them while the next window runs. A
+// crash between snapshot and commit loses at most the uncommitted epoch;
+// this sweep truncates the on-disk state at every byte — every journal
+// record boundary included — and asserts recovery always yields whole
+// epochs: the live-handle count is a multiple of the partition count, never
+// a torn epoch, and everything visible materializes.
+class AsyncSpillDurabilityTest : public RepoTest {
+ protected:
+  static constexpr uint32_t kPartitions = 4;
+  static constexpr size_t kEpochs = 2;
+
+  // A small 4-zone fat tree (one LAN per zone) keeps the images — and the
+  // byte-by-byte sweep — tractable while exercising the real data path.
+  void BuildAsyncSpilledFixture() {
+    auto repo = OpenRepo();
+    ASSERT_NE(repo, nullptr);
+    GeneratedTopologyParams params;
+    params.hosts = 20;
+    params.hosts_per_lan = 5;
+    params.lans_per_zone = 1;
+    auto topo = GeneratedTopology::Build(params, kPartitions, /*workers=*/2);
+    ASSERT_EQ(topo->partition_count(), kPartitions);
+    PartitionEpochCoordinator epochs(
+        topo->scheduler(), 10 * kMillisecond,
+        [&topo](Partition* p) { return topo->CapturePartitionImage(p->id()); });
+    epochs.EnableAsyncCapture([&topo](Partition* p, StagedCapture* out) {
+      topo->SnapshotPartition(p->id(), out);
+    });
+    epochs.AttachRepository(repo.get());
+    epochs.RunUntil(kEpochs * 10 * kMillisecond);
+    ASSERT_EQ(epochs.history().size(), kEpochs);
+    for (const auto& rec : epochs.history()) {
+      ASSERT_TRUE(rec.async);
+      ASSERT_TRUE(rec.spill_ok);
+      ASSERT_EQ(rec.spill_images, kPartitions);
+    }
+    ASSERT_EQ(repo->live_image_count(), kEpochs * kPartitions);
+  }
+
+  // Whole-epochs-only recovery sweep over `file`. With `expect_rollback` the
+  // sweep must also reach a state holding only the first epoch (the torn
+  // tail record dropped, the last group commit rolled back).
+  void WholeEpochSweep(const std::string& file, bool expect_rollback) {
+    const std::string scratch = dir_ + "_truncated";
+    const uint64_t full_size = fs::file_size(fs::path(dir_) / file);
+    std::set<size_t> seen_counts;
+    for (uint64_t len = 0; len < full_size; ++len) {
+      fs::remove_all(scratch);
+      fs::copy(dir_, scratch);
+      fs::resize_file(fs::path(scratch) / file, len);
+      std::string error;
+      auto repo = CheckpointRepo::Open(scratch, RepoOptions{}, &error);
+      if (repo == nullptr) {
+        EXPECT_FALSE(error.empty()) << file << " truncated to " << len;
+        continue;
+      }
+      const size_t live = repo->live_image_count();
+      EXPECT_EQ(live % kPartitions, 0u)
+          << file << " truncated to " << len << " exposed a torn epoch of "
+          << live << " images";
+      EXPECT_LE(live, kEpochs * kPartitions);
+      seen_counts.insert(live);
+      for (const uint64_t handle : repo->LiveHandles()) {
+        EXPECT_FALSE(repo->Materialize(handle).empty())
+            << file << " truncated to " << len << ", handle " << handle;
+      }
+    }
+    fs::remove_all(scratch);
+    if (expect_rollback) {
+      // The sweep actually recovered a partial-history state: the first
+      // epoch alone, the crashed group commit invisible.
+      EXPECT_TRUE(seen_counts.count(kPartitions)) << file;
+    }
+  }
+};
+
+TEST_F(AsyncSpillDurabilityTest, JournalTearRecoversWholeEpochsOnly) {
+  BuildAsyncSpilledFixture();
+  WholeEpochSweep("journal.1", /*expect_rollback=*/true);
+}
+
+TEST_F(AsyncSpillDurabilityTest, SegmentTearRecoversWholeEpochsOnly) {
+  BuildAsyncSpilledFixture();
+  // Segment truncation corrupts payloads the journal references: recovery
+  // either rejects the wreck outright or opens the whole history — the
+  // journal still names every epoch, so no rollback state is reachable.
+  WholeEpochSweep("segment.1", /*expect_rollback=*/false);
 }
 
 // --- fsync durability path ------------------------------------------------------
