@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Structural diff of a fresh consolidated bench JSON against the committed
-baseline (BENCH_PR8.json).
+baseline (the newest BENCH_PR<N>.json in the repository root).
 
 The committed baseline locks in the bench *trajectory* — which benches run,
 which metrics each reports, and that every one passed — not the measured
@@ -119,6 +119,29 @@ def check_frozen_window(base, got, errors, warnings):
                       "(below the 3x floor)")
 
 
+def check_failover(base, got, errors):
+    """tab_failover: the transparency gate and recovery-latency coverage are
+    structural. The measured latency is machine-dependent; that the bench
+    measures it (the recovery_ms keys) and that failover stayed invisible to
+    the external observer are not."""
+    if got.get("transparency_ok") is not True:
+        errors.append("tab_failover: transparency_ok is not true")
+    if not isinstance(got.get("recovery_ms"), (int, float)):
+        errors.append("tab_failover: recovery_ms key missing")
+    base_rows = base.get("failover", [])
+    rows = got.get("failover", [])
+    if len(rows) < len(base_rows):
+        errors.append(f"tab_failover: scale sweep shrank "
+                      f"({len(base_rows)} -> {len(rows)})")
+    for row in rows:
+        hosts = row.get("hosts")
+        if row.get("transparent") is not True:
+            errors.append(f"tab_failover: hosts={hosts} failover was visible "
+                          "to the external observer")
+        if not isinstance(row.get("recovery_ms"), (int, float)):
+            errors.append(f"tab_failover: hosts={hosts} recovery_ms dropped")
+
+
 def main():
     if len(sys.argv) != 3:
         sys.stderr.write(__doc__)
@@ -173,6 +196,8 @@ def main():
             check_frozen_window(base, got, errors, warnings)
         if name == "tab_repo_persist":
             check_repo_throughput(base, got, errors, warnings)
+        if name == "tab_failover":
+            check_failover(base, got, errors)
 
     if baseline.get("micro_benchmarks") and not fresh.get("micro_benchmarks"):
         errors.append("micro_benchmarks section missing from new run")

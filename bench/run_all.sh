@@ -4,20 +4,34 @@
 #
 #   bench/run_all.sh [build_dir] [out_file]
 #
-# Defaults: build/ and $BENCH_OUT (BENCH_PR8.json if unset). The bench list
-# can be overridden with $BENCH_LIST (space-separated binary names). Plain
-# POSIX shell, no jq/python — each bench emits exactly one JSON object and
-# this script concatenates them. bench/check_trajectory.py structurally
-# diffs the output against the committed baseline.
+# Defaults: build/ and $BENCH_OUT; when neither is given, the output name is
+# derived from the newest committed baseline — BENCH_PR<N+1>.json where
+# BENCH_PR<N>.json is the highest-numbered baseline in the repository root —
+# so a fresh PR's run never clobbers the baseline it will be diffed against.
+# The bench list can be overridden with $BENCH_LIST (space-separated binary
+# names). Plain POSIX shell, no jq/python — each bench emits exactly one JSON
+# object and this script concatenates them. bench/check_trajectory.py
+# structurally diffs the output against the committed baseline.
 set -u
 
 BUILD="${1:-build}"
-OUT="${2:-${BENCH_OUT:-BENCH_PR8.json}}"
+next_out() {
+  n=0
+  for f in BENCH_PR*.json; do
+    [ -e "$f" ] || continue
+    m="${f#BENCH_PR}"
+    m="${m%.json}"
+    case "$m" in ''|*[!0-9]*) continue ;; esac
+    [ "$m" -gt "$n" ] && n="$m"
+  done
+  echo "BENCH_PR$((n + 1)).json"
+}
+OUT="${2:-${BENCH_OUT:-$(next_out)}}"
 BENCHES="${BENCH_LIST:-fig4_sleep_loop fig5_cpu_loop fig6_iperf \
 fig7_bittorrent fig8_cow_storage fig9_background_transfer tab_clock_sync \
 tab_free_block_elim tab_stateful_swap tab_restore_path tab_delta_capture \
-tab_repo_persist tab_parallel_kernel tab_frozen_window ablation_coordination \
-ablation_storage}"
+tab_repo_persist tab_parallel_kernel tab_frozen_window tab_failover \
+ablation_coordination ablation_storage}"
 
 rc=0
 tmp="$(mktemp)"

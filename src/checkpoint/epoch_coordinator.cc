@@ -44,6 +44,12 @@ double PartitionEpochCoordinator::JoinBackground() {
   const auto start = std::chrono::steady_clock::now();
   background_.join();
   const auto end = std::chrono::steady_clock::now();
+  // Publish the joined commit's images on this (the coordinator) thread.
+  // BackgroundCommit writes background_images_, never committed_images_, so
+  // readers of last_epoch_images() between a launch and the next join edge
+  // (the HA layer harvests at every barrier) never race the commit thread.
+  committed_images_ = std::move(background_images_);
+  background_images_.clear();
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
@@ -58,6 +64,19 @@ void PartitionEpochCoordinator::RunUntil(SimTime t) {
   // the join edge makes those reads race-free and means a returned RunUntil
   // always describes fully committed epochs.
   JoinBackground();
+}
+
+SimTime PartitionEpochCoordinator::StepEpoch(SimTime horizon) {
+  if (next_epoch_ <= horizon) {
+    const SimTime barrier = next_epoch_;
+    scheduler_->RunUntil(barrier);
+    CaptureEpoch();
+    next_epoch_ += period_;
+    return barrier;
+  }
+  scheduler_->RunUntil(horizon);
+  JoinBackground();
+  return horizon;
 }
 
 void PartitionEpochCoordinator::CaptureEpochAsync() {
@@ -100,16 +119,18 @@ void PartitionEpochCoordinator::BackgroundCommit(size_t index) {
   EpochRecord& rec = history_[index];
   std::unique_ptr<RepoWriteBatch> batch =
       repo_ != nullptr ? repo_->BeginBatch() : nullptr;
+  std::vector<std::shared_ptr<const std::vector<uint8_t>>> images(
+      staged_.size());
   for (size_t p = 0; p < staged_.size(); ++p) {
-    std::vector<uint8_t> bytes = SerializeStagedImage(staged_[p]);
-    rec.image_bytes += bytes.size();
-    captures_digest_.MixBytes(bytes.data(), bytes.size());
+    auto image = std::make_shared<const std::vector<uint8_t>>(
+        SerializeStagedImage(staged_[p]));
+    rec.image_bytes += image->size();
+    captures_digest_.MixBytes(image->data(), image->size());
     if (batch != nullptr) {
-      batch->Stage(std::make_shared<const std::vector<uint8_t>>(
-                       std::move(bytes)),
-                   /*parent_handle=*/0, /*parent_ticket=*/0,
+      batch->Stage(image, /*parent_handle=*/0, /*parent_ticket=*/0,
                    /*sequence=*/p + 1);
     }
+    images[p] = std::move(image);
     pool_.Release(&staged_[p]);
   }
   if (batch != nullptr) {
@@ -133,6 +154,7 @@ void PartitionEpochCoordinator::BackgroundCommit(size_t index) {
       }
     }
   }
+  background_images_ = std::move(images);
   rec.background_wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - start)
                                .count();
@@ -197,7 +219,8 @@ void PartitionEpochCoordinator::CaptureEpoch() {
         }
       }
     }
-    images_.assign(scheduler_->partition_count(), nullptr);
+    committed_images_ = std::move(images_);
+    images_.clear();
   }
   history_.push_back(rec);
 }

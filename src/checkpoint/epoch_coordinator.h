@@ -85,6 +85,22 @@ class PartitionEpochCoordinator {
   // CapturesDigest() always describe completed epochs.
   void RunUntil(SimTime t);
 
+  // Single-step driver for the HA layer, which needs control back at every
+  // barrier (to harvest images, release buffered output, and dispatch
+  // faults) without joining the in-flight background commit the way RunUntil
+  // does. Advances to the next epoch barrier — or to `horizon` if that comes
+  // first — and returns the time reached. At a barrier it captures exactly
+  // as RunUntil would; at the horizon it joins any in-flight commit. Mixing
+  // StepEpoch and RunUntil calls is fine; both advance the same cadence.
+  SimTime StepEpoch(SimTime horizon);
+
+  // Joins any in-flight background commit, publishing last_epoch_images()
+  // and the final history entry. Idempotent.
+  void FinishCommits() { JoinBackground(); }
+
+  // The next barrier's simulated instant.
+  SimTime next_epoch() const { return next_epoch_; }
+
   // Spill every epoch's captures into `repo` as one group-committed batch:
   // capture workers stage their partition's image into the shared batch as
   // soon as it is serialized (hashing overlaps the remaining captures), and
@@ -99,6 +115,16 @@ class PartitionEpochCoordinator {
   // Repository handles published by the most recent epoch's batch, indexed by
   // partition id. Empty before the first spilled epoch or after a failure.
   const std::vector<uint64_t>& spill_handles() const { return spill_handles_; }
+
+  // Serialized images of the most recent fully captured epoch, indexed by
+  // partition id. Valid after RunUntil returns (the background join edge
+  // publishes them); empty before the first epoch or when epochs run without
+  // a capture function. The HA layer harvests these at every barrier to keep
+  // a restore window without re-serializing anything.
+  const std::vector<std::shared_ptr<const std::vector<uint8_t>>>&
+  last_epoch_images() const {
+    return committed_images_;
+  }
 
   // FNV-1a digest over every captured image's bytes, folded in (epoch,
   // partition id) order. Bit-identical between sequential and parallel runs
@@ -134,6 +160,13 @@ class PartitionEpochCoordinator {
   std::vector<StagedCapture> staged_;
   std::thread background_;
   std::vector<uint64_t> spill_handles_;
+  // Most recent epoch's serialized images, indexed by partition. Written
+  // only on the coordinator thread: at the end of each sync capture, or at
+  // the join edge for async epochs (BackgroundCommit hands its images over
+  // via background_images_), so last_epoch_images() is readable between
+  // barriers while a commit is still in flight.
+  std::vector<std::shared_ptr<const std::vector<uint8_t>>> committed_images_;
+  std::vector<std::shared_ptr<const std::vector<uint8_t>>> background_images_;
   Fnv1aDigest captures_digest_;
 };
 

@@ -1,0 +1,59 @@
+#include "src/ha/fault_injector.h"
+
+#include <algorithm>
+
+namespace tcsim {
+namespace ha {
+
+void FaultInjector::Schedule(const FaultEvent& ev) {
+  // Insert behind every already-scheduled fault with the same instant so
+  // insertion order breaks ties — stable and deterministic.
+  auto it = std::upper_bound(
+      schedule_.begin() + delivered_, schedule_.end(), ev,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  schedule_.insert(it, ev);
+}
+
+void FaultInjector::GenerateKillSchedule(uint32_t partitions, uint32_t count,
+                                         SimTime horizon) {
+  for (uint32_t i = 0; i < count; ++i) {
+    FaultEvent ev;
+    const SimTime lo = horizon / 4;
+    ev.at = lo + static_cast<SimTime>(rng_.NextUint64() %
+                                      static_cast<uint64_t>(horizon - lo));
+    ev.kind = FaultKind::kKillPartition;
+    ev.target = static_cast<uint32_t>(rng_.NextUint64() % partitions);
+    Schedule(ev);
+  }
+}
+
+SimTime FaultInjector::NextFaultAt() const {
+  return delivered_ < schedule_.size() ? schedule_[delivered_].at
+                                       : kNoPendingEvent;
+}
+
+std::vector<FaultEvent> FaultInjector::TakeDue(SimTime now) {
+  std::vector<FaultEvent> due;
+  while (delivered_ < schedule_.size() && schedule_[delivered_].at <= now) {
+    due.push_back(schedule_[delivered_]);
+    ++delivered_;
+  }
+  return due;
+}
+
+uint64_t FaultInjector::ScheduleDigest() const {
+  Fnv1aDigest d;
+  d.Mix(seed_);
+  for (const FaultEvent& ev : schedule_) {
+    d.Mix(static_cast<uint64_t>(ev.at));
+    d.Mix(static_cast<uint64_t>(ev.kind));
+    d.Mix(ev.target);
+    d.Mix(ev.budget);
+    d.Mix(static_cast<uint64_t>(ev.duration));
+    d.Mix(static_cast<uint64_t>(ev.loss * 1e6));
+  }
+  return d.value();
+}
+
+}  // namespace ha
+}  // namespace tcsim

@@ -1,0 +1,81 @@
+// Deterministic seeded fault schedules for the HA subsystem.
+//
+// A fault schedule is data, not behaviour: a sorted list of (instant, kind,
+// target) entries, either laid out explicitly by a test or generated from a
+// seed. The MicroCheckpointer's driver loop stops the scheduler at each
+// fault's instant and dispatches it — so faults land at quiescent points
+// mid-epoch (every partition's clock equal, no worker running), which is
+// what makes a faulty run bit-reproducible: same seed, same schedule, same
+// digests, run after run.
+
+#ifndef TCSIM_SRC_HA_FAULT_INJECTOR_H_
+#define TCSIM_SRC_HA_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/digest.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace tcsim {
+namespace ha {
+
+enum class FaultKind : uint8_t {
+  kKillPartition = 0,  // crash a partition; failover restores it
+  kKillNode = 1,       // crash one host — resolves to its partition (the
+                       // restore unit is the per-partition image; DESIGN.md
+                       // §14 documents the blast radius)
+  kTornRepoWrite = 2,  // arm a byte-budget tear on the repo write path
+  kLinkFlap = 3,       // an interior wire drops traffic for a while
+};
+
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kKillPartition;
+  uint32_t target = 0;   // partition id / node index / interior wire index;
+                         // kTornRepoWrite: 0 = segment, 1 = journal
+  uint64_t budget = 0;   // kTornRepoWrite: bytes admitted before the tear
+  SimTime duration = 0;  // kLinkFlap: how long the fault holds
+  double loss = 1.0;     // kLinkFlap: loss rate while faulted
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  // Appends an explicit fault. Schedule instants need not be sorted; the
+  // injector orders them.
+  void Schedule(const FaultEvent& ev);
+
+  // Generates `count` seeded partition kills, uniformly over partitions and
+  // over (horizon/4, horizon) — late enough that epochs exist to restore
+  // from, spread enough to land in different epoch phases.
+  void GenerateKillSchedule(uint32_t partitions, uint32_t count,
+                            SimTime horizon);
+
+  // Instant of the next undelivered fault, or kNoPendingEvent.
+  SimTime NextFaultAt() const;
+
+  // Removes and returns every fault with at <= now, in schedule order.
+  std::vector<FaultEvent> TakeDue(SimTime now);
+
+  // FNV-1a fold of the full schedule (delivered and pending), in order —
+  // the determinism oracle: same seed, same digest.
+  uint64_t ScheduleDigest() const;
+
+  const std::vector<FaultEvent>& schedule() const { return schedule_; }
+  size_t delivered() const { return delivered_; }
+
+ private:
+  uint64_t seed_;
+  Rng rng_;
+  std::vector<FaultEvent> schedule_;  // sorted by (at, insertion order)
+  size_t delivered_ = 0;              // prefix of schedule_ already taken
+};
+
+}  // namespace ha
+}  // namespace tcsim
+
+#endif  // TCSIM_SRC_HA_FAULT_INJECTOR_H_

@@ -39,6 +39,7 @@ void StaticRouter::SetLanRoute(uint32_t lan, Wire* hop) {
 }
 
 void StaticRouter::HandlePacket(const Packet& pkt) {
+  version_.Bump();
   const uint32_t lan = layout_.lan_of(pkt.dst);
   Wire* hop = lan < lan_routes_.size() ? lan_routes_[lan] : nullptr;
   if (hop == nullptr) {
@@ -50,6 +51,17 @@ void StaticRouter::HandlePacket(const Packet& pkt) {
   }
   ++forwarded_;
   hop->Transmit(pkt);
+}
+
+void StaticRouter::SaveState(ArchiveWriter* w) const {
+  w->Write<uint64_t>(forwarded_);
+  w->Write<uint64_t>(dropped_);
+}
+
+void StaticRouter::RestoreState(ArchiveReader& r) {
+  forwarded_ = r.Read<uint64_t>();
+  dropped_ = r.Read<uint64_t>();
+  version_.Bump();
 }
 
 // --- TrafficNode --------------------------------------------------------------
@@ -224,6 +236,7 @@ Wire* GeneratedTopology::MakeInteriorWire(uint32_t src_partition,
     scheduler_->RegisterCrossLatency(delay);
   }
   interior_wires_.push_back(std::move(wire));
+  interior_wire_partition_.push_back(src_partition);
   return interior_wires_.back().get();
 }
 
@@ -295,7 +308,8 @@ std::unique_ptr<GeneratedTopology> GeneratedTopology::Build(
     // Core layer: core c serves destination zones with z % cores == c and is
     // itself placed round-robin across partitions.
     const uint32_t cores = std::max(1u, std::min(4u, layout.zones / 2));
-    std::vector<uint32_t> core_partition(cores);
+    std::vector<uint32_t>& core_partition = topo->core_partition_;
+    core_partition.resize(cores);
     for (uint32_t c = 0; c < cores; ++c) {
       topo->core_routers_.push_back(std::make_unique<StaticRouter>(layout));
       core_partition[c] = c % effective;
@@ -410,6 +424,91 @@ void GeneratedTopology::SnapshotPartition(uint32_t partition,
     }
   }
   out->buffer = w.Take();
+}
+
+void GeneratedTopology::EnableHaCapture() {
+  if (!ha_components_.empty()) {
+    return;  // idempotent: the walk is frozen on first call
+  }
+  ha_components_.resize(sims_.size());
+  // Hosts and NICs first, in node-id order — the same prefix as
+  // CapturePartitionImage, so an HA image is a strict superset of the
+  // classic one with a compatible layout.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    auto& list = ha_components_[node_partition_[i]];
+    list.push_back(nodes_[i].get());
+    list.push_back(nodes_[i]->nic());
+  }
+  // LAN uplink wires: where a segment's in-flight frames live.
+  for (uint32_t l = 0; l < layout_.lans; ++l) {
+    const uint32_t p = lan_partition(l);
+    Lan* lan = lans_[l].get();
+    for (size_t u = 0; u < lan->uplink_count(); ++u) {
+      Wire* w = lan->uplink(u);
+      w->SetCheckpointId("net.wire.lan." + std::to_string(l) + "." +
+                         std::to_string(u));
+      ha_components_[p].push_back(w);
+    }
+  }
+  // Interior wires belong to the partition that drives their source side; a
+  // cross-partition wire's restorable state (serializer clock, loss rng,
+  // counters) all lives there — its deliveries are boundary posts, not
+  // in-flight entries.
+  for (size_t i = 0; i < interior_wires_.size(); ++i) {
+    Wire* w = interior_wires_[i].get();
+    w->SetCheckpointId("net.wire.x." + std::to_string(i));
+    ha_components_[interior_wire_partition_[i]].push_back(w);
+  }
+  for (uint32_t z = 0; z < zone_routers_.size(); ++z) {
+    StaticRouter* r = zone_routers_[z].get();
+    r->SetCheckpointId("net.router.zone." + std::to_string(z));
+    ha_components_[zone_partition_[z]].push_back(r);
+  }
+  for (uint32_t c = 0; c < core_routers_.size(); ++c) {
+    StaticRouter* r = core_routers_[c].get();
+    r->SetCheckpointId("net.router.core." + std::to_string(c));
+    ha_components_[core_partition_[c]].push_back(r);
+  }
+}
+
+std::vector<uint8_t> GeneratedTopology::CaptureHaPartitionImage(
+    uint32_t partition) const {
+  assert(!ha_components_.empty() && "call EnableHaCapture first");
+  CheckpointImageBuilder builder;
+  for (const Checkpointable* c : ha_components_[partition]) {
+    builder.Add(*c);
+  }
+  return builder.Serialize();
+}
+
+void GeneratedTopology::SnapshotHaPartition(uint32_t partition,
+                                            StagedCapture* out) const {
+  assert(!ha_components_.empty() && "call EnableHaCapture first");
+  ArchiveWriter w(std::move(out->buffer));
+  for (const Checkpointable* c : ha_components_[partition]) {
+    StagedEntry entry;
+    entry.id = c->checkpoint_id();
+    entry.offset = w.size();
+    c->SnapshotState(&w);
+    entry.size = w.size() - entry.offset;
+    out->entries.push_back(std::move(entry));
+  }
+  out->buffer = w.Take();
+}
+
+bool GeneratedTopology::RestoreHaPartition(uint32_t partition,
+                                           const std::vector<uint8_t>& image) {
+  assert(!ha_components_.empty() && "call EnableHaCapture first");
+  CheckpointImageView view(image);
+  if (!view.ok()) {
+    return false;
+  }
+  for (Checkpointable* c : ha_components_[partition]) {
+    if (!view.RestoreInto(*c)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace tcsim

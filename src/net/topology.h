@@ -97,7 +97,7 @@ struct TopologyLayout {
 // Interior router with a static destination-LAN -> next-hop-wire table and an
 // optional default route. Stateless per packet, so running it inside
 // whichever partition delivered the packet is safe by construction.
-class StaticRouter : public PacketHandler {
+class StaticRouter : public PacketHandler, public Checkpointable {
  public:
   explicit StaticRouter(TopologyLayout layout) : layout_(layout) {}
 
@@ -109,12 +109,22 @@ class StaticRouter : public PacketHandler {
   uint64_t forwarded() const { return forwarded_; }
   uint64_t dropped() const { return dropped_; }
 
+  // Checkpointable: the routing tables are construction-time constants, so
+  // only the forwarding counters are restorable state.
+  void SetCheckpointId(std::string id) { checkpoint_id_ = std::move(id); }
+  std::string checkpoint_id() const override { return checkpoint_id_; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
+  uint64_t state_version() const override { return version_.value(); }
+
  private:
   TopologyLayout layout_;
   std::vector<Wire*> lan_routes_;
   Wire* default_route_ = nullptr;
   uint64_t forwarded_ = 0;
   uint64_t dropped_ = 0;
+  std::string checkpoint_id_ = "net.router";
+  StateVersion version_;
 };
 
 // A host: sends fixed-size datagrams at exponentially distributed intervals
@@ -228,6 +238,48 @@ class GeneratedTopology {
   // CapturePartitionImage(partition). Same concurrency contract.
   void SnapshotPartition(uint32_t partition, StagedCapture* out) const;
 
+  // --- HA capture/restore ---------------------------------------------------
+  // CapturePartitionImage covers hosts and NICs only — enough for the digest
+  // oracles, not for failover, which must rebuild the *entire* partition:
+  // wires holding in-flight frames, serializer clocks and loss rngs, router
+  // counters. EnableHaCapture assigns checkpoint ids to every wire and
+  // router and freezes a deterministic per-partition component walk; call it
+  // once after Build, before the first HA capture.
+  void EnableHaCapture();
+  bool ha_capture_enabled() const { return !ha_components_.empty(); }
+
+  // Composite image of everything restorable in `partition`. Same
+  // concurrency contract as CapturePartitionImage.
+  std::vector<uint8_t> CaptureHaPartitionImage(uint32_t partition) const;
+
+  // Freeze-phase half: SerializeStagedImage(*out) yields bytes identical to
+  // CaptureHaPartitionImage(partition).
+  void SnapshotHaPartition(uint32_t partition, StagedCapture* out) const;
+
+  // Restores every component of `partition` from an image captured by
+  // CaptureHaPartitionImage. Components re-arm their pending events
+  // DMTCP-style as they restore, so the caller must have wiped the
+  // partition's event queue (Simulator::ResetForRestore) first. False on a
+  // malformed image or a missing chunk.
+  bool RestoreHaPartition(uint32_t partition,
+                          const std::vector<uint8_t>& image);
+
+  // Interior (router-to-router / router-to-LAN) wires, in construction
+  // order; the HA layer uses these to install egress taps on the
+  // cross-partition ones and to aim link faults.
+  size_t interior_wire_count() const { return interior_wires_.size(); }
+  Wire* interior_wire(size_t i) { return interior_wires_[i].get(); }
+  // Partition whose simulator drives interior wire `i` (its source side).
+  uint32_t interior_wire_partition(size_t i) const {
+    return interior_wire_partition_[i];
+  }
+
+  size_t lan_count() const { return lans_.size(); }
+  Lan* lan(size_t i) { return lans_[i].get(); }
+  uint32_t lan_partition(uint32_t lan) const {
+    return zone_partition_[layout_.zone_of_lan(lan)];
+  }
+
  private:
   GeneratedTopology() = default;
 
@@ -245,8 +297,14 @@ class GeneratedTopology {
   std::vector<std::unique_ptr<StaticRouter>> zone_routers_;
   std::vector<std::unique_ptr<StaticRouter>> core_routers_;
   std::vector<std::unique_ptr<Wire>> interior_wires_;
+  std::vector<uint32_t> interior_wire_partition_;  // source partition per wire
+  std::vector<uint32_t> core_partition_;           // fat-tree core placement
   std::vector<std::unique_ptr<TrafficNode>> nodes_;
   std::vector<uint32_t> node_partition_;
+  // Per-partition HA component walk, frozen by EnableHaCapture. Order is a
+  // function of topology construction only — identical across runs, so HA
+  // images are byte-comparable between a faulty and a fault-free run.
+  std::vector<std::vector<Checkpointable*>> ha_components_;
   uint64_t next_wire_seed_ = 0;
 };
 

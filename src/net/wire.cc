@@ -2,10 +2,58 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
+#include "src/sim/archive.h"
 #include "src/sim/partition.h"
 
 namespace tcsim {
+
+namespace {
+
+// Packets are serialized field by field (struct padding bytes are not
+// deterministic, and image bytes must be), matching the Nic suspend-log
+// layout. The shared app payload is not serialized — same contract as the
+// Nic: checkpointed packets carry headers and sizes, not payload objects.
+void SavePacket(ArchiveWriter* w, const Packet& pkt) {
+  w->Write<uint64_t>(pkt.id);
+  w->Write<NodeId>(pkt.src);
+  w->Write<NodeId>(pkt.dst);
+  w->Write<uint16_t>(pkt.src_port);
+  w->Write<uint16_t>(pkt.dst_port);
+  w->Write<uint8_t>(static_cast<uint8_t>(pkt.proto));
+  w->Write<uint32_t>(pkt.size_bytes);
+  w->Write<uint64_t>(pkt.tcp.seq);
+  w->Write<uint64_t>(pkt.tcp.ack);
+  w->Write<uint32_t>(pkt.tcp.payload_len);
+  w->Write<uint32_t>(pkt.tcp.window);
+  w->Write<uint8_t>(pkt.tcp.syn ? 1 : 0);
+  w->Write<uint8_t>(pkt.tcp.fin ? 1 : 0);
+  w->Write<uint8_t>(pkt.tcp.is_retransmit ? 1 : 0);
+  w->Write<SimTime>(pkt.first_sent);
+}
+
+Packet LoadPacket(ArchiveReader& r) {
+  Packet pkt;
+  pkt.id = r.Read<uint64_t>();
+  pkt.src = r.Read<NodeId>();
+  pkt.dst = r.Read<NodeId>();
+  pkt.src_port = r.Read<uint16_t>();
+  pkt.dst_port = r.Read<uint16_t>();
+  pkt.proto = static_cast<Protocol>(r.Read<uint8_t>());
+  pkt.size_bytes = r.Read<uint32_t>();
+  pkt.tcp.seq = r.Read<uint64_t>();
+  pkt.tcp.ack = r.Read<uint64_t>();
+  pkt.tcp.payload_len = r.Read<uint32_t>();
+  pkt.tcp.window = r.Read<uint32_t>();
+  pkt.tcp.syn = r.Read<uint8_t>() != 0;
+  pkt.tcp.fin = r.Read<uint8_t>() != 0;
+  pkt.tcp.is_retransmit = r.Read<uint8_t>() != 0;
+  pkt.first_sent = r.Read<SimTime>();
+  return pkt;
+}
+
+}  // namespace
 
 void Wire::BindCrossPartition(Partition* source, uint32_t dst_partition) {
   assert(source->sim() == sim_ &&
@@ -24,13 +72,25 @@ SimTime Wire::SerializationTime(uint32_t bytes) const {
                               static_cast<double>(bandwidth_bps_));
 }
 
+void Wire::InjectLinkFault(SimTime until, double loss) {
+  fault_until_ = until;
+  fault_loss_ = loss;
+  version_.Bump();
+}
+
 void Wire::Transmit(const Packet& pkt) {
   const SimTime start = std::max(sim_->Now(), busy_until_);
   const SimTime tx_done = start + SerializationTime(pkt.size_bytes);
   busy_until_ = tx_done;
   ++packets_sent_;
   bytes_sent_ += pkt.size_bytes;
-  if (loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_)) {
+  version_.Bump();
+  // An armed link fault overrides the configured loss rate until it expires.
+  // A dead link (loss >= 1) drops without consuming an rng draw, so the loss
+  // stream past the fault window stays aligned with a fault-free run.
+  const bool faulted = sim_->Now() < fault_until_;
+  const double loss = faulted ? fault_loss_ : loss_rate_;
+  if (loss >= 1.0 || (loss > 0.0 && rng_.Bernoulli(loss))) {
     ++packets_dropped_;
     bytes_dropped_ += pkt.size_bytes;
     return;
@@ -42,17 +102,29 @@ void Wire::Transmit(const Packet& pkt) {
     // holds without the destination thread writing these counters), and the
     // sink's HandlePacket runs inside the destination partition.
     bytes_delivered_ += pkt.size_bytes;
+    if (tap_ != nullptr &&
+        tap_->OnCrossEgress(this, copy, tx_done + delay_,
+                            source_partition_->id(), dst_partition_)) {
+      return;  // held by the output-commit buffer; it posts the delivery
+    }
     PacketHandler* sink = sink_;
     source_partition_->PostRemote(dst_partition_, tx_done + delay_,
                                   [sink, copy] { sink->HandlePacket(copy); });
     return;
   }
   bytes_in_flight_ += pkt.size_bytes;
-  sim_->ScheduleAt(tx_done + delay_, [this, copy] {
-    bytes_in_flight_ -= copy.size_bytes;
-    bytes_delivered_ += copy.size_bytes;
-    sink_->HandlePacket(copy);
-  });
+  in_flight_.push_back(InFlightPacket{tx_done + delay_, std::move(copy)});
+  sim_->ScheduleAt(tx_done + delay_, [this] { DeliverHead(); });
+}
+
+void Wire::DeliverHead() {
+  assert(!in_flight_.empty());
+  InFlightPacket entry = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  bytes_in_flight_ -= entry.pkt.size_bytes;
+  bytes_delivered_ += entry.pkt.size_bytes;
+  version_.Bump();
+  sink_->HandlePacket(entry.pkt);
 }
 
 void Wire::RegisterInvariants(InvariantRegistry* reg, const std::string& name) {
@@ -60,6 +132,53 @@ void Wire::RegisterInvariants(InvariantRegistry* reg, const std::string& name) {
     return ConservationCounts{bytes_sent_, bytes_delivered_, bytes_dropped_,
                               bytes_in_flight_};
   });
+}
+
+void Wire::SaveState(ArchiveWriter* w) const {
+  w->Write<int64_t>(busy_until_);
+  w->Write<int64_t>(fault_until_);
+  w->Write<double>(fault_loss_);
+  w->Write<uint64_t>(packets_sent_);
+  w->Write<uint64_t>(packets_dropped_);
+  w->Write<uint64_t>(bytes_sent_);
+  w->Write<uint64_t>(bytes_delivered_);
+  w->Write<uint64_t>(bytes_dropped_);
+  w->Write<uint64_t>(bytes_in_flight_);
+  rng_.Save(w);
+  w->Write<uint32_t>(static_cast<uint32_t>(in_flight_.size()));
+  for (const InFlightPacket& e : in_flight_) {
+    w->Write<int64_t>(e.deliver_at);
+    SavePacket(w, e.pkt);
+  }
+}
+
+void Wire::RestoreState(ArchiveReader& r) {
+  busy_until_ = r.Read<int64_t>();
+  fault_until_ = r.Read<int64_t>();
+  fault_loss_ = r.Read<double>();
+  packets_sent_ = r.Read<uint64_t>();
+  packets_dropped_ = r.Read<uint64_t>();
+  bytes_sent_ = r.Read<uint64_t>();
+  bytes_delivered_ = r.Read<uint64_t>();
+  bytes_dropped_ = r.Read<uint64_t>();
+  bytes_in_flight_ = r.Read<uint64_t>();
+  rng_.Restore(r);
+  in_flight_.clear();
+  const uint32_t n = r.Read<uint32_t>();
+  for (uint32_t i = 0; i < n; ++i) {
+    InFlightPacket e;
+    e.deliver_at = r.Read<int64_t>();
+    e.pkt = LoadPacket(r);
+    in_flight_.push_back(std::move(e));
+  }
+  // Re-arm the delivery events the restore wiped out with the event queue —
+  // the DMTCP-style closure re-registration step. Restore runs with the
+  // clock at or before every deliver_at (checkpoints only capture future
+  // deliveries), so these fire at their original instants.
+  for (const InFlightPacket& e : in_flight_) {
+    sim_->ScheduleAt(e.deliver_at, [this] { DeliverHead(); });
+  }
+  version_.Bump();
 }
 
 }  // namespace tcsim

@@ -4,9 +4,11 @@
 #define TCSIM_SRC_NET_WIRE_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 
 #include "src/net/packet.h"
+#include "src/sim/checkpointable.h"
 #include "src/sim/invariants.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
@@ -15,6 +17,7 @@
 namespace tcsim {
 
 class Partition;
+class Wire;
 
 // Anything that can accept a packet: a NIC, a switch fabric, a Dummynet pipe.
 class PacketHandler {
@@ -25,11 +28,33 @@ class PacketHandler {
   virtual void HandlePacket(const Packet& pkt) = 0;
 };
 
+// Interposes on cross-partition wire egress — the seam the HA output-commit
+// buffer hangs off. Called at the source side, before the boundary post.
+class WireEgressTap {
+ public:
+  virtual ~WireEgressTap() = default;
+
+  // `deliver_at` is the instant the packet would arrive at `wire`'s sink in
+  // partition `dst_partition`. Return true to take ownership of the delivery
+  // (the wire posts nothing; the tap releases or drops the packet itself);
+  // false to let the normal boundary post proceed.
+  virtual bool OnCrossEgress(Wire* wire, const Packet& pkt, SimTime deliver_at,
+                             uint32_t src_partition,
+                             uint32_t dst_partition) = 0;
+};
+
 // A one-way wire. Models serialization (back-to-back packets queue behind one
 // another at `bandwidth_bps`), constant propagation delay, and Bernoulli
 // loss. A bandwidth of 0 means "infinitely fast" — used for the zero-delay
 // links between experiment nodes and their delay nodes (Section 4.4).
-class Wire {
+//
+// Checkpointable: a wire's restorable state is its serializer clock
+// (busy_until_), its loss rng, its byte/packet counters, any armed link
+// fault, and — for intra-partition wires — the explicit list of deliveries
+// still in flight. In-flight deliveries are kept as plain data (deliver
+// instant + packet) rather than captured closures, so RestoreState can
+// re-arm them DMTCP-plugin style after the event queue was wiped.
+class Wire : public Checkpointable {
  public:
   Wire(Simulator* sim, Rng rng, uint64_t bandwidth_bps, SimTime propagation_delay,
        double loss_rate, PacketHandler* sink)
@@ -50,6 +75,7 @@ class Wire {
 
   // Re-targets the wire (used when rewiring topologies during swap-in).
   void set_sink(PacketHandler* sink) { sink_ = sink; }
+  PacketHandler* sink() const { return sink_; }
 
   // Marks this wire as a cross-partition link: the source end (serialization,
   // loss, busy time) stays in `source`'s simulator, but delivery is posted
@@ -61,6 +87,20 @@ class Wire {
   // the packet is off this wire (the destination thread never writes the
   // source-side counters).
   void BindCrossPartition(Partition* source, uint32_t dst_partition);
+
+  bool is_cross_partition() const { return source_partition_ != nullptr; }
+  uint32_t dst_partition() const { return dst_partition_; }
+
+  // Installs (or clears, with null) the cross-partition egress tap. Only
+  // consulted on cross-partition wires; intra-partition traffic is interior
+  // to the closed system and never externally visible.
+  void SetEgressTap(WireEgressTap* tap) { tap_ = tap; }
+
+  // Fault injection: until simulated instant `until`, transmissions are lost
+  // with probability `loss` instead of the configured loss rate. loss >= 1
+  // drops deterministically without consuming an rng draw (a dead link, not
+  // a lossy one); loss 0 with `until` in the past clears the fault.
+  void InjectLinkFault(SimTime until, double loss);
 
   uint64_t bandwidth_bps() const { return bandwidth_bps_; }
   SimTime propagation_delay() const { return delay_; }
@@ -80,8 +120,28 @@ class Wire {
   // dropped + in-flight).
   void RegisterInvariants(InvariantRegistry* reg, const std::string& name);
 
+  // Names this wire's chunk in a composite partition image (owners assign
+  // ids like "net.wire.lan.3.1"; the default is only safe for a wire that
+  // never enters an image).
+  void SetCheckpointId(std::string id) { checkpoint_id_ = std::move(id); }
+
+  // Checkpointable.
+  std::string checkpoint_id() const override { return checkpoint_id_; }
+  void SaveState(ArchiveWriter* w) const override;
+  void RestoreState(ArchiveReader& r) override;
+  uint64_t state_version() const override { return version_.value(); }
+
  private:
+  struct InFlightPacket {
+    SimTime deliver_at = 0;
+    Packet pkt;
+  };
+
   SimTime SerializationTime(uint32_t bytes) const;
+  // Completes the oldest in-flight delivery. Wires deliver FIFO by
+  // construction: busy_until_ is monotone and the propagation delay is
+  // constant, so arrival order equals transmission order.
+  void DeliverHead();
 
   Simulator* sim_;
   Rng rng_;
@@ -91,13 +151,19 @@ class Wire {
   PacketHandler* sink_;
   Partition* source_partition_ = nullptr;  // non-null: cross-partition wire
   uint32_t dst_partition_ = 0;
+  WireEgressTap* tap_ = nullptr;
   SimTime busy_until_ = 0;
+  SimTime fault_until_ = 0;
+  double fault_loss_ = 0.0;
+  std::deque<InFlightPacket> in_flight_;
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t bytes_delivered_ = 0;
   uint64_t bytes_dropped_ = 0;
   uint64_t bytes_in_flight_ = 0;
+  std::string checkpoint_id_ = "net.wire";
+  StateVersion version_;
 };
 
 }  // namespace tcsim

@@ -8,6 +8,7 @@
 #include <unistd.h>
 #endif
 
+#include "src/repo/io_fault.h"
 #include "src/repo/repo_format.h"
 #include "src/sim/image.h"
 
@@ -15,12 +16,11 @@ namespace tcsim {
 
 namespace {
 
-bool SyncFile(std::FILE* f) {
-#ifdef _WIN32
-  return _commit(_fileno(f)) == 0;
-#else
-  return ::fsync(fileno(f)) == 0;
-#endif
+// Record-path writes go through the fault hook so an armed byte budget
+// produces a genuinely torn journal record (a prefix on disk, framing or CRC
+// incomplete) through the real writer.
+bool HookWrite(std::FILE* f, const void* data, size_t n) {
+  return RepoIoFaultInjector::Write(RepoIoTarget::kJournal, f, data, n);
 }
 
 }  // namespace
@@ -138,11 +138,11 @@ bool JournalWriter::Append(uint8_t type, const std::vector<uint8_t>& payload) {
   const uint32_t magic = kJournalRecordMagic;
   const uint64_t len = payload.size();
   const uint32_t crc = Crc32(payload);
-  if (std::fwrite(&magic, sizeof magic, 1, file_) != 1 ||
-      std::fwrite(&type, sizeof type, 1, file_) != 1 ||
-      std::fwrite(&len, sizeof len, 1, file_) != 1 ||
-      (len != 0 && std::fwrite(payload.data(), 1, len, file_) != len) ||
-      std::fwrite(&crc, sizeof crc, 1, file_) != 1) {
+  if (!HookWrite(file_, &magic, sizeof magic) ||
+      !HookWrite(file_, &type, sizeof type) ||
+      !HookWrite(file_, &len, sizeof len) ||
+      (len != 0 && !HookWrite(file_, payload.data(), len)) ||
+      !HookWrite(file_, &crc, sizeof crc)) {
     io_error_ = true;
     return false;
   }
@@ -159,7 +159,7 @@ bool JournalWriter::Flush(bool fsync) {
     io_error_ = true;
     return false;
   }
-  if (fsync && !SyncFile(file_)) {
+  if (fsync && !RepoIoFaultInjector::Fsync(RepoIoTarget::kJournal, file_)) {
     io_error_ = true;
     return false;
   }

@@ -9,6 +9,7 @@
 #include <unistd.h>
 #endif
 
+#include "src/repo/io_fault.h"
 #include "src/sim/digest.h"
 #include "src/sim/image.h"
 
@@ -30,11 +31,19 @@ ContentKey ContentKeyOf(const std::vector<uint8_t>& payload) {
 
 namespace {
 
+// All record-path writes funnel through the fault hook, so an armed byte
+// budget tears a record exactly where the real stream would have stopped.
+// The Create-time header keeps plain fwrite: the hook models crashes inside
+// the append path, not a repository that failed to initialize.
 bool WritePod32(std::FILE* f, uint32_t v) {
-  return std::fwrite(&v, sizeof v, 1, f) == 1;
+  return RepoIoFaultInjector::Write(RepoIoTarget::kSegment, f, &v, sizeof v);
 }
 
 bool WritePod64(std::FILE* f, uint64_t v) {
+  return RepoIoFaultInjector::Write(RepoIoTarget::kSegment, f, &v, sizeof v);
+}
+
+bool WriteHeaderPod32(std::FILE* f, uint32_t v) {
   return std::fwrite(&v, sizeof v, 1, f) == 1;
 }
 
@@ -83,8 +92,8 @@ std::unique_ptr<SegmentFile> SegmentFile::Create(const std::string& path,
   // coalesces their framing and payloads into large kernel writes (best
   // effort — the default buffer is only a throughput loss, not an error).
   std::setvbuf(f, nullptr, _IOFBF, 1 << 20);
-  if (!WritePod32(f, kSegmentMagic) || !WritePod32(f, kRepoFormatVersion) ||
-      std::fflush(f) != 0) {
+  if (!WriteHeaderPod32(f, kSegmentMagic) ||
+      !WriteHeaderPod32(f, kRepoFormatVersion) || std::fflush(f) != 0) {
     *error = "cannot write segment header of " + path;
     std::fclose(f);
     return nullptr;
@@ -142,7 +151,8 @@ uint64_t SegmentFile::AppendSpan(const uint8_t* payload, uint64_t size,
   const uint64_t offset = append_pos_;
   if (!WritePod32(file_, kSegmentRecordMagic) || !WritePod64(file_, size) ||
       !WritePod32(file_, crc) ||
-      (size != 0 && std::fwrite(payload, 1, size, file_) != size)) {
+      (size != 0 && !RepoIoFaultInjector::Write(RepoIoTarget::kSegment, file_,
+                                               payload, size))) {
     io_error_ = true;
     return 0;
   }
@@ -195,7 +205,7 @@ bool SegmentFile::Flush(bool fsync) {
     io_error_ = true;
     return false;
   }
-  if (fsync && !SyncStdioFile(file_)) {
+  if (fsync && !RepoIoFaultInjector::Fsync(RepoIoTarget::kSegment, file_)) {
     io_error_ = true;
     return false;
   }

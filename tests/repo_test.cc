@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -18,6 +20,7 @@
 #include "src/checkpoint/epoch_coordinator.h"
 #include "src/net/topology.h"
 #include "src/repo/checkpoint_repo.h"
+#include "src/repo/io_fault.h"
 #include "src/repo/repo_format.h"
 #include "src/sim/archive.h"
 #include "src/sim/image.h"
@@ -727,30 +730,54 @@ TEST_F(RepoBatchDurabilityTest, SegmentTearNeverSplitsAnEpoch) {
   AllOrNothingSweep("segment.1", /*expect_rollback=*/false);
 }
 
-// Crash injection against the two-phase capture pipeline: the repository is
-// produced by an async epoch coordinator whose background thread serializes
-// staged snapshots and group-commits them while the next window runs. A
-// crash between snapshot and commit loses at most the uncommitted epoch;
-// this sweep truncates the on-disk state at every byte — every journal
-// record boundary included — and asserts recovery always yields whole
-// epochs: the live-handle count is a multiple of the partition count, never
-// a torn epoch, and everything visible materializes.
+// Crash injection against the two-phase capture pipeline, through the real
+// write path: the repository is produced by an async epoch coordinator whose
+// background thread serializes staged snapshots and group-commits them while
+// the next window runs. Instead of tearing the finished files after the fact,
+// RepoIoFaultInjector is armed with a byte budget while the pipeline runs, so
+// the tear is produced by SegmentFile/JournalWriter themselves — an admitted
+// prefix reaches the file, the crossing write fails, the writers go sticky —
+// exactly the state a full disk or a crash mid-append leaves. Every recovery
+// must yield whole epochs: the live-handle count is a multiple of the
+// partition count, never a torn epoch, and everything visible materializes.
 class AsyncSpillDurabilityTest : public RepoTest {
  protected:
   static constexpr uint32_t kPartitions = 4;
   static constexpr size_t kEpochs = 2;
 
-  // A small 4-zone fat tree (one LAN per zone) keeps the images — and the
-  // byte-by-byte sweep — tractable while exercising the real data path.
-  void BuildAsyncSpilledFixture() {
-    auto repo = OpenRepo();
-    ASSERT_NE(repo, nullptr);
+  struct PipelineResult {
+    bool opened = false;
+    bool all_spills_ok = false;
+    size_t epochs_run = 0;
+  };
+
+  // Drives the async two-phase pipeline against a repository in `dir`. A
+  // small 4-zone fat tree (one LAN per zone) keeps the run tractable while
+  // exercising the real data path; the run is deterministic, so every
+  // invocation produces the identical byte stream and an armed budget tears
+  // the same write each time. `arm` fires between Open and the run, for
+  // faults that must spare repository creation.
+  PipelineResult RunPipeline(const std::string& dir, const RepoOptions& opts,
+                             const std::function<void()>& arm = {}) {
+    PipelineResult result;
+    std::string error;
+    auto repo = CheckpointRepo::Open(dir, opts, &error);
+    if (repo == nullptr) {
+      // Acceptable only when a fault is armed tightly enough to break
+      // creation itself; callers assert `opened` when that can't happen.
+      EXPECT_FALSE(error.empty());
+      return result;
+    }
+    result.opened = true;
+    if (arm) {
+      arm();
+    }
     GeneratedTopologyParams params;
     params.hosts = 20;
     params.hosts_per_lan = 5;
     params.lans_per_zone = 1;
     auto topo = GeneratedTopology::Build(params, kPartitions, /*workers=*/2);
-    ASSERT_EQ(topo->partition_count(), kPartitions);
+    EXPECT_EQ(topo->partition_count(), kPartitions);
     PartitionEpochCoordinator epochs(
         topo->scheduler(), 10 * kMillisecond,
         [&topo](Partition* p) { return topo->CapturePartitionImage(p->id()); });
@@ -759,63 +786,128 @@ class AsyncSpillDurabilityTest : public RepoTest {
     });
     epochs.AttachRepository(repo.get());
     epochs.RunUntil(kEpochs * 10 * kMillisecond);
-    ASSERT_EQ(epochs.history().size(), kEpochs);
+    result.epochs_run = epochs.history().size();
+    result.all_spills_ok = result.epochs_run == kEpochs;
     for (const auto& rec : epochs.history()) {
-      ASSERT_TRUE(rec.async);
-      ASSERT_TRUE(rec.spill_ok);
-      ASSERT_EQ(rec.spill_images, kPartitions);
+      EXPECT_TRUE(rec.async);
+      result.all_spills_ok = result.all_spills_ok && rec.spill_ok;
     }
-    ASSERT_EQ(repo->live_image_count(), kEpochs * kPartitions);
+    return result;
   }
 
-  // Whole-epochs-only recovery sweep over `file`. With `expect_rollback` the
-  // sweep must also reach a state holding only the first epoch (the torn
-  // tail record dropped, the last group commit rolled back).
-  void WholeEpochSweep(const std::string& file, bool expect_rollback) {
-    const std::string scratch = dir_ + "_truncated";
-    const uint64_t full_size = fs::file_size(fs::path(dir_) / file);
-    std::set<size_t> seen_counts;
-    for (uint64_t len = 0; len < full_size; ++len) {
+  // Reopens `dir` after a write-path fault and asserts all-or-nothing epoch
+  // visibility; records the live count for the rollback-reached check.
+  void ExpectWholeEpochs(const std::string& dir, uint64_t budget) {
+    std::string error;
+    auto repo = CheckpointRepo::Open(dir, RepoOptions{}, &error);
+    if (repo == nullptr) {
+      EXPECT_FALSE(error.empty()) << "budget " << budget;
+      return;
+    }
+    const size_t live = repo->live_image_count();
+    EXPECT_EQ(live % kPartitions, 0u)
+        << "budget " << budget << " exposed a torn epoch of " << live
+        << " images";
+    EXPECT_LE(live, kEpochs * kPartitions) << "budget " << budget;
+    seen_counts_.insert(live);
+    for (const uint64_t handle : repo->LiveHandles()) {
+      EXPECT_FALSE(repo->Materialize(handle).empty())
+          << "budget " << budget << ", handle " << handle;
+    }
+  }
+
+  // One clean instrumented run measuring the target's total byte stream (the
+  // sweep's domain). The default plan never faults; it only counts.
+  uint64_t MeasureCleanBytes(RepoIoTarget target) {
+    const std::string probe = dir_ + "_probe";
+    fs::remove_all(probe);
+    RepoIoFaultInjector::Arm(target, RepoIoFaultPlan{});
+    const PipelineResult r = RunPipeline(probe, RepoOptions{});
+    const uint64_t total = RepoIoFaultInjector::bytes_admitted(target);
+    RepoIoFaultInjector::DisarmAll();
+    fs::remove_all(probe);
+    EXPECT_TRUE(r.opened && r.all_spills_ok);
+    EXPECT_EQ(RepoIoFaultInjector::faults_injected(target), 0u);
+    return total;
+  }
+
+  // Budget sweep: each iteration runs the whole pipeline with the crossing
+  // write torn for real. Strided over the body (each run is a full
+  // simulation, unlike the byte-cheap truncation sweeps above) but
+  // byte-exact over the final record's tail, where the torn group commit
+  // lives.
+  void WriteFaultSweep(RepoIoTarget target, bool expect_rollback) {
+    const uint64_t total = MeasureCleanBytes(target);
+    ASSERT_GT(total, 0u);
+    std::set<uint64_t> budgets;
+    const uint64_t stride = std::max<uint64_t>(1, total / 96);
+    for (uint64_t b = 0; b < total; b += stride) {
+      budgets.insert(b);
+    }
+    for (uint64_t b = total > 64 ? total - 64 : 0; b < total; ++b) {
+      budgets.insert(b);
+    }
+    const std::string scratch = dir_ + "_fault";
+    for (const uint64_t budget : budgets) {
       fs::remove_all(scratch);
-      fs::copy(dir_, scratch);
-      fs::resize_file(fs::path(scratch) / file, len);
-      std::string error;
-      auto repo = CheckpointRepo::Open(scratch, RepoOptions{}, &error);
-      if (repo == nullptr) {
-        EXPECT_FALSE(error.empty()) << file << " truncated to " << len;
-        continue;
-      }
-      const size_t live = repo->live_image_count();
-      EXPECT_EQ(live % kPartitions, 0u)
-          << file << " truncated to " << len << " exposed a torn epoch of "
-          << live << " images";
-      EXPECT_LE(live, kEpochs * kPartitions);
-      seen_counts.insert(live);
-      for (const uint64_t handle : repo->LiveHandles()) {
-        EXPECT_FALSE(repo->Materialize(handle).empty())
-            << file << " truncated to " << len << ", handle " << handle;
-      }
+      RepoIoFaultPlan plan;
+      plan.allow_bytes = budget;
+      RepoIoFaultInjector::Arm(target, plan);
+      const PipelineResult r = RunPipeline(scratch, RepoOptions{});
+      const uint64_t faults = RepoIoFaultInjector::faults_injected(target);
+      RepoIoFaultInjector::DisarmAll();
+      // The budget is below the clean stream, so some write must have torn,
+      // and a commit containing it must have reported failure.
+      EXPECT_GT(faults, 0u) << "budget " << budget;
+      EXPECT_FALSE(r.opened && r.all_spills_ok) << "budget " << budget;
+      ExpectWholeEpochs(scratch, budget);
     }
     fs::remove_all(scratch);
     if (expect_rollback) {
       // The sweep actually recovered a partial-history state: the first
-      // epoch alone, the crashed group commit invisible.
-      EXPECT_TRUE(seen_counts.count(kPartitions)) << file;
+      // epoch alone, the torn group commit invisible.
+      EXPECT_TRUE(seen_counts_.count(kPartitions));
     }
   }
+
+  std::set<size_t> seen_counts_;
 };
 
-TEST_F(AsyncSpillDurabilityTest, JournalTearRecoversWholeEpochsOnly) {
-  BuildAsyncSpilledFixture();
-  WholeEpochSweep("journal.1", /*expect_rollback=*/true);
+TEST_F(AsyncSpillDurabilityTest, JournalWriteTearRecoversWholeEpochsOnly) {
+  WriteFaultSweep(RepoIoTarget::kJournal, /*expect_rollback=*/true);
 }
 
-TEST_F(AsyncSpillDurabilityTest, SegmentTearRecoversWholeEpochsOnly) {
-  BuildAsyncSpilledFixture();
-  // Segment truncation corrupts payloads the journal references: recovery
-  // either rejects the wreck outright or opens the whole history — the
-  // journal still names every epoch, so no rollback state is reachable.
-  WholeEpochSweep("segment.1", /*expect_rollback=*/false);
+TEST_F(AsyncSpillDurabilityTest, SegmentWriteTearRecoversWholeEpochsOnly) {
+  // A torn segment write aborts the group commit before its journal record
+  // exists, so recovery lands on a clean whole-epoch prefix (possibly empty);
+  // the journal never names a payload that failed to land.
+  WriteFaultSweep(RepoIoTarget::kSegment, /*expect_rollback=*/true);
+}
+
+TEST_F(AsyncSpillDurabilityTest, FsyncFailureFailsTheCommitNotTheProcess) {
+  // With options.fsync every group commit syncs the journal; a failing fsync
+  // must surface as a failed spill (the epoch is not durably committed) while
+  // the run itself carries on, and a reopen still sees only whole epochs —
+  // the record bytes may or may not have reached the disk, which is exactly
+  // the ambiguity a real fsync failure leaves.
+  const std::string scratch = dir_ + "_fsync";
+  fs::remove_all(scratch);
+  RepoOptions opts;
+  opts.fsync = true;
+  const PipelineResult r = RunPipeline(scratch, opts, [] {
+    RepoIoFaultPlan plan;
+    plan.fail_fsync = true;
+    RepoIoFaultInjector::Arm(RepoIoTarget::kJournal, plan);
+  });
+  const uint64_t faults =
+      RepoIoFaultInjector::faults_injected(RepoIoTarget::kJournal);
+  RepoIoFaultInjector::DisarmAll();
+  ASSERT_TRUE(r.opened);
+  EXPECT_EQ(r.epochs_run, kEpochs);
+  EXPECT_GT(faults, 0u);
+  EXPECT_FALSE(r.all_spills_ok);
+  ExpectWholeEpochs(scratch, /*budget=*/0);
+  fs::remove_all(scratch);
 }
 
 // --- fsync durability path ------------------------------------------------------
