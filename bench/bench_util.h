@@ -21,6 +21,13 @@
 // "metrics" is taken by the paper-vs-measured rows EmitJson writes, and
 // emitting both under one key produced a duplicate-key object whose parse
 // depended on the reader's last-wins/first-wins policy.
+//
+// --ledger[=FILE] (PR 10) arms the epoch critical-path ledger
+// (obs::EpochLedger) at startup and writes the final run's merged records as
+// JSONL to FILE (default <name>_ledger.jsonl) at exit — feed the file to
+// tools/tcsim_analyze. Benches that compute attribution columns in-process
+// re-Enable() the ledger per measured run regardless of the flag; the flag
+// only controls whether the last run's ledger is persisted.
 
 #ifndef TCSIM_BENCH_BENCH_UTIL_H_
 #define TCSIM_BENCH_BENCH_UTIL_H_
@@ -30,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/epoch_ledger.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_session.h"
 #include "src/sim/invariants.h"
@@ -245,6 +253,12 @@ class BenchMain {
     if (obs::TraceSession::Global().enabled()) {
       obs::TraceSession::Global().InstallAuditDump();
     }
+    const char* ledger = FlagValue(argc, argv, "--ledger");
+    if (ledger != nullptr) {
+      ledger_file_ =
+          *ledger != '\0' ? ledger : std::string(name) + "_ledger.jsonl";
+      obs::EpochLedger::Global().Enable();
+    }
   }
 
   int Finish(int rc) const {
@@ -270,6 +284,19 @@ class BenchMain {
         std::printf("\n--- spans ---\n%s", trace.ExportSummaryTable().c_str());
       }
     }
+    if (!ledger_file_.empty()) {
+      obs::EpochLedger& ledger = obs::EpochLedger::Global();
+      if (ledger.WriteJsonl(ledger_file_)) {
+        if (!BenchReport::Instance().json_mode()) {
+          std::printf("\nledger: %zu records -> %s (analyze with "
+                      "tcsim_analyze)\n",
+                      ledger.recorded(), ledger_file_.c_str());
+        }
+      } else {
+        std::fprintf(stderr, "cannot write ledger file %s\n",
+                     ledger_file_.c_str());
+      }
+    }
     if (BenchReport::Instance().json_mode()) {
       BenchReport::Instance().AddExtra("telemetry",
                                        obs::MetricsRegistry::Global().ExportJson());
@@ -281,6 +308,7 @@ class BenchMain {
  private:
   bool metrics_ = false;
   std::string trace_file_;
+  std::string ledger_file_;
 };
 
 // True while --json is active: helpers keep recording but stop printing.

@@ -83,6 +83,31 @@ def check_repo_throughput(base, got, errors, warnings):
                 f"({100.0 * new / old:.0f}% of baseline)")
 
 
+def check_ledger_attribution(name, base, got, errors, row_keys=()):
+    """Shared gate for the epoch-ledger attribution (PR 10): once a baseline
+    carries ledger keys, the fresh run must keep reporting them and keep
+    ledger_coverage_ok true — the analyzer must account for >= 95% of each
+    epoch's wall time. The measured coverage value itself is machine-timing
+    noise above that floor and is not compared."""
+    if "ledger_coverage_ok" in base:
+        if got.get("ledger_coverage_ok") is not True:
+            errors.append(f"{name}: ledger_coverage_ok is not true "
+                          "(attribution below 95% of epoch wall time)")
+        if not isinstance(got.get("ledger_min_coverage"),
+                          (int, float, str)):
+            errors.append(f"{name}: ledger_min_coverage key dropped")
+    for rows_key, keys in row_keys:
+        base_rows = base.get(rows_key, [])
+        rows = got.get(rows_key, [])
+        for i, base_row in enumerate(base_rows):
+            if i >= len(rows):
+                break
+            for key in keys:
+                if key in base_row and key not in rows[i]:
+                    errors.append(f"{name}: {rows_key}[{i}] ledger key "
+                                  f"dropped: {key}")
+
+
 def check_frozen_window(base, got, errors, warnings):
     """tab_frozen_window: digest identity and row coverage are structural
     (errors); the measured reduction is machine-dependent (warn only when it
@@ -117,6 +142,12 @@ def check_frozen_window(base, got, errors, warnings):
     if got.get("frozen_reduction_ok") is not True:
         errors.append("tab_frozen_window: frozen_reduction_ok is not true "
                       "(below the 3x floor)")
+    check_ledger_attribution(
+        "tab_frozen_window", base, got, errors,
+        row_keys=[("frozen_window",
+                   ("ledger_coverage", "straggler_partition",
+                    "straggler_slack_ms", "ledger_window_share",
+                    "ledger_frozen_share", "ledger_commit_wait_share"))])
 
 
 def check_failover(base, got, errors):
@@ -140,6 +171,11 @@ def check_failover(base, got, errors):
                           "to the external observer")
         if not isinstance(row.get("recovery_ms"), (int, float)):
             errors.append(f"tab_failover: hosts={hosts} recovery_ms dropped")
+    check_ledger_attribution(
+        "tab_failover", base, got, errors,
+        row_keys=[("failover",
+                   ("ledger_coverage", "straggler_partition",
+                    "straggler_slack_ms", "ledger_hold_p99_ms"))])
 
 
 def main():
@@ -192,6 +228,11 @@ def main():
             if "async_capture_ok" in base and \
                     got.get("async_capture_ok") is not True:
                 errors.append(f"{name}: async_capture_ok is not true")
+            check_ledger_attribution(
+                name, base, got, errors,
+                row_keys=[("epoch_spill",
+                           ("ledger_coverage", "straggler_partition",
+                            "straggler_slack_ms"))])
         if name == "tab_frozen_window":
             check_frozen_window(base, got, errors, warnings)
         if name == "tab_repo_persist":

@@ -1,0 +1,82 @@
+// In-process epoch-ledger attribution for benches (PR 10).
+//
+// The tab_* benches that exercise the epoch pipeline arm obs::EpochLedger
+// around each measured run and fold the analyzer's verdict — coverage,
+// straggler, phase shares, output-hold tail — into their JSON rows, so the
+// consolidated BENCH_*.json carries latency attribution next to the raw
+// timings and bench/check_trajectory.py can gate on it.
+//
+// Benches including this header must link tcsim_analyze_lib (tools/).
+
+#ifndef TCSIM_BENCH_LEDGER_UTIL_H_
+#define TCSIM_BENCH_LEDGER_UTIL_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/obs/epoch_ledger.h"
+#include "tools/analyze.h"
+
+namespace tcsim {
+
+// The row-level digest of one run's ledger.
+struct LedgerAttribution {
+  bool ok = false;            // analysis ran and found no structural errors
+  size_t epochs = 0;
+  double min_coverage = 0.0;  // min over epochs of attributed/wall
+  int32_t straggler_partition = -1;  // most frequent straggler across epochs
+  double straggler_slack_ms = 0.0;   // mean barrier wait on the straggler
+  double window_share = 0.0;         // aggregate phase shares of total wall
+  double frozen_share = 0.0;         // freeze + capture + spill
+  double commit_wait_share = 0.0;
+  double hold_p99_us = 0.0;          // output-hold tail (HA runs; else 0)
+};
+
+// Analyzes the globally held ledger records (call after the run's joins) and
+// disables further recording; the records stay held for bench_util's
+// --ledger export at Finish.
+inline LedgerAttribution AnalyzeLedgerRun() {
+  obs::EpochLedger& ledger = obs::EpochLedger::Global();
+  const tools::LedgerAnalysis analysis =
+      tools::Analyze(tools::FromLedger(ledger.Merged()));
+  ledger.Disable();
+  LedgerAttribution out;
+  out.ok = analysis.ok();
+  out.epochs = analysis.epochs.size();
+  out.min_coverage = analysis.min_coverage;
+  out.hold_p99_us = analysis.hold_p99_us;
+  std::map<int32_t, size_t> straggler_votes;
+  for (const tools::EpochAnalysis& ep : analysis.epochs) {
+    if (ep.straggler_partition >= 0) {
+      ++straggler_votes[ep.straggler_partition];
+    }
+    out.straggler_slack_ms += ep.straggler_slack_ms;
+  }
+  if (!analysis.epochs.empty()) {
+    out.straggler_slack_ms /= static_cast<double>(analysis.epochs.size());
+  }
+  size_t votes = 0;
+  for (const auto& [partition, n] : straggler_votes) {
+    if (n > votes) {
+      votes = n;
+      out.straggler_partition = partition;
+    }
+  }
+  if (analysis.total_wall_ms > 1e-9) {
+    for (const auto& [phase, ms] : analysis.phase_totals_ms) {
+      const double share = ms / analysis.total_wall_ms;
+      if (phase == "window") {
+        out.window_share += share;
+      } else if (phase == "freeze" || phase == "capture" || phase == "spill") {
+        out.frozen_share += share;
+      } else if (phase == "commit_wait") {
+        out.commit_wait_share += share;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tcsim
+
+#endif  // TCSIM_BENCH_LEDGER_UTIL_H_

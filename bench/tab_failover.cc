@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/ledger_util.h"
 #include "src/emulab/external_observer.h"
 #include "src/ha/fault_injector.h"
 #include "src/ha/micro_checkpointer.h"
@@ -64,6 +65,7 @@ struct HaRun {
   size_t recoveries = 0;
   bool recovered_ok = true;
   double wall_s = 0;
+  LedgerAttribution ledger;
 };
 
 HaRun RunOnce(const Scale& scale, SimTime period, SimTime horizon,
@@ -85,11 +87,13 @@ HaRun RunOnce(const Scale& scale, SimTime period, SimTime horizon,
     mc.SetFaultInjector(faults);
   }
 
+  obs::EpochLedger::Global().Enable();
   const auto start = std::chrono::steady_clock::now();
   mc.RunUntil(horizon);
   const auto stop = std::chrono::steady_clock::now();
 
   HaRun r;
+  r.ledger = AnalyzeLedgerRun();
   r.trace = observer.trace();
   Fnv1aDigest behavior;
   for (size_t i = 0; i < topo->node_count(); ++i) {
@@ -148,6 +152,8 @@ int main(int argc, char** argv) {
 
   const Scale scales[] = {{100, 5, 5}, {1000, 10, 25}};
   bool ok = true;
+  bool coverage_ok = true;
+  double min_coverage = 1.0;
   double recovery_ms_worst_mean = 0;
   std::string rows = "[\n";
   for (size_t i = 0; i < 2; ++i) {
@@ -183,20 +189,33 @@ int main(int argc, char** argv) {
     PrintValue("holds discarded", static_cast<double>(faulty.discarded), "");
     PrintValue("re-emissions suppressed",
                static_cast<double>(faulty.suppressed), "");
+    PrintValue("ledger coverage (faulty, min epoch)",
+               faulty.ledger.min_coverage, "");
+    PrintValue("straggler slack (mean)", faulty.ledger.straggler_slack_ms,
+               "ms");
+    PrintValue("ledger hold p99", faulty.ledger.hold_p99_us / 1000.0, "ms");
+    const bool cover_ok = faulty.ledger.ok && clean.ledger.ok &&
+                          faulty.ledger.min_coverage >= 0.95 &&
+                          clean.ledger.min_coverage >= 0.95;
+    coverage_ok = coverage_ok && cover_ok;
+    min_coverage = std::min(
+        {min_coverage, faulty.ledger.min_coverage, clean.ledger.min_coverage});
     PrintNote(transparent
                   ? "faulty trace bit-identical to fault-free at the "
                     "external observer"
                   : std::string("TRANSPARENCY FAILED: ") + diff.Describe());
     BenchReport::Instance().RecordDigest(faulty.behavior_digest);
 
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof buf,
         "    {\"hosts\": %u, \"mc_hz\": %llu, \"kills\": %u, \"epochs\": %llu, "
         "\"released\": %llu, \"hold_ms_mean\": %.4f, \"hold_ms_p99\": %.4f, "
         "\"recovery_ms\": %.4f, \"recovery_ms_max\": %.4f, "
         "\"rollback_sim_ms\": %.4f, \"replayed\": %llu, \"discarded\": %llu, "
-        "\"suppressed\": %llu, \"transparent\": %s}%s\n",
+        "\"suppressed\": %llu, \"transparent\": %s, "
+        "\"ledger_coverage\": %.3f, \"straggler_partition\": %d, "
+        "\"straggler_slack_ms\": %.3f, \"ledger_hold_p99_ms\": %.4f}%s\n",
         scale.hosts, static_cast<unsigned long long>(mc_hz), kills,
         static_cast<unsigned long long>(faulty.epochs),
         static_cast<unsigned long long>(faulty.released), faulty.hold_ms_mean,
@@ -205,7 +224,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(faulty.replayed),
         static_cast<unsigned long long>(faulty.discarded),
         static_cast<unsigned long long>(faulty.suppressed),
-        transparent ? "true" : "false", i == 0 ? "," : "");
+        transparent ? "true" : "false", faulty.ledger.min_coverage,
+        faulty.ledger.straggler_partition, faulty.ledger.straggler_slack_ms,
+        faulty.ledger.hold_p99_us / 1000.0, i == 0 ? "," : "");
     rows += buf;
   }
   rows += "  ]";
@@ -216,9 +237,20 @@ int main(int argc, char** argv) {
     BenchReport::Instance().AddExtra("recovery_ms", buf);
   }
   BenchReport::Instance().AddExtra("transparency_ok", ok ? "true" : "false");
-
-  if (!ok && !JsonQuiet()) {
-    std::printf("\nFAIL: failover was visible to the external observer\n");
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", min_coverage);
+    BenchReport::Instance().AddExtra("ledger_min_coverage", buf);
   }
-  return bm.Finish(ok ? 0 : 1);
+  BenchReport::Instance().AddExtra("ledger_coverage_ok",
+                                   coverage_ok ? "true" : "false");
+
+  if (!JsonQuiet()) {
+    if (!ok) {
+      std::printf("\nFAIL: failover was visible to the external observer\n");
+    } else if (!coverage_ok) {
+      std::printf("\nFAIL: ledger attribution below 95%% of epoch wall time\n");
+    }
+  }
+  return bm.Finish(ok && coverage_ok ? 0 : 1);
 }

@@ -19,6 +19,7 @@
 //   $ ./build/bench/tab_frozen_window [--json] [--sim-ms=T] [--epoch-ms=E]
 //        [--partitions=P] [--workers=W]
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/ledger_util.h"
 #include "src/checkpoint/epoch_coordinator.h"
 #include "src/net/topology.h"
 #include "src/repo/checkpoint_repo.h"
@@ -50,6 +52,7 @@ struct ModeResult {
   double commit_wait_ms = 0;       // mean stall on the previous commit (async)
   bool spill_ok = true;
   bool open_ok = true;
+  LedgerAttribution ledger;
 };
 
 ModeResult RunMode(GeneratedTopologyParams params, uint32_t partitions,
@@ -82,7 +85,9 @@ ModeResult RunMode(GeneratedTopologyParams params, uint32_t partitions,
     });
   }
   epochs.AttachRepository(repo.get());
+  obs::EpochLedger::Global().Enable();
   epochs.RunUntil(horizon);
+  r.ledger = AnalyzeLedgerRun();
 
   r.epochs = epochs.history().size();
   for (const auto& rec : epochs.history()) {
@@ -135,6 +140,8 @@ int main(int argc, char** argv) {
   const uint32_t host_sweep[] = {100, 1000};
   bool digests_ok = true;
   bool spills_ok = true;
+  bool coverage_ok = true;
+  double min_coverage = 1.0;
   double final_reduction = 0;
   std::string rows = "[\n";
   for (size_t i = 0; i < 2; ++i) {
@@ -171,6 +178,21 @@ int main(int argc, char** argv) {
     PrintValue("async background (overlapped)", async.background_ms, "ms");
     PrintValue("async commit wait", async.commit_wait_ms, "ms");
     PrintValue("frozen-window reduction", reduction, "x");
+    PrintValue("ledger coverage (async, min epoch)", async.ledger.min_coverage,
+               "");
+    PrintValue("straggler partition",
+               static_cast<double>(async.ledger.straggler_partition), "");
+    PrintValue("straggler slack (mean)", async.ledger.straggler_slack_ms,
+               "ms");
+    // The attribution itself must account for the run: every epoch's wall
+    // time >= 95% explained by stamped serial phases, in both modes.
+    const bool cover_ok = sync.ledger.ok && async.ledger.ok &&
+                          sync.ledger.min_coverage >= 0.95 &&
+                          async.ledger.min_coverage >= 0.95;
+    coverage_ok = coverage_ok && cover_ok;
+    min_coverage =
+        std::min({min_coverage, sync.ledger.min_coverage,
+                  async.ledger.min_coverage});
     PrintNote(digest_ok
                   ? "async captures digest bit-identical to synchronous"
                   : "DIGEST MISMATCH: async diverged from synchronous");
@@ -179,18 +201,25 @@ int main(int argc, char** argv) {
     }
     BenchReport::Instance().RecordDigest(async.captures_digest);
 
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof buf,
         "    {\"hosts\": %u, \"epochs\": %zu, \"epoch_image_bytes\": %llu, "
         "\"sync_frozen_ms\": %.3f, \"async_frozen_ms\": %.3f, "
         "\"background_ms\": %.3f, \"commit_wait_ms\": %.3f, "
-        "\"reduction\": %.3f, \"digest_ok\": %s, \"spill_ok\": %s}%s\n",
+        "\"reduction\": %.3f, \"digest_ok\": %s, \"spill_ok\": %s, "
+        "\"ledger_coverage\": %.3f, \"straggler_partition\": %d, "
+        "\"straggler_slack_ms\": %.3f, \"ledger_window_share\": %.3f, "
+        "\"ledger_frozen_share\": %.3f, \"ledger_commit_wait_share\": %.3f}"
+        "%s\n",
         host_sweep[i], sync.epochs,
         static_cast<unsigned long long>(sync.epoch_image_bytes),
         sync.frozen_ms, async.frozen_ms, async.background_ms,
         async.commit_wait_ms, reduction, digest_ok ? "true" : "false",
-        spill_ok ? "true" : "false", i == 0 ? "," : "");
+        spill_ok ? "true" : "false", async.ledger.min_coverage,
+        async.ledger.straggler_partition, async.ledger.straggler_slack_ms,
+        async.ledger.window_share, async.ledger.frozen_share,
+        async.ledger.commit_wait_share, i == 0 ? "," : "");
     rows += buf;
   }
   rows += "  ]";
@@ -208,13 +237,20 @@ int main(int argc, char** argv) {
   BenchReport::Instance().AddExtra("frozen_reduction_1k", red);
   BenchReport::Instance().AddExtra("frozen_reduction_ok",
                                    reduction_ok ? "true" : "false");
+  char cover[32];
+  std::snprintf(cover, sizeof cover, "%.3f", min_coverage);
+  BenchReport::Instance().AddExtra("ledger_min_coverage", cover);
+  BenchReport::Instance().AddExtra("ledger_coverage_ok",
+                                   coverage_ok ? "true" : "false");
 
-  const bool ok = digests_ok && spills_ok && reduction_ok;
+  const bool ok = digests_ok && spills_ok && reduction_ok && coverage_ok;
   if (!ok && !JsonQuiet()) {
     std::printf("\nFAIL: %s\n",
                 !digests_ok ? "two-phase capture diverged from synchronous"
                 : !spills_ok ? "repository spill failed"
-                             : "frozen-window reduction below 3x at 1k hosts");
+                : !reduction_ok
+                    ? "frozen-window reduction below 3x at 1k hosts"
+                    : "ledger attribution below 95% of epoch wall time");
   }
   return bm.Finish(ok ? 0 : 1);
 }

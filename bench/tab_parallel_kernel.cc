@@ -17,6 +17,7 @@
 // hardware thread the honest number is <= 1; the digest identity is the
 // machine-independent claim.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/ledger_util.h"
 #include "src/checkpoint/epoch_coordinator.h"
 #include "src/net/topology.h"
 #include "src/repo/checkpoint_repo.h"
@@ -110,6 +112,7 @@ struct SpillRunResult {
   uint64_t captures_digest = 0;
   bool spill_ok = true;            // every epoch committed
   bool reopen_ok = false;          // a fresh process saw identical bytes
+  LedgerAttribution ledger;
 };
 
 SpillRunResult RunSpill(GeneratedTopologyParams params, uint32_t hosts,
@@ -139,7 +142,9 @@ SpillRunResult RunSpill(GeneratedTopologyParams params, uint32_t hosts,
     });
   }
   epochs.AttachRepository(repo.get());
+  obs::EpochLedger::Global().Enable();
   epochs.RunUntil(horizon);
+  r.ledger = AnalyzeLedgerRun();
 
   r.epochs = epochs.history().size();
   for (const auto& rec : epochs.history()) {
@@ -278,6 +283,8 @@ int main(int argc, char** argv) {
   // Both capture modes run; the two-phase run's captures digest must match
   // the synchronous one's (async_capture_ok).
   bool async_ok = true;
+  bool coverage_ok = true;
+  double min_coverage = 1.0;
   std::string spill_rows = "[\n";
   const uint32_t spill_hosts[] = {100, 1000};
   for (size_t i = 0; i < 2; ++i) {
@@ -303,34 +310,57 @@ int main(int argc, char** argv) {
     PrintValue("epoch spill cost (group commit)", spill.spill_ms, "ms");
     PrintValue("frozen window, sync", spill.frozen_ms, "ms");
     PrintValue("frozen window, two-phase", aspill.frozen_ms, "ms");
+    PrintValue("ledger coverage (two-phase, min epoch)",
+               aspill.ledger.min_coverage, "");
+    PrintValue("straggler slack (mean)", aspill.ledger.straggler_slack_ms,
+               "ms");
+    const bool cover_ok = spill.ledger.ok && aspill.ledger.ok &&
+                          spill.ledger.min_coverage >= 0.95 &&
+                          aspill.ledger.min_coverage >= 0.95;
+    coverage_ok = coverage_ok && cover_ok;
+    min_coverage = std::min(
+        {min_coverage, spill.ledger.min_coverage, aspill.ledger.min_coverage});
     PrintNote(spill.spill_ok && spill.reopen_ok
                   ? "all epochs committed; reopen byte-identical"
                   : "EPOCH SPILL FAILED OR DIVERGED ON REOPEN");
     PrintNote(mode_ok ? "two-phase captures digest matches synchronous"
                       : "ASYNC CAPTURE DIVERGED from synchronous");
 
-    char buf[384];
+    char buf[512];
     std::snprintf(
         buf, sizeof buf,
         "    {\"hosts\": %u, \"epochs\": %zu, \"epoch_image_bytes\": %llu, "
         "\"capture_ms\": %.3f, \"spill_ms\": %.3f, \"sync_frozen_ms\": %.3f, "
         "\"async_frozen_ms\": %.3f, \"spill_ok\": %s, \"reopen_ok\": %s, "
-        "\"async_capture_ok\": %s}%s\n",
+        "\"async_capture_ok\": %s, \"ledger_coverage\": %.3f, "
+        "\"straggler_partition\": %d, \"straggler_slack_ms\": %.3f}%s\n",
         spill_hosts[i], spill.epochs,
         static_cast<unsigned long long>(spill.epoch_image_bytes),
         spill.capture_ms, spill.spill_ms, spill.frozen_ms, aspill.frozen_ms,
         spill.spill_ok ? "true" : "false",
         spill.reopen_ok ? "true" : "false", mode_ok ? "true" : "false",
-        i == 0 ? "," : "");
+        aspill.ledger.min_coverage, aspill.ledger.straggler_partition,
+        aspill.ledger.straggler_slack_ms, i == 0 ? "," : "");
     spill_rows += buf;
   }
   spill_rows += "  ]";
   BenchReport::Instance().AddExtra("epoch_spill", spill_rows);
   BenchReport::Instance().AddExtra("async_capture_ok",
                                    async_ok ? "true" : "false");
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", min_coverage);
+    BenchReport::Instance().AddExtra("ledger_min_coverage", buf);
+  }
+  BenchReport::Instance().AddExtra("ledger_coverage_ok",
+                                   coverage_ok ? "true" : "false");
+  ok = ok && coverage_ok;
 
   if (!ok && !JsonQuiet()) {
-    std::printf("\nFAIL: parallel run diverged from the sequential oracle\n");
+    std::printf("\nFAIL: %s\n",
+                coverage_ok
+                    ? "parallel run diverged from the sequential oracle"
+                    : "ledger attribution below 95% of epoch wall time");
   }
   return bm.Finish(ok ? 0 : 1);
 }

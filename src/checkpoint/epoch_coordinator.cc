@@ -54,32 +54,83 @@ double PartitionEpochCoordinator::JoinBackground() {
 }
 
 void PartitionEpochCoordinator::RunUntil(SimTime t) {
+  obs::EpochLedger& ledger = obs::EpochLedger::Global();
   while (next_epoch_ <= t) {
+    obs::EpochLedger::BindThread(obs::EpochLedger::kCoordinatorShard,
+                                 epoch_index_);
+    const double w0 = ledger.NowMs();
+    if (ledger.enabled() && ledger_epoch_open_ms_ < 0) {
+      ledger_epoch_open_ms_ = w0;
+    }
     scheduler_->RunUntil(next_epoch_);
+    ledger.StampHere(-1, "window", w0, ledger.NowMs(), "barrier");
     CaptureEpoch();
     next_epoch_ += period_;
+    ++epoch_index_;
   }
+  obs::EpochLedger::BindThread(obs::EpochLedger::kCoordinatorShard,
+                               epoch_index_);
+  const double w0 = ledger.NowMs();
   scheduler_->RunUntil(t);
+  ledger.StampHere(-1, "window", w0, ledger.NowMs(), "horizon");
   // Callers read history()/CapturesDigest()/spill_handles() after RunUntil;
   // the join edge makes those reads race-free and means a returned RunUntil
   // always describes fully committed epochs.
+  const double j0 = ledger.NowMs();
   JoinBackground();
+  ledger.StampHere(-1, "commit_wait", j0, ledger.NowMs(), "final_join");
 }
 
 SimTime PartitionEpochCoordinator::StepEpoch(SimTime horizon) {
+  obs::EpochLedger& ledger = obs::EpochLedger::Global();
   if (next_epoch_ <= horizon) {
     const SimTime barrier = next_epoch_;
+    obs::EpochLedger::BindThread(obs::EpochLedger::kCoordinatorShard,
+                                 epoch_index_);
+    const double w0 = ledger.NowMs();
+    if (ledger.enabled() && ledger_epoch_open_ms_ < 0) {
+      ledger_epoch_open_ms_ = w0;
+    }
     scheduler_->RunUntil(barrier);
+    ledger.StampHere(-1, "window", w0, ledger.NowMs(), "barrier");
     CaptureEpoch();
     next_epoch_ += period_;
+    ++epoch_index_;
     return barrier;
   }
+  obs::EpochLedger::BindThread(obs::EpochLedger::kCoordinatorShard,
+                               epoch_index_);
+  const double w0 = ledger.NowMs();
   scheduler_->RunUntil(horizon);
+  ledger.StampHere(-1, "window", w0, ledger.NowMs(), "horizon");
+  const double j0 = ledger.NowMs();
   JoinBackground();
+  ledger.StampHere(-1, "commit_wait", j0, ledger.NowMs(), "final_join");
   return horizon;
 }
 
+void PartitionEpochCoordinator::CloseEpochLedger(uint64_t k,
+                                                 const char* mode) {
+  obs::EpochLedger& ledger = obs::EpochLedger::Global();
+  if (!ledger.enabled()) {
+    return;
+  }
+  const double now = ledger.NowMs();
+  obs::LedgerRecord rec;
+  rec.epoch = k;
+  rec.partition = -1;
+  rec.phase = "epoch";
+  rec.begin_ms = ledger_epoch_open_ms_ >= 0 ? ledger_epoch_open_ms_ : now;
+  rec.end_ms = now;
+  rec.cause = mode;
+  ledger.Stamp(obs::EpochLedger::kCoordinatorShard, rec);
+  ledger_epoch_open_ms_ = now;
+}
+
 void PartitionEpochCoordinator::CaptureEpochAsync() {
+  obs::EpochLedger& ledger = obs::EpochLedger::Global();
+  const bool lg = ledger.enabled();
+  const uint64_t k = epoch_index_;
   EpochRecord rec;
   rec.async = true;
   rec.at = scheduler_->partition_count() > 0
@@ -88,42 +139,83 @@ void PartitionEpochCoordinator::CaptureEpochAsync() {
   // Only a *subsequent* epoch blocks on the previous epoch's commit: by the
   // time the system has simulated one more period, the commit has usually
   // long finished and this join is free.
+  const double j0 = lg ? ledger.NowMs() : 0.0;
   rec.commit_wait_ms = JoinBackground();
+  if (lg) {
+    ledger.StampHere(-1, "commit_wait", j0, ledger.NowMs(),
+                     "prev_epoch_commit");
+  }
 
   staged_.resize(scheduler_->partition_count());
   const auto start = std::chrono::steady_clock::now();
+  const double f0 = lg ? ledger.NowMs() : 0.0;
   // Freeze phase, inside the barrier: each partition clones its component
   // state into its pinned staging buffer — no archive framing, no CRC, no
   // repo I/O. Cost scales with dirty state, not image bytes.
-  scheduler_->ForEachPartition([this](Partition* p) {
+  scheduler_->ForEachPartition([this, &ledger, lg, k](Partition* p) {
+    const double p0 = lg ? ledger.NowMs() : 0.0;
     StagedCapture* staged = &staged_[p->id()];
     pool_.Acquire(staged);
     snapshot_(p, staged);
+    if (lg) {
+      obs::LedgerRecord lr;
+      lr.epoch = k;
+      lr.partition = static_cast<int32_t>(p->id());
+      lr.phase = "freeze.partition";
+      lr.begin_ms = p0;
+      lr.end_ms = ledger.NowMs();
+      lr.cause = "snapshot";
+      ledger.Stamp(p->id(), lr);
+    }
   });
   const auto end = std::chrono::steady_clock::now();
+  if (lg) {
+    ledger.StampHere(-1, "freeze", f0, ledger.NowMs(), "barrier");
+  }
   rec.frozen_wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
   rec.wall_ms = rec.frozen_wall_ms;
 
   history_.push_back(rec);
   const size_t index = history_.size() - 1;
+  // The epoch's serial (frozen) span ends here: the background phase below
+  // overlaps the next window and is attributed to this epoch by its labels.
+  CloseEpochLedger(k, "async");
   // Background phase: partitions run the next window while this thread
   // serializes, digests, and spills. The previous thread was joined above,
   // so all repository work stays serialized on one owner at a time and the
-  // members BackgroundCommit touches are handed off race-free.
+  // members BackgroundCommit touches are handed off race-free. The spawn
+  // itself is serial coordinator time (tens of microseconds) spent after the
+  // epoch closed — stamped so fast epochs still attribute fully.
+  const double l0 = lg ? ledger.NowMs() : 0.0;
   background_ = std::thread([this, index] { BackgroundCommit(index); });
+  if (lg) {
+    ledger.StampHere(-1, "commit_launch", l0, ledger.NowMs(), "thread_spawn");
+  }
 }
 
 void PartitionEpochCoordinator::BackgroundCommit(size_t index) {
+  obs::EpochLedger& ledger = obs::EpochLedger::Global();
+  const bool lg = ledger.enabled();
+  // history_ grows one record per epoch, so index + 1 is the 1-based epoch
+  // this commit belongs to — the label its overlapped work carries.
+  obs::EpochLedger::BindThread(obs::EpochLedger::kCommitShard,
+                               static_cast<uint64_t>(index) + 1);
   const auto start = std::chrono::steady_clock::now();
+  const double c0 = lg ? ledger.NowMs() : 0.0;
   EpochRecord& rec = history_[index];
   std::unique_ptr<RepoWriteBatch> batch =
       repo_ != nullptr ? repo_->BeginBatch() : nullptr;
   std::vector<std::shared_ptr<const std::vector<uint8_t>>> images(
       staged_.size());
   for (size_t p = 0; p < staged_.size(); ++p) {
+    const double s0 = lg ? ledger.NowMs() : 0.0;
     auto image = std::make_shared<const std::vector<uint8_t>>(
         SerializeStagedImage(staged_[p]));
+    if (lg) {
+      ledger.StampHere(static_cast<int32_t>(p), "serialize.partition", s0,
+                       ledger.NowMs(), "background");
+    }
     rec.image_bytes += image->size();
     captures_digest_.MixBytes(image->data(), image->size());
     if (batch != nullptr) {
@@ -158,6 +250,10 @@ void PartitionEpochCoordinator::BackgroundCommit(size_t index) {
   rec.background_wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - start)
                                .count();
+  if (lg) {
+    ledger.StampHere(-1, "commit", c0, ledger.NowMs(), "background");
+  }
+  obs::EpochLedger::UnbindThread();
 }
 
 void PartitionEpochCoordinator::CaptureEpoch() {
@@ -165,6 +261,9 @@ void PartitionEpochCoordinator::CaptureEpoch() {
     CaptureEpochAsync();
     return;
   }
+  obs::EpochLedger& ledger = obs::EpochLedger::Global();
+  const bool lg = ledger.enabled();
+  const uint64_t k = epoch_index_;
   EpochRecord rec;
   rec.at = scheduler_->partition_count() > 0
                ? scheduler_->partition(0)->sim()->Now()
@@ -174,6 +273,7 @@ void PartitionEpochCoordinator::CaptureEpoch() {
     std::unique_ptr<RepoWriteBatch> batch =
         repo_ != nullptr ? repo_->BeginBatch() : nullptr;
     const auto start = std::chrono::steady_clock::now();
+    const double c0 = lg ? ledger.NowMs() : 0.0;
     // Each capture runs as one pool task and writes only its own slot; the
     // phase barrier inside ForEachPartition publishes the slots back to this
     // thread. With a repository attached the worker also stages its image
@@ -181,13 +281,24 @@ void PartitionEpochCoordinator::CaptureEpoch() {
     // thread-safe), so content hashing overlaps the remaining captures;
     // sequence = partition id keeps the commit order — and therefore the
     // repository's bytes — independent of worker interleaving.
-    scheduler_->ForEachPartition([this, &batch](Partition* p) {
+    scheduler_->ForEachPartition([this, &batch, &ledger, lg, k](Partition* p) {
+      const double p0 = lg ? ledger.NowMs() : 0.0;
       auto image = std::make_shared<const std::vector<uint8_t>>(capture_(p));
       if (batch != nullptr) {
         batch->Stage(image, /*parent_handle=*/0, /*parent_ticket=*/0,
                      /*sequence=*/p->id() + 1);
       }
       images_[p->id()] = std::move(image);
+      if (lg) {
+        obs::LedgerRecord lr;
+        lr.epoch = k;
+        lr.partition = static_cast<int32_t>(p->id());
+        lr.phase = "capture.partition";
+        lr.begin_ms = p0;
+        lr.end_ms = ledger.NowMs();
+        lr.cause = "serialize";
+        ledger.Stamp(p->id(), lr);
+      }
     });
     const auto end = std::chrono::steady_clock::now();
     rec.wall_ms =
@@ -196,11 +307,20 @@ void PartitionEpochCoordinator::CaptureEpoch() {
       rec.image_bytes += image->size();
       captures_digest_.MixBytes(image->data(), image->size());
     }
+    if (lg) {
+      // The capture stamp closes after the digest fold: that fold is serial
+      // coordinator work inside the frozen window too.
+      ledger.StampHere(-1, "capture", c0, ledger.NowMs(), "barrier");
+    }
     if (batch != nullptr) {
       const auto spill_start = std::chrono::steady_clock::now();
+      const double s0 = lg ? ledger.NowMs() : 0.0;
       const CheckpointRepo::BatchCommitResult result =
           repo_->CommitBatch(std::move(batch));
       const auto spill_end = std::chrono::steady_clock::now();
+      if (lg) {
+        ledger.StampHere(-1, "spill", s0, ledger.NowMs(), "group_commit");
+      }
       rec.spill_wall_ms =
           std::chrono::duration<double, std::milli>(spill_end - spill_start)
               .count();
@@ -223,6 +343,7 @@ void PartitionEpochCoordinator::CaptureEpoch() {
     images_.clear();
   }
   history_.push_back(rec);
+  CloseEpochLedger(k, "sync");
 }
 
 }  // namespace tcsim

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/epoch_ledger.h"
 #include "src/repo/checkpoint_repo.h"
 #include "src/sim/digest.h"
 #include "src/sim/partition.h"
@@ -101,6 +102,10 @@ class PartitionEpochCoordinator {
   // The next barrier's simulated instant.
   SimTime next_epoch() const { return next_epoch_; }
 
+  // 1-based index of the next epoch to capture — the label every ledger
+  // record of the currently running window carries.
+  uint64_t epoch_index() const { return epoch_index_; }
+
   // Spill every epoch's captures into `repo` as one group-committed batch:
   // capture workers stage their partition's image into the shared batch as
   // soon as it is serialized (hashing overlaps the remaining captures), and
@@ -141,6 +146,9 @@ class PartitionEpochCoordinator {
   // Joins the in-flight background commit, returning the wall ms spent
   // blocked (0 when none was running or it had already finished).
   double JoinBackground();
+  // Emits epoch `k`'s boundary ledger record (span: end of the previous
+  // epoch's capture to now) and advances the open-edge bookkeeping.
+  void CloseEpochLedger(uint64_t k, const char* mode);
 
   PartitionScheduler* scheduler_;
   SimTime period_;
@@ -148,6 +156,11 @@ class PartitionEpochCoordinator {
   SnapshotFn snapshot_;  // non-empty once EnableAsyncCapture was called
   bool async_ = false;
   SimTime next_epoch_;
+  uint64_t epoch_index_ = 1;  // 1-based; advances with next_epoch_
+  // Wall instant (ledger clock) where the current epoch's span opened: the
+  // end of the previous epoch's capture, or the first window's start. -1
+  // until the ledger sees the first window.
+  double ledger_epoch_open_ms_ = -1.0;
   CheckpointRepo* repo_ = nullptr;
   std::vector<EpochRecord> history_;
   // Scratch, indexed by partition. Shared ownership: the same buffer feeds

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "src/obs/epoch_ledger.h"
 #include "src/obs/trace_session.h"
 #include "src/sim/simulator.h"
 
@@ -22,6 +23,13 @@ RecoveryRecord FailoverManager::KillAndRestore(uint32_t victim, SimTime now,
                                                const CommittedEpoch& target) {
   assert(victim < topo_->partition_count());
   assert(target.at <= now);
+  // Post-fault forensics: when the flight recorder is armed, dump the
+  // pre-kill window before recovery mutates anything — not only on the first
+  // invariant violation.
+  obs::TraceSession::Global().DumpRingNow("failover recovery start");
+  obs::EpochLedger& ledger = obs::EpochLedger::Global();
+  const bool lg = ledger.enabled();
+  const double l0 = lg ? ledger.NowMs() : 0.0;
   const auto start = std::chrono::steady_clock::now();
   RecoveryRecord rec;
   rec.partition = victim;
@@ -57,6 +65,13 @@ RecoveryRecord FailoverManager::KillAndRestore(uint32_t victim, SimTime now,
   session.AddSpanArg(span, "replayed", static_cast<double>(rec.replayed));
   session.AddSpanArg(span, "discarded", static_cast<double>(rec.discarded));
   session.EndSpan(span, now);
+  if (lg) {
+    ledger.StampHere(static_cast<int32_t>(victim), "failover", l0,
+                     ledger.NowMs(), "fault",
+                     {{"epoch", static_cast<double>(target.epoch)},
+                      {"replayed", static_cast<double>(rec.replayed)},
+                      {"discarded", static_cast<double>(rec.discarded)}});
+  }
 
   recoveries_.push_back(rec);
   return rec;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/epoch_ledger.h"
 #include "src/obs/trace_session.h"
 #include "src/repo/io_fault.h"
 
@@ -60,8 +61,15 @@ void MicroCheckpointer::RunUntil(SimTime t) {
     if (next_fault <= t && next_fault < next_barrier) {
       // Stop the whole system at the fault's instant — a quiescent point
       // mid-window — and dispatch. The coordinator's cadence is untouched;
-      // its next StepEpoch simply resumes from here.
+      // its next StepEpoch simply resumes from here. This advance bypasses
+      // the coordinator, so the ledger stamp (and the thread binding the
+      // failover path stamps under) happens here.
+      obs::EpochLedger& ledger = obs::EpochLedger::Global();
+      obs::EpochLedger::BindThread(obs::EpochLedger::kCoordinatorShard,
+                                   coordinator_->epoch_index());
+      const double w0 = ledger.NowMs();
       topo_->scheduler()->RunUntil(next_fault);
+      ledger.StampHere(-1, "window", w0, ledger.NowMs(), "fault");
       now_ = next_fault;
       DispatchFaults(next_fault);
       continue;
@@ -84,6 +92,12 @@ void MicroCheckpointer::RunUntil(SimTime t) {
 }
 
 void MicroCheckpointer::OnBarrier(SimTime barrier) {
+  // The commit bookkeeping below (watermark marking, publishing the
+  // committed images — a full image-set copy at scale) is serial wall time
+  // between windows; the ledger tiles it as "epoch_commit".
+  obs::EpochLedger& ledger = obs::EpochLedger::Global();
+  const bool lg = ledger.enabled();
+  const double c0 = lg ? ledger.NowMs() : 0.0;
   const uint64_t k = static_cast<uint64_t>(barrier / policy_.period);
   if (buffer_ != nullptr) {
     // Epoch k's capture just happened at this barrier and nothing has run
@@ -113,12 +127,22 @@ void MicroCheckpointer::OnBarrier(SimTime barrier) {
     session.AddSpanArg(span, "durable", latest_.durable ? 1.0 : 0.0);
     session.EndSpan(span, barrier);
   }
+  if (lg) {
+    ledger.StampHere(-1, "epoch_commit", c0, ledger.NowMs(), "publish",
+                     {{"epoch", static_cast<double>(latest_.epoch)}});
+  }
   if (buffer_ != nullptr) {
     const uint64_t cutoff_epoch =
         policy_.require_durable_commit ? durable_epoch_ : latest_.epoch;
     buffer_->ReleaseUpTo(static_cast<SimTime>(cutoff_epoch) * policy_.period,
                          barrier);
+    // ReleaseUpTo stamps itself ("output_release"); the prune that trims the
+    // replay log behind the committed epoch is charged separately.
+    const double p0 = lg ? ledger.NowMs() : 0.0;
     buffer_->PruneReplayLog(latest_.at);
+    if (lg) {
+      ledger.StampHere(-1, "epoch_commit", p0, ledger.NowMs(), "prune");
+    }
   }
 }
 

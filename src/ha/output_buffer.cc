@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/epoch_ledger.h"
+
 #include "src/sim/simulator.h"
 
 namespace tcsim {
@@ -79,6 +81,9 @@ void OutputCommitBuffer::FlushShardTelemetry() {
 }
 
 size_t OutputCommitBuffer::ReleaseUpTo(SimTime cutoff, SimTime barrier) {
+  obs::EpochLedger& ledger = obs::EpochLedger::Global();
+  const bool lg = ledger.enabled();
+  const double l0 = lg ? ledger.NowMs() : 0.0;
   FlushShardTelemetry();
   // Send times within one shard are monotone (a partition's clock never runs
   // backward within a timeline, and after a restore the shard was already
@@ -100,6 +105,8 @@ size_t OutputCommitBuffer::ReleaseUpTo(SimTime cutoff, SimTime barrier) {
       return a.src_partition < b.src_partition;
     return a.seq < b.seq;
   });
+  double hold_us_max = 0.0;
+  double hold_us_sum = 0.0;
   for (Held& h : batch) {
     const SimTime inject_at = std::max(h.deliver_at, barrier);
     PacketHandler* sink = h.sink;
@@ -109,8 +116,13 @@ size_t OutputCommitBuffer::ReleaseUpTo(SimTime cutoff, SimTime barrier) {
     if (observer_ != nullptr) {
       observer_->Observe(pkt, inject_at, h.src_partition, h.dst_partition);
     }
-    hold_time_us_->Observe(static_cast<double>(inject_at - h.send_time) /
-                           static_cast<double>(kMicrosecond));
+    const double hold_us = static_cast<double>(inject_at - h.send_time) /
+                           static_cast<double>(kMicrosecond);
+    hold_us_sum += hold_us;
+    if (hold_us > hold_us_max) {
+      hold_us_max = hold_us;
+    }
+    hold_time_us_->Observe(hold_us);
     Released rec;
     rec.inject_at = inject_at;
     rec.release_barrier = barrier;
@@ -121,6 +133,16 @@ size_t OutputCommitBuffer::ReleaseUpTo(SimTime cutoff, SimTime barrier) {
   }
   released_total_ += batch.size();
   released_counter_->Add(batch.size());
+  if (lg) {
+    // Simulated hold times ride along as args: the analyzer's output-hold
+    // percentiles come from these per-release samples.
+    ledger.StampHere(
+        -1, "output_release", l0, ledger.NowMs(), "epoch_commit",
+        {{"released", static_cast<double>(batch.size())},
+         {"hold_max_us", hold_us_max},
+         {"hold_mean_us",
+          batch.empty() ? 0.0 : hold_us_sum / static_cast<double>(batch.size())}});
+  }
   return batch.size();
 }
 

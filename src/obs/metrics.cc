@@ -112,9 +112,11 @@ std::string MetricsRegistry::ExportTable() const {
   }
   for (const auto& [name, h] : histograms_) {
     std::snprintf(line, sizeof line,
-                  "%-52s n=%llu mean=%.6g p50=%.6g p99=%.6g max=%.6g\n",
+                  "%-52s n=%llu mean=%.6g min=%.6g p50=%.6g p99=%.6g "
+                  "p999=%.6g max=%.6g\n",
                   name.c_str(), static_cast<unsigned long long>(h->count()),
-                  h->mean(), h->ApproxPercentile(50), h->ApproxPercentile(99),
+                  h->mean(), h->min(), h->ApproxPercentile(50),
+                  h->ApproxPercentile(99), h->ApproxPercentile(99.9),
                   h->max());
     out << line;
   }
@@ -139,7 +141,7 @@ std::string JsonEscape(const std::string& s) {
 
 std::string MetricsRegistry::ExportJson() const {
   std::ostringstream out;
-  char buf[160];
+  char buf[256];
   out << "{\"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -161,12 +163,13 @@ std::string MetricsRegistry::ExportJson() const {
   first = true;
   for (const auto& [name, h] : histograms_) {
     std::snprintf(buf, sizeof buf,
-                  "%s\"%s\": {\"count\": %llu, \"sum\": %.6g, \"min\": %.6g, "
-                  "\"max\": %.6g, \"p50\": %.6g, \"p99\": %.6g}",
+                  "%s\"%s\": {\"count\": %llu, \"sum\": %.6g, \"mean\": %.6g, "
+                  "\"min\": %.6g, \"max\": %.6g, \"p50\": %.6g, \"p99\": %.6g, "
+                  "\"p999\": %.6g}",
                   first ? "" : ", ", JsonEscape(name).c_str(),
                   static_cast<unsigned long long>(h->count()), h->sum(),
-                  h->min(), h->max(), h->ApproxPercentile(50),
-                  h->ApproxPercentile(99));
+                  h->mean(), h->min(), h->max(), h->ApproxPercentile(50),
+                  h->ApproxPercentile(99), h->ApproxPercentile(99.9));
     out << buf;
     first = false;
   }

@@ -121,8 +121,9 @@ class MetricsRegistry {
   std::string ExportTable() const;
 
   // One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
-  // {"name": {"count": n, "sum": s, "min": m, "max": M, "p50": ..,
-  // "p99": ..}, ...}}. Counters print as integers, gauges as %.6g.
+  // {"name": {"count": n, "sum": s, "mean": m, "min": lo, "max": hi,
+  // "p50": .., "p99": .., "p999": ..}, ...}}. Counters print as integers,
+  // gauges as %.6g. p999 vs max distinguishes a fat tail from one outlier.
   std::string ExportJson() const;
 
  private:

@@ -153,34 +153,66 @@ void TraceSession::Instant(const std::string& track, const char* name, SimTime t
   Place(rec);
 }
 
+void TraceSession::SortedView(std::vector<uint32_t>* tid_map,
+                              std::vector<const Record*>* ordered) const {
+  // Track ids by sorted name: interning order depends on which thread first
+  // touched a track, which is not stable across runs of a parallel workload.
+  std::vector<std::string> names(tracks_);
+  std::sort(names.begin(), names.end());
+  tid_map->resize(tracks_.size());
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    (*tid_map)[i] = static_cast<uint32_t>(
+        std::lower_bound(names.begin(), names.end(), tracks_[i]) -
+        names.begin());
+  }
+  ordered->reserve(records_.size());
+  for (size_t i = 0; i < records_.size(); ++i) {
+    ordered->push_back(ChronoRecord(i));
+  }
+  std::stable_sort(ordered->begin(), ordered->end(),
+                   [&](const Record* a, const Record* b) {
+                     const uint32_t ta = (*tid_map)[a->track];
+                     const uint32_t tb = (*tid_map)[b->track];
+                     if (ta != tb) return ta < tb;
+                     if (a->begin != b->begin) return a->begin < b->begin;
+                     return a->id < b->id;
+                   });
+}
+
 std::string TraceSession::ExportChromeJson() const {
   std::ostringstream out;
   char buf[256];
+  std::vector<uint32_t> tid_map;
+  std::vector<const Record*> ordered;
+  SortedView(&tid_map, &ordered);
+  std::vector<std::string> names(tracks_);
+  std::sort(names.begin(), names.end());
   out << "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
   bool first = true;
-  for (size_t i = 0; i < tracks_.size(); ++i) {
+  for (size_t i = 0; i < names.size(); ++i) {
     std::snprintf(buf, sizeof buf,
                   "%s{\"ph\": \"M\", \"pid\": 0, \"tid\": %zu, \"name\": "
                   "\"thread_name\", \"args\": {\"name\": \"%s\"}}",
-                  first ? "" : ",\n", i, tracks_[i].c_str());
+                  first ? "" : ",\n", i, names[i].c_str());
     out << buf;
     first = false;
   }
-  for (size_t i = 0; i < records_.size(); ++i) {
-    const Record& rec = *ChronoRecord(i);
+  for (const Record* rp : ordered) {
+    const Record& rec = *rp;
     const bool open = rec.kind == 0 && rec.end < 0;
     const double ts = ToMicroseconds(rec.begin);
+    const uint32_t tid = tid_map[rec.track];
     if (rec.kind == 1) {
       std::snprintf(buf, sizeof buf,
                     "%s{\"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": %u, "
                     "\"cat\": \"tcsim\", \"name\": \"%s\", \"ts\": %.3f",
-                    first ? "" : ",\n", rec.track, rec.name, ts);
+                    first ? "" : ",\n", tid, rec.name, ts);
     } else {
       const double dur = open ? 0.0 : ToMicroseconds(rec.end - rec.begin);
       std::snprintf(buf, sizeof buf,
                     "%s{\"ph\": \"X\", \"pid\": 0, \"tid\": %u, \"cat\": "
                     "\"tcsim\", \"name\": \"%s\", \"ts\": %.3f, \"dur\": %.3f",
-                    first ? "" : ",\n", rec.track, rec.name, ts, dur);
+                    first ? "" : ",\n", tid, rec.name, ts, dur);
     }
     out << buf;
     first = false;
@@ -276,6 +308,24 @@ std::string TraceSession::DumpTail(size_t n) const {
     FormatRecord(*ChronoRecord(i), tracks_, &out);
   }
   return out;
+}
+
+void TraceSession::DumpRingNow(const char* reason, size_t tail) const {
+  if (mode_ != Mode::kRing) {
+    return;
+  }
+  std::ostringstream out;
+  out << "=== flight recorder: " << reason << " ===\n";
+  if (recorded() == 0) {
+    out << "  (no telemetry records held)\n";
+  } else {
+    out << DumpTail(tail);
+  }
+  if (AuditDumpSink()) {
+    AuditDumpSink()(out.str());
+  } else {
+    std::fputs(out.str().c_str(), stderr);
+  }
 }
 
 void TraceSession::SetAuditDumpSink(std::function<void(const std::string&)> sink) {

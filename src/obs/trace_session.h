@@ -99,10 +99,20 @@ class TraceSession {
 
   // --- Export ----------------------------------------------------------------
 
+  // Both exporters are fully deterministic: records are ordered by (track
+  // name, begin time, span id) and track ids are assigned by sorted track
+  // name, so two runs of the same workload — whose threads may intern tracks
+  // in different orders — produce byte-identical artifacts that diff cleanly.
   std::string ExportChromeJson() const;
   std::string ExportSummaryTable() const;
   // The newest `n` records, oldest first — the flight-recorder dump.
   std::string DumpTail(size_t n) const;
+
+  // Flight-recorder dump on demand: in ring mode, writes the newest `tail`
+  // records (prefixed with `reason`) through the audit-dump sink — the same
+  // channel the invariant-violation hook uses. No-op in kOff/kFull modes, so
+  // callers on recovery paths stamp unconditionally.
+  void DumpRingNow(const char* reason, size_t tail = 64) const;
 
   // Installs the process-wide invariant-violation hook: the first violation
   // any InvariantRegistry records dumps this session's newest `tail` records
@@ -126,6 +136,10 @@ class TraceSession {
   };
 
   uint32_t InternTrack(const std::string& track);
+  // Deterministic export order: tid remap (intern index -> sorted-name rank)
+  // and record pointers sorted by (track name, begin, id).
+  void SortedView(std::vector<uint32_t>* tid_map,
+                  std::vector<const Record*>* ordered) const;
   Record* Place(Record rec);     // appends (full) or overwrites (ring)
   Record* Find(SpanId id);
   const Record* ChronoRecord(size_t i) const;  // i-th oldest held record

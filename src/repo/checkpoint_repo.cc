@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "src/obs/epoch_ledger.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_session.h"
 #include "src/sim/archive.h"
@@ -415,7 +416,13 @@ CheckpointRepo::BatchCommitResult CheckpointRepo::CommitBatch(
   // From here the batch is quiescent: staging has stopped (the caller handed
   // over ownership) and WaitHashed() synchronizes with the last hash task,
   // so every entry is plain data owned by this thread.
+  obs::EpochLedger& ledger = obs::EpochLedger::Global();
+  const bool lg = ledger.enabled();
+  const double lh0 = lg ? ledger.NowMs() : 0.0;
   batch->WaitHashed();
+  if (lg) {
+    ledger.StampHere(-1, "repo.hash_wait", lh0, ledger.NowMs(), "hash_pool");
+  }
   std::vector<std::unique_ptr<RepoWriteBatch::Entry>>& entries =
       batch->entries_;
   result.handles.assign(entries.size(), 0);
@@ -450,6 +457,7 @@ CheckpointRepo::BatchCommitResult CheckpointRepo::CommitBatch(
   std::map<uint64_t, uint64_t> ticket_handle;  // ticket -> assigned handle
   std::map<ContentKey, uint64_t> staged_offsets;  // appended this commit
   uint64_t dedup_hits = 0;
+  const double la0 = lg ? ledger.NowMs() : 0.0;
 
   for (RepoWriteBatch::Entry* e : order) {
     if (!e->parsed_ok) {
@@ -570,12 +578,21 @@ CheckpointRepo::BatchCommitResult CheckpointRepo::CommitBatch(
     staged.emplace(handle, std::move(rec));
   }
 
+  if (lg) {
+    ledger.StampHere(-1, "repo.append", la0, ledger.NowMs(), "segment");
+  }
+
   // Group commit: one segment flush covers every payload appended above,
   // then one CRC-framed journal record publishes the epoch atomically —
   // recovery either replays all of it or (torn tail) none of it.
+  const double lf0 = lg ? ledger.NowMs() : 0.0;
   if (err.empty() && !segment_->Flush(options_.fsync)) {
     err = "segment flush failed";
   }
+  if (lg) {
+    ledger.StampHere(-1, "repo.fsync", lf0, ledger.NowMs(), "segment_flush");
+  }
+  const double lj0 = lg ? ledger.NowMs() : 0.0;
   if (err.empty()) {
     ArchiveWriter w;
     w.Write<uint64_t>(staged.size());
@@ -594,6 +611,9 @@ CheckpointRepo::BatchCommitResult CheckpointRepo::CommitBatch(
       appends->Increment();
       append_bytes->Add(payload.size());
     }
+  }
+  if (lg) {
+    ledger.StampHere(-1, "repo.journal", lj0, ledger.NowMs(), "journal_fsync");
   }
 
   if (!err.empty()) {

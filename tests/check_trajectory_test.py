@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Tests for bench/check_trajectory.py — the structural gate between
+consecutive bench baselines.
+
+The checker's contract: a dropped metric or ledger key is an error, a failed
+bench or a false ledger_coverage_ok is an error, a merely slower machine is
+at most a warning, and a *new* baseline carrying keys the old one lacks
+passes clean (that is how new attribution columns roll forward).
+"""
+
+import copy
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_CHECKER = os.path.join(_HERE, os.pardir, "bench", "check_trajectory.py")
+
+spec = importlib.util.spec_from_file_location("check_trajectory", _CHECKER)
+ct = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(ct)
+
+
+def frozen_window_bench(coverage_ok=True, with_ledger=True):
+    """A minimal tab_frozen_window entry shaped like the real consolidated
+    report: enough structure to drive every branch of check_frozen_window."""
+    row = {
+        "hosts": 100,
+        "digest_ok": True,
+        "spill_ok": True,
+        "reduction": 4.2,
+    }
+    if with_ledger:
+        row.update({
+            "ledger_coverage": 0.997,
+            "straggler_partition": 2,
+            "straggler_slack_ms": 0.03,
+            "ledger_window_share": 0.95,
+            "ledger_frozen_share": 0.02,
+            "ledger_commit_wait_share": 0.01,
+        })
+    bench = {
+        "bench": "tab_frozen_window",
+        "ok": True,
+        "digest_oracle_ok": True,
+        "frozen_reduction_ok": True,
+        "frozen_reduction_1k": 4.0,
+        "frozen_window": [row],
+        "telemetry": {"counters": {"repo.batch.commits": 5}},
+    }
+    if with_ledger:
+        bench["ledger_min_coverage"] = 0.995
+        bench["ledger_coverage_ok"] = coverage_ok
+    return bench
+
+
+class LedgerAttributionGateTest(unittest.TestCase):
+    def test_clean_pass(self):
+        base = frozen_window_bench()
+        got = copy.deepcopy(base)
+        errors = []
+        ct.check_ledger_attribution("tab_frozen_window", base, got, errors)
+        self.assertEqual(errors, [])
+
+    def test_coverage_flag_false_is_an_error(self):
+        base = frozen_window_bench()
+        got = frozen_window_bench(coverage_ok=False)
+        errors = []
+        ct.check_ledger_attribution("tab_frozen_window", base, got, errors)
+        self.assertTrue(any("ledger_coverage_ok" in e for e in errors))
+
+    def test_dropped_summary_key_is_an_error(self):
+        base = frozen_window_bench()
+        got = copy.deepcopy(base)
+        del got["ledger_min_coverage"]
+        errors = []
+        ct.check_ledger_attribution("tab_frozen_window", base, got, errors)
+        self.assertTrue(any("ledger_min_coverage" in e for e in errors))
+
+    def test_dropped_row_key_is_an_error(self):
+        base = frozen_window_bench()
+        got = copy.deepcopy(base)
+        del got["frozen_window"][0]["straggler_partition"]
+        errors = []
+        ct.check_ledger_attribution(
+            "tab_frozen_window", base, got, errors,
+            row_keys=[("frozen_window",
+                       ("ledger_coverage", "straggler_partition"))])
+        self.assertTrue(any("straggler_partition" in e for e in errors))
+
+    def test_old_baseline_without_ledger_keys_demands_nothing(self):
+        # Rolling the gate forward: a pre-ledger baseline checked against a
+        # fresh run that *has* the keys must not error — the next committed
+        # baseline is what starts enforcing them.
+        base = frozen_window_bench(with_ledger=False)
+        got = frozen_window_bench()
+        errors = []
+        ct.check_ledger_attribution(
+            "tab_frozen_window", base, got, errors,
+            row_keys=[("frozen_window", ("ledger_coverage",))])
+        self.assertEqual(errors, [])
+
+
+class FrozenWindowCheckTest(unittest.TestCase):
+    def test_identical_runs_pass(self):
+        base = frozen_window_bench()
+        errors, warnings = [], []
+        ct.check_frozen_window(base, copy.deepcopy(base), errors, warnings)
+        self.assertEqual(errors, [])
+        self.assertEqual(warnings, [])
+
+    def test_reduction_regression_warns_but_passes(self):
+        base = frozen_window_bench()
+        got = copy.deepcopy(base)
+        got["frozen_reduction_1k"] = base["frozen_reduction_1k"] * 0.5
+        errors, warnings = [], []
+        ct.check_frozen_window(base, got, errors, warnings)
+        self.assertEqual(errors, [])
+        self.assertTrue(any("regressed" in w for w in warnings))
+
+    def test_digest_failure_is_an_error(self):
+        base = frozen_window_bench()
+        got = copy.deepcopy(base)
+        got["digest_oracle_ok"] = False
+        errors, warnings = [], []
+        ct.check_frozen_window(base, got, errors, warnings)
+        self.assertTrue(any("digest_oracle_ok" in e for e in errors))
+
+
+class EndToEndTest(unittest.TestCase):
+    """main() over real temp files — the CI invocation path."""
+
+    def run_checker(self, baseline, fresh):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            fresh_path = os.path.join(tmp, "fresh.json")
+            with open(base_path, "w") as f:
+                json.dump(baseline, f)
+            with open(fresh_path, "w") as f:
+                json.dump(fresh, f)
+            argv = sys.argv
+            sys.argv = ["check_trajectory.py", base_path, fresh_path]
+            try:
+                return ct.main()
+            finally:
+                sys.argv = argv
+
+    def test_matching_baseline_exits_zero(self):
+        doc = {"benches": [frozen_window_bench()]}
+        self.assertEqual(self.run_checker(doc, copy.deepcopy(doc)), 0)
+
+    def test_missing_bench_exits_nonzero(self):
+        base = {"benches": [frozen_window_bench()]}
+        self.assertEqual(self.run_checker(base, {"benches": []}), 1)
+
+    def test_dropped_metric_exits_nonzero(self):
+        base = {"benches": [frozen_window_bench()]}
+        fresh = copy.deepcopy(base)
+        fresh["benches"][0]["telemetry"]["counters"] = {}
+        self.assertEqual(self.run_checker(base, fresh), 1)
+
+    def test_failed_bench_exits_nonzero(self):
+        base = {"benches": [frozen_window_bench()]}
+        fresh = copy.deepcopy(base)
+        fresh["benches"][0]["ok"] = False
+        self.assertEqual(self.run_checker(base, fresh), 1)
+
+    def test_new_baseline_with_extra_keys_passes(self):
+        # The forward direction: fresh run gained benches/keys the baseline
+        # never had. Nothing to compare against, nothing to fail.
+        base = {"benches": [frozen_window_bench(with_ledger=False)]}
+        fresh = {"benches": [frozen_window_bench(),
+                             {"bench": "tab_new_thing", "ok": True}]}
+        self.assertEqual(self.run_checker(base, fresh), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

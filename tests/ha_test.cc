@@ -425,5 +425,41 @@ TEST(HaObservabilityTest, FailoverEmitsSpansAndMetrics) {
   reg.ResetAll();
 }
 
+TEST(HaObservabilityTest, FlightRecorderDumpsOnRecoveryStart) {
+  // With the ring-buffer flight recorder armed, the moment failover begins
+  // tearing down the victim it dumps the recorded tail through the audit
+  // sink — the timeline that led up to the fault, captured before recovery
+  // overwrites it. Full mode and off mode must stay silent: the auto-dump
+  // is the crash recorder's feature, not general tracing's.
+  std::vector<std::string> dumps;
+  obs::TraceSession::SetAuditDumpSink(
+      [&](const std::string& d) { dumps.push_back(d); });
+
+  auto run_with_kill = [] {
+    ha::FaultInjector fi(8);
+    fi.Schedule({3 * kPeriod + kPeriod / 2, ha::FaultKind::kKillPartition, 0});
+    const HaRunResult r = RunHa(HaPolicy(1), &fi);
+    EXPECT_EQ(r.recoveries.size(), 1u);
+  };
+
+  obs::TraceSession::Global().StartRing(64);
+  run_with_kill();
+  obs::TraceSession::Global().Stop();
+  ASSERT_EQ(dumps.size(), 1u) << "one recovery, one dump";
+  EXPECT_NE(dumps[0].find("failover recovery start"), std::string::npos);
+  EXPECT_NE(dumps[0].find("flight recorder"), std::string::npos);
+  // The dump carries the pre-fault timeline (epoch commits lead the ring).
+  EXPECT_NE(dumps[0].find("ha.epoch_commit"), std::string::npos) << dumps[0];
+
+  dumps.clear();
+  obs::TraceSession::Global().StartFull();
+  run_with_kill();
+  obs::TraceSession::Global().Stop();
+  EXPECT_TRUE(dumps.empty()) << "full-trace mode is not the flight recorder";
+
+  obs::TraceSession::Global().Clear();
+  obs::TraceSession::SetAuditDumpSink(nullptr);
+}
+
 }  // namespace
 }  // namespace tcsim

@@ -355,5 +355,75 @@ TEST_F(ObsTest, ExportJsonIsWellFormedEnoughForTheBenchReport) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
 }
 
+TEST_F(ObsTest, HistogramExportCarriesTailPercentiles) {
+  // A distribution with one fat decade and one extreme outlier: p999 must
+  // sit below max (the outlier is *one* sample, not a tail), and both the
+  // JSON and the table must say so — p99 alone cannot distinguish a fat
+  // tail from a single spike.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram* h = reg.FindHistogram("test.obs.tail");
+  for (int i = 0; i < 2000; ++i) {
+    h->Observe(2.0);
+  }
+  h->Observe(100000.0);
+
+  const std::string json = reg.ExportJson();
+  EXPECT_NE(json.find("\"p999\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\""), std::string::npos) << json;
+  const double p999 = h->ApproxPercentile(99.9);
+  EXPECT_LT(p999, h->max())
+      << "one outlier in 2001 samples must not reach p999";
+  EXPECT_DOUBLE_EQ(p999, Histogram::BucketUpperBound(2));
+
+  const std::string table = reg.ExportTable();
+  EXPECT_NE(table.find("min="), std::string::npos) << table;
+  EXPECT_NE(table.find("p999="), std::string::npos) << table;
+  EXPECT_NE(table.find("mean="), std::string::npos) << table;
+}
+
+TEST_F(ObsTest, ChromeExportIsDeterministicAcrossTrackInternOrder) {
+  // Two runs of the same workload may intern tracks in different orders
+  // (worker threads race to first touch). The exports must not care: track
+  // ids are assigned by sorted track name and records ordered by (track,
+  // begin, id), so both sessions export byte-identical artifacts.
+  auto record = [](TraceSession& s, bool zeta_first) {
+    s.StartFull();
+    auto span = [&s](const char* track, const char* name, SimTime b,
+                     SimTime e) {
+      const SpanId id = s.BeginSpan(track, name, b);
+      s.EndSpan(id, e);
+    };
+    if (zeta_first) {
+      span("zeta", "late_track_span", 1 * kMicrosecond, 2 * kMicrosecond);
+      span("alpha", "early_track_span", 3 * kMicrosecond, 4 * kMicrosecond);
+    } else {
+      span("alpha", "early_track_span", 3 * kMicrosecond, 4 * kMicrosecond);
+      span("zeta", "late_track_span", 1 * kMicrosecond, 2 * kMicrosecond);
+    }
+    s.Stop();
+  };
+  TraceSession a, b;
+  record(a, /*zeta_first=*/true);
+  record(b, /*zeta_first=*/false);
+
+  const std::string json_a = a.ExportChromeJson();
+  EXPECT_EQ(json_a, b.ExportChromeJson());
+  EXPECT_EQ(a.ExportSummaryTable(), b.ExportSummaryTable());
+
+  // "alpha" sorts first, so it owns tid 0 in both — even in the session
+  // that interned "zeta" first.
+  const size_t alpha_meta =
+      json_a.find("\"thread_name\", \"args\": {\"name\": \"alpha\"}");
+  const size_t zeta_meta =
+      json_a.find("\"thread_name\", \"args\": {\"name\": \"zeta\"}");
+  ASSERT_NE(alpha_meta, std::string::npos) << json_a;
+  ASSERT_NE(zeta_meta, std::string::npos) << json_a;
+  EXPECT_LT(alpha_meta, zeta_meta);
+  // And alpha's span exports before zeta's despite beginning later in sim
+  // time: the export order is (track, begin), track first.
+  EXPECT_LT(json_a.find("early_track_span"), json_a.find("late_track_span"));
+}
+
 }  // namespace
 }  // namespace tcsim
